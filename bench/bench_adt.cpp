@@ -1,0 +1,152 @@
+// ADT-level benchmark: the payoff of the paper's programming model at the
+// data-structure level (extension of E8).
+//
+// Full-table iteration of a transactional hash map, two ways:
+//   * one giant read-only transaction touching every slot — on TL2 any
+//     concurrent committed write invalidates it (retry storms as the table
+//     or write rate grows);
+//   * the privatized idiom (freeze → fence → NT scan → publish), which
+//     pays one fence and brief writer back-off instead.
+// Plus baseline put/get mixes per TM.
+#include "bench_common.hpp"
+
+#include "adt/tx_hashmap.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using adt::TxHashMap;
+using tm::TmKind;
+
+constexpr std::size_t kCapacity = 128;
+constexpr std::size_t kKeys = 48;
+
+struct MapHarness {
+  std::unique_ptr<tm::TransactionalMemory> tmi;
+  TxHashMap map{0, kCapacity};
+
+  explicit MapHarness(TmKind kind) {
+    tm::TmConfig config;
+    config.num_registers = TxHashMap::registers_needed(kCapacity);
+    tmi = tm::make_tm(kind, config);
+    auto setup = tmi->make_thread(0, nullptr);
+    for (tm::Value k = 1; k <= kKeys; ++k) {
+      map.put(*setup, k, k);
+    }
+  }
+};
+
+void BM_HashMapPutGet(benchmark::State& state) {
+  TmKind kind;
+  switch (state.range(0)) {
+    case 0:
+      kind = TmKind::kTl2;
+      break;
+    case 1:
+      kind = TmKind::kNOrec;
+      break;
+    default:
+      kind = TmKind::kGlobalLock;
+      break;
+  }
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  MapHarness harness(kind);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    parallel_phase(threads, [&](std::size_t t) {
+      auto session = harness.tmi->make_thread(
+          static_cast<hist::ThreadId>(t), nullptr);
+      rt::Xoshiro256 rng(t * 101 + 7);
+      tm::Value gen = 1;
+      for (int i = 0; i < 2000; ++i) {
+        const tm::Value key = 1 + rng.below(kKeys);
+        if (rng.chance(3, 4)) {
+          benchmark::DoNotOptimize(harness.map.get(*session, key));
+        } else {
+          harness.map.put(*session, key, key * ++gen);
+        }
+      }
+    });
+    ops += threads * 2000;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(tm::tm_kind_name(kind));
+}
+BENCHMARK(BM_HashMapPutGet)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+/// Iteration strategies under a concurrent writer.
+template <bool kPrivatized>
+void iteration_bench(benchmark::State& state) {
+  MapHarness harness(TmKind::kTl2);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> writer_ops{0};
+  std::thread writer([&] {
+    auto session = harness.tmi->make_thread(1, nullptr);
+    rt::Xoshiro256 rng(55);
+    tm::Value gen = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const tm::Value key = 1 + rng.below(kKeys);
+      harness.map.put(*session, key, key * ++gen);
+      writer_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  auto session = harness.tmi->make_thread(0, nullptr);
+  std::uint64_t scans = 0;
+  std::uint64_t entries = 0;
+  tm::Value token = 1;
+  for (auto _ : state) {
+    if constexpr (kPrivatized) {
+      harness.map.for_each_privatized(
+          *session, (tm::Value{9} << 40) | ++token,
+          [&](tm::Value, tm::Value) { ++entries; });
+    } else {
+      // One giant read-only transaction over all slots (keys AND values,
+      // like for_each does) — every concurrent value update invalidates it.
+      tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+        std::uint64_t local = 0;
+        for (std::size_t slot = 0; slot < kCapacity; ++slot) {
+          const tm::Value k =
+              tx.read(static_cast<tm::RegId>(1 + 2 * slot));
+          if (k != 0 && k != TxHashMap::kTombstone) {
+            benchmark::DoNotOptimize(
+                tx.read(static_cast<tm::RegId>(2 + 2 * slot)));
+            ++local;
+          }
+        }
+        entries += local;
+      });
+    }
+    ++scans;
+  }
+  stop.store(true);
+  writer.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(scans));
+  state.counters["writer_ops"] = static_cast<double>(writer_ops.load());
+  state.counters["aborts"] = static_cast<double>(
+      harness.tmi->stats().total(rt::Counter::kTxAbort));
+  state.counters["entries_seen"] = static_cast<double>(entries);
+}
+
+void BM_Iteration_GiantTxn(benchmark::State& state) {
+  iteration_bench<false>(state);
+}
+void BM_Iteration_Privatized(benchmark::State& state) {
+  iteration_bench<true>(state);
+}
+
+BENCHMARK(BM_Iteration_GiantTxn)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime()
+    ->Iterations(2000);
+BENCHMARK(BM_Iteration_Privatized)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime()
+    ->Iterations(2000);
+
+}  // namespace
+}  // namespace privstm::bench

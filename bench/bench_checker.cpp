@@ -1,0 +1,154 @@
+// Experiment E9 — checker complexity: hb closure, opacity-graph build,
+// acyclicity, serialization and the full pipeline vs history length.
+//
+// Shape: hb closure is O(E·n/64) time and O(n²/8) memory (bitset rows);
+// graph construction is ~quadratic in node count; the full pipeline stays
+// practical to ~10⁴ actions — checker workloads, not production overhead
+// (recording is off in performance runs).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "drf/hb_graph.hpp"
+#include "drf/race.hpp"
+#include "opacity/strong_opacity.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using hist::Action;
+using hist::ActionKind;
+
+/// Synthesize a well-formed mixed history: `txns` committed transactions
+/// round-robin across `threads` threads, each doing `accesses` reads and
+/// writes over `registers` registers, plus periodic fences and NT accesses
+/// (safely placed: NT traffic goes to a dedicated register range only ever
+/// touched non-transactionally, so the history is DRF).
+hist::RecordedExecution synth_history(std::size_t txns, std::size_t threads,
+                                      std::size_t accesses,
+                                      std::size_t registers) {
+  hist::RecordedExecution exec;
+  std::vector<Action> actions;
+  rt::Xoshiro256 rng(42);
+  hist::ActionId id = 1;
+  hist::Value tag = 0;
+  std::vector<hist::Value> committed(registers, hist::kVInit);
+  auto emit = [&](hist::ThreadId t, ActionKind kind,
+                  hist::RegId reg = hist::kNoReg, hist::Value v = 0) {
+    actions.push_back({id++, t, kind, reg, v});
+  };
+  for (std::size_t i = 0; i < txns; ++i) {
+    const auto t = static_cast<hist::ThreadId>(i % threads);
+    emit(t, ActionKind::kTxBegin);
+    emit(t, ActionKind::kOk);
+    for (std::size_t k = 0; k < accesses; ++k) {
+      const auto reg = static_cast<hist::RegId>(rng.below(registers));
+      if (rng.chance(1, 2)) {
+        emit(t, ActionKind::kReadReq, reg);
+        emit(t, ActionKind::kReadRet, reg, committed[reg]);
+      } else {
+        const hist::Value v = ++tag;
+        emit(t, ActionKind::kWriteReq, reg, v);
+        emit(t, ActionKind::kWriteRet, reg);
+        committed[reg] = v;
+        exec.publish_order[reg].push_back(v);
+      }
+    }
+    emit(t, ActionKind::kTxCommit);
+    emit(t, ActionKind::kCommitted);
+    if (i % 8 == 7) {  // a fence every 8 transactions
+      emit(t, ActionKind::kFenceBegin);
+      emit(t, ActionKind::kFenceEnd);
+    }
+    if (i % 4 == 3) {  // NT traffic on the private range
+      const auto reg = static_cast<hist::RegId>(registers + (i % 4));
+      const hist::Value v = ++tag;
+      emit(t, ActionKind::kWriteReq, reg, v);
+      emit(t, ActionKind::kWriteRet, reg);
+      exec.publish_order[reg].push_back(v);
+    }
+  }
+  exec.history = hist::History(std::move(actions));
+  return exec;
+}
+
+void BM_HbClosure(benchmark::State& state) {
+  const auto txns = static_cast<std::size_t>(state.range(0));
+  const auto exec = synth_history(txns, 4, 4, 32);
+  for (auto _ : state) {
+    drf::HbGraph hb(exec.history);
+    benchmark::DoNotOptimize(hb.ordered(0, exec.history.size() - 1));
+  }
+  state.counters["actions"] = static_cast<double>(exec.history.size());
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(exec.history.size()));
+}
+BENCHMARK(BM_HbClosure)->Arg(50)->Arg(200)->Arg(800)->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RaceDetection(benchmark::State& state) {
+  const auto txns = static_cast<std::size_t>(state.range(0));
+  const auto exec = synth_history(txns, 4, 4, 32);
+  drf::HbGraph hb(exec.history);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drf::find_races(exec.history, hb).drf());
+  }
+  state.counters["actions"] = static_cast<double>(exec.history.size());
+}
+BENCHMARK(BM_RaceDetection)->Arg(50)->Arg(200)->Arg(800)->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto txns = static_cast<std::size_t>(state.range(0));
+  const auto exec = synth_history(txns, 4, 4, 32);
+  std::size_t checked = 0;
+  for (auto _ : state) {
+    const auto verdict = opacity::check_strong_opacity(exec);
+    if (!verdict.ok()) {
+      state.SkipWithError("synthetic history failed the checker");
+      return;
+    }
+    ++checked;
+  }
+  state.counters["actions"] = static_cast<double>(exec.history.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+}
+BENCHMARK(BM_FullPipeline)->Arg(50)->Arg(200)->Arg(800)->MinTime(0.05)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PipelineOnRecordedTl2(benchmark::State& state) {
+  // End-to-end: record a real TL2 run, then check it.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  tm::TmConfig config;
+  config.num_registers = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto tmi = tm::make_tm(tm::TmKind::kTl2, config);
+    hist::Recorder recorder;
+    parallel_phase(threads, [&](std::size_t t) {
+      auto session = tmi->make_thread(static_cast<hist::ThreadId>(t),
+                                      &recorder);
+      hist::Value tag = 0;
+      rt::Xoshiro256 rng(t + 3);
+      for (int i = 0; i < 50; ++i) {
+        tm::run_tx(*session, [&](tm::TxScope& tx) {
+          const auto reg = static_cast<hist::RegId>(rng.below(16));
+          (void)tx.read(reg);
+          tx.write(reg, ((static_cast<hist::Value>(t) + 1) << 40) | ++tag);
+        });
+      }
+    });
+    const auto exec = recorder.collect();
+    state.ResumeTiming();
+    const auto verdict = opacity::check_strong_opacity(exec);
+    if (!verdict.ok()) {
+      state.SkipWithError("TL2 history failed the checker");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_PipelineOnRecordedTl2)->Arg(2)->Arg(4)->Iterations(5)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace privstm::bench

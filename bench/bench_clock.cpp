@@ -1,0 +1,128 @@
+// Experiment E13 — ablations of TL2 design choices called out in
+// DESIGN.md: global-clock contention and cache-line isolation.
+//
+// Shape: the fetch_add clock is the scalability choke point of TL2 —
+// advance throughput degrades with threads while read-only sampling
+// scales; un-padded "false sharing" neighbours collapse under concurrent
+// writers, which is why every hot TM word sits alone on a line.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/global_clock.hpp"
+
+namespace privstm::bench {
+namespace {
+
+void BM_ClockAdvance(benchmark::State& state) {
+  static rt::GlobalClock clock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.advance());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClockAdvance)->Threads(1)->Threads(2)->Threads(4)
+    ->MinTime(0.05)->UseRealTime();
+
+void BM_ClockSample(benchmark::State& state) {
+  static rt::GlobalClock clock;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.sample());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClockSample)->Threads(1)->Threads(2)->Threads(4)
+    ->MinTime(0.05)->UseRealTime();
+
+// False-sharing ablation: per-thread counters packed adjacently vs
+// cache-line isolated.
+struct PackedCounters {
+  std::atomic<std::uint64_t> vals[8];
+};
+struct PaddedCounters {
+  rt::CacheAligned<std::atomic<std::uint64_t>> vals[8];
+};
+
+void BM_CounterPacked(benchmark::State& state) {
+  static PackedCounters counters;
+  auto& cell = counters.vals[static_cast<std::size_t>(state.thread_index())];
+  for (auto _ : state) {
+    cell.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterPacked)->Threads(1)->Threads(2)->Threads(4)
+    ->MinTime(0.05)->UseRealTime();
+
+void BM_CounterPadded(benchmark::State& state) {
+  static PaddedCounters counters;
+  auto& cell =
+      *counters.vals[static_cast<std::size_t>(state.thread_index())];
+  for (auto _ : state) {
+    cell.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterPadded)->Threads(1)->Threads(2)->Threads(4)
+    ->MinTime(0.05)->UseRealTime();
+
+// TL2 single-thread op costs: the instrumentation intercept (vs glock).
+void BM_Tl2TxnCost(benchmark::State& state) {
+  tm::TmConfig config;
+  config.num_registers = 64;
+  auto tmi = tm::make_tm(tm::TmKind::kTl2, config);
+  auto session = tmi->make_thread(0, nullptr);
+  const auto txn_size = static_cast<std::size_t>(state.range(0));
+  hist::Value tag = 0;
+  for (auto _ : state) {
+    tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+      for (std::size_t k = 0; k < txn_size; ++k) {
+        const auto reg = static_cast<hist::RegId>(k % 64);
+        (void)tx.read(reg);
+        tx.write(reg, (++tag << 8) | 1);
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Tl2TxnCost)->Arg(1)->Arg(4)->Arg(16)->MinTime(0.05);
+
+void BM_GlockTxnCost(benchmark::State& state) {
+  tm::TmConfig config;
+  config.num_registers = 64;
+  auto tmi = tm::make_tm(tm::TmKind::kGlobalLock, config);
+  auto session = tmi->make_thread(0, nullptr);
+  const auto txn_size = static_cast<std::size_t>(state.range(0));
+  hist::Value tag = 0;
+  for (auto _ : state) {
+    tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+      for (std::size_t k = 0; k < txn_size; ++k) {
+        const auto reg = static_cast<hist::RegId>(k % 64);
+        (void)tx.read(reg);
+        tx.write(reg, (++tag << 8) | 1);
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GlockTxnCost)->Arg(1)->Arg(4)->Arg(16)->MinTime(0.05);
+
+// NT access cost: the whole point of privatization — a plain load/store.
+void BM_NtAccessCost(benchmark::State& state) {
+  tm::TmConfig config;
+  config.num_registers = 64;
+  auto tmi = tm::make_tm(tm::TmKind::kTl2, config);
+  auto session = tmi->make_thread(0, nullptr);
+  hist::Value tag = 0;
+  for (auto _ : state) {
+    session->nt_write(3, (++tag << 8) | 1);
+    benchmark::DoNotOptimize(session->nt_read(3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NtAccessCost)->MinTime(0.05);
+
+}  // namespace
+}  // namespace privstm::bench

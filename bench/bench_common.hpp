@@ -1,0 +1,113 @@
+// Shared helpers for the benchmark harness (experiments E1–E13, DESIGN.md).
+//
+// Conventions:
+//  * Litmus-style experiments report `violations` / `violation_rate`
+//    counters — the paper-shape result is who violates and who does not,
+//    not absolute timing.
+//  * Throughput experiments run a fixed parallel phase per iteration
+//    (spawn, barrier, work, join) under UseRealTime, reporting ops/s via
+//    SetItemsProcessed.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lang/litmus.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/rng.hpp"
+#include "tm/factory.hpp"
+
+namespace privstm::bench {
+
+/// Run one litmus configuration `runs` times; attach violation counters.
+inline void run_litmus_bench(benchmark::State& state,
+                             const lang::LitmusSpec& spec, tm::TmKind kind,
+                             tm::FencePolicy policy, std::size_t runs,
+                             std::uint32_t commit_pause_spins,
+                             std::uint32_t jitter = 256) {
+  std::size_t total_runs = 0;
+  std::size_t total_violations = 0;
+  std::size_t total_aborts = 0;
+  std::size_t total_fences = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    lang::LitmusRunOptions options;
+    options.runs = runs;
+    options.jitter_max_spins = jitter;
+    options.commit_pause_spins = commit_pause_spins;
+    options.seed = seed;
+    seed += runs;
+    const auto stats = lang::run_litmus(spec, kind, policy, options);
+    total_runs += stats.runs;
+    total_violations += stats.postcondition_violations;
+    total_aborts += stats.aborted_txns;
+    total_fences += stats.fences;
+  }
+  state.counters["runs"] = static_cast<double>(total_runs);
+  state.counters["violations"] = static_cast<double>(total_violations);
+  state.counters["violation_rate"] =
+      total_runs ? static_cast<double>(total_violations) /
+                       static_cast<double>(total_runs)
+                 : 0.0;
+  state.counters["aborts"] = static_cast<double>(total_aborts);
+  state.counters["fences"] = static_cast<double>(total_fences);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_runs));
+}
+
+/// A parallel phase: `threads` workers each execute `per_thread(tid)` after
+/// a common barrier; returns once all joined. Measured under UseRealTime.
+template <typename F>
+void parallel_phase(std::size_t threads, F&& per_thread) {
+  rt::SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      barrier.arrive_and_wait();
+      per_thread(t);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+/// Standard read/write-mix transactional worker for throughput benches:
+/// each transaction does `txn_size` accesses, reads with probability
+/// read_pct/100, over `registers` registers.
+struct MixParams {
+  std::size_t threads = 2;
+  std::size_t registers = 256;
+  std::size_t txn_size = 4;
+  std::size_t read_pct = 90;
+  std::size_t txns_per_thread = 2000;
+};
+
+inline std::uint64_t run_mix_phase(tm::TransactionalMemory& tmi,
+                                   const MixParams& p, std::uint64_t seed) {
+  std::atomic<std::uint64_t> commits{0};
+  parallel_phase(p.threads, [&](std::size_t t) {
+    auto session = tmi.make_thread(static_cast<hist::ThreadId>(t), nullptr);
+    rt::Xoshiro256 rng(seed * 6364136223846793005ULL + t + 1);
+    hist::Value tag = 0;
+    std::uint64_t local_commits = 0;
+    for (std::size_t i = 0; i < p.txns_per_thread; ++i) {
+      tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+        for (std::size_t k = 0; k < p.txn_size; ++k) {
+          const auto reg = static_cast<hist::RegId>(rng.below(p.registers));
+          if (rng.below(100) < p.read_pct) {
+            benchmark::DoNotOptimize(tx.read(reg));
+          } else {
+            tx.write(reg, ((static_cast<hist::Value>(t) + 1) << 40) | ++tag);
+          }
+        }
+      });
+      ++local_commits;
+    }
+    commits.fetch_add(local_commits, std::memory_order_relaxed);
+  });
+  return commits.load();
+}
+
+}  // namespace privstm::bench

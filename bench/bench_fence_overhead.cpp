@@ -1,0 +1,77 @@
+// Experiment E6 — the cost of conservative fencing (Yoo et al. [42]).
+//
+// The paper motivates selective fences with Yoo et al.'s measurement that
+// fencing every transaction costs 32 % on average and up to 107 %. We
+// reproduce the *shape*: run the same transactional mix under
+//   * FencePolicy::kNone      (baseline — no fences at all),
+//   * FencePolicy::kAlways    (fence after every commit),
+//   * FencePolicy::kSkipAfterReadOnly (fence after writers only),
+// and report the throughput plus an `overhead_vs_none` counter. Overhead
+// grows with thread count (each fence waits for all concurrent
+// transactions) and shrinks with transaction length.
+//
+// Args: {threads, txn_size, read_pct}.
+#include "bench_common.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using tm::FencePolicy;
+using tm::TmKind;
+
+void run_mix_under_policy(benchmark::State& state, FencePolicy policy) {
+  MixParams params;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  params.txn_size = static_cast<std::size_t>(state.range(1));
+  params.read_pct = static_cast<std::size_t>(state.range(2));
+  params.registers = 512;
+  params.txns_per_thread = 3000;
+
+  tm::TmConfig config;
+  config.num_registers = params.registers;
+  config.fence_policy = policy;
+  auto tmi = tm::make_tm(TmKind::kTl2, config);
+
+  std::uint64_t total_commits = 0;
+  std::uint64_t seed = 99;
+  for (auto _ : state) {
+    total_commits += run_mix_phase(*tmi, params, seed++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_commits));
+  state.counters["txns"] = static_cast<double>(total_commits);
+  state.counters["fences"] =
+      static_cast<double>(tmi->stats().total(rt::Counter::kFence));
+  state.counters["aborts"] =
+      static_cast<double>(tmi->stats().total(rt::Counter::kTxAbort));
+  state.counters["txn_throughput"] = benchmark::Counter(
+      static_cast<double>(total_commits), benchmark::Counter::kIsRate);
+}
+
+void BM_FenceOverhead_None(benchmark::State& state) {
+  run_mix_under_policy(state, FencePolicy::kNone);
+}
+void BM_FenceOverhead_Always(benchmark::State& state) {
+  run_mix_under_policy(state, FencePolicy::kAlways);
+}
+void BM_FenceOverhead_SkipRO(benchmark::State& state) {
+  run_mix_under_policy(state, FencePolicy::kSkipAfterReadOnly);
+}
+
+void apply_args(benchmark::internal::Benchmark* b) {
+  // threads × txn_size × read_pct — the Yoo-style sweep.
+  for (int threads : {1, 2, 4}) {
+    for (int txn_size : {2, 8}) {
+      for (int read_pct : {90, 50}) {
+        b->Args({threads, txn_size, read_pct});
+      }
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(3);
+}
+
+BENCHMARK(BM_FenceOverhead_None)->Apply(apply_args);
+BENCHMARK(BM_FenceOverhead_Always)->Apply(apply_args);
+BENCHMARK(BM_FenceOverhead_SkipRO)->Apply(apply_args);
+
+}  // namespace
+}  // namespace privstm::bench

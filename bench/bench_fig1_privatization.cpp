@@ -1,0 +1,94 @@
+// Experiments E1 (Fig 1a, delayed commit), E2 (Fig 1b, doomed transaction)
+// and E10 (the GCC read-only-fence bug [43]).
+//
+// Paper-shape expectation (EXPERIMENTS.md):
+//   * TL2 with no fence      → violations  > 0  (both Fig 1a and Fig 1b)
+//   * TL2 with the fence     → violations == 0
+//   * TL2 fence-always       → violations == 0 even for unfenced programs
+//   * NOrec without fences   → violations == 0 (fence-free privatization)
+//   * global lock            → violations == 0
+//   * RO-bug: skip-after-RO  → violations  > 0; always → 0
+#include "bench_common.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using lang::make_fig1a;
+using lang::make_fig1b;
+using lang::make_fig_ro;
+using tm::FencePolicy;
+using tm::TmKind;
+
+constexpr std::size_t kRuns = 400;
+constexpr std::uint32_t kPause = 4000;  // widen the delayed-commit window
+
+void BM_Fig1a_TL2_NoFence(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1a(false), TmKind::kTl2, FencePolicy::kNone,
+                   kRuns, kPause);
+}
+BENCHMARK(BM_Fig1a_TL2_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1a_TL2_Fenced(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1a(true), TmKind::kTl2,
+                   FencePolicy::kSelective, kRuns, kPause);
+}
+BENCHMARK(BM_Fig1a_TL2_Fenced)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1a_TL2_FenceAlways_UnfencedProgram(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1a(false), TmKind::kTl2,
+                   FencePolicy::kAlways, kRuns, kPause);
+}
+BENCHMARK(BM_Fig1a_TL2_FenceAlways_UnfencedProgram)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig1a_NOrec_NoFence(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1a(false), TmKind::kNOrec,
+                   FencePolicy::kNone, kRuns, kPause);
+}
+BENCHMARK(BM_Fig1a_NOrec_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1a_GlobalLock(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1a(false), TmKind::kGlobalLock,
+                   FencePolicy::kNone, kRuns, kPause);
+}
+BENCHMARK(BM_Fig1a_GlobalLock)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1b_TL2_NoFence(benchmark::State& state) {
+  // The doomed window is between T2's flag read and its x read: high
+  // jitter (not commit pause) widens it.
+  run_litmus_bench(state, make_fig1b(false), TmKind::kTl2, FencePolicy::kNone,
+                   kRuns, /*commit_pause=*/512, /*jitter=*/4096);
+}
+BENCHMARK(BM_Fig1b_TL2_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1b_TL2_Fenced(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1b(true), TmKind::kTl2,
+                   FencePolicy::kSelective, kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig1b_TL2_Fenced)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig1b_NOrec_NoFence(benchmark::State& state) {
+  run_litmus_bench(state, make_fig1b(false), TmKind::kNOrec,
+                   FencePolicy::kNone, kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig1b_NOrec_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_FigRO_TL2_SkipAfterReadOnly(benchmark::State& state) {
+  run_litmus_bench(state, make_fig_ro(false), TmKind::kTl2,
+                   FencePolicy::kSkipAfterReadOnly, kRuns, kPause);
+}
+BENCHMARK(BM_FigRO_TL2_SkipAfterReadOnly)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FigRO_TL2_FenceAlways(benchmark::State& state) {
+  run_litmus_bench(state, make_fig_ro(false), TmKind::kTl2,
+                   FencePolicy::kAlways, kRuns, kPause);
+}
+BENCHMARK(BM_FigRO_TL2_FenceAlways)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace privstm::bench

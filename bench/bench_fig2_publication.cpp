@@ -1,0 +1,88 @@
+// Experiment E3 — Figure 2, the publication idiom.
+//
+// Publication is DRF without any fence (§3): every TM must show zero
+// violations, and the interesting measurement is the cost of the idiom
+// (one NT write + one publishing transaction + one reading transaction).
+#include "bench_common.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using lang::make_fig2;
+using tm::FencePolicy;
+using tm::TmKind;
+
+constexpr std::size_t kRuns = 500;
+
+void BM_Fig2_TL2(benchmark::State& state) {
+  run_litmus_bench(state, make_fig2(), TmKind::kTl2, FencePolicy::kSelective,
+                   kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig2_TL2)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig2_NOrec(benchmark::State& state) {
+  run_litmus_bench(state, make_fig2(), TmKind::kNOrec, FencePolicy::kNone,
+                   kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig2_NOrec)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig2_GlobalLock(benchmark::State& state) {
+  run_litmus_bench(state, make_fig2(), TmKind::kGlobalLock,
+                   FencePolicy::kNone, kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig2_GlobalLock)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+// Steady-state publication throughput: a producer repeatedly writes a
+// payload NT and publishes it transactionally; a consumer polls the flag
+// transactionally and reads the payload when published. Items = published
+// handoffs observed.
+void BM_Fig2_SteadyStateHandoff(benchmark::State& state) {
+  tm::TmConfig config;
+  config.num_registers = 2;
+  auto tmi = tm::make_tm(TmKind::kTl2, config);
+  std::uint64_t handoffs = 0;
+  for (auto _ : state) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> seen{0};
+    parallel_phase(2, [&](std::size_t t) {
+      auto session = tmi->make_thread(static_cast<hist::ThreadId>(t),
+                                      nullptr);
+      if (t == 0) {
+        for (hist::Value round = 1; round <= 500; ++round) {
+          session->nt_write(1, (round << 8) | 1);       // payload
+          tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+            tx.write(0, (round << 8) | 2);              // publish
+          });
+        }
+        stop.store(true);
+      } else {
+        std::uint64_t local = 0;
+        hist::Value last = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          hist::Value flag = 0;
+          hist::Value payload = 0;
+          tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+            flag = tx.read(0);
+            payload = flag != 0 ? tx.read(1) : 0;
+          });
+          if (flag != last && payload != 0) {
+            ++local;
+            last = flag;
+          }
+        }
+        seen.fetch_add(local);
+      }
+    });
+    handoffs += seen.load();
+    tmi->reset();
+  }
+  state.counters["handoffs"] = static_cast<double>(handoffs);
+  state.SetItemsProcessed(static_cast<std::int64_t>(handoffs));
+}
+BENCHMARK(BM_Fig2_SteadyStateHandoff)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace privstm::bench

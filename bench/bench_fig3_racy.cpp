@@ -1,0 +1,50 @@
+// Experiment E4 — Figure 3, the racy program.
+//
+// Paper-shape expectation: no fence placement rescues a racy program. TL2
+// violates the strongly-atomic postcondition under both kNone and kAlways
+// (the NT reads interleave with commit write-back regardless), and even
+// the global lock violates it (NT reads do not acquire the lock). The
+// postcondition only holds under genuinely strong atomicity.
+#include "bench_common.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using lang::make_fig3;
+using tm::FencePolicy;
+using tm::TmKind;
+
+constexpr std::size_t kRuns = 1000;
+constexpr std::uint32_t kPause = 4000;
+
+void BM_Fig3_TL2_NoFence(benchmark::State& state) {
+  run_litmus_bench(state, make_fig3(), TmKind::kTl2, FencePolicy::kNone,
+                   kRuns, kPause);
+}
+BENCHMARK(BM_Fig3_TL2_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_TL2_FenceAlways(benchmark::State& state) {
+  // Fences do not help racy programs: violations persist.
+  run_litmus_bench(state, make_fig3(), TmKind::kTl2, FencePolicy::kAlways,
+                   kRuns, kPause);
+}
+BENCHMARK(BM_Fig3_TL2_FenceAlways)
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_NOrec(benchmark::State& state) {
+  // NOrec's commit critical section makes the window narrower but the
+  // program is still racy; violations may occur.
+  run_litmus_bench(state, make_fig3(), TmKind::kNOrec, FencePolicy::kNone,
+                   kRuns, kPause);
+}
+BENCHMARK(BM_Fig3_NOrec)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_GlobalLock(benchmark::State& state) {
+  run_litmus_bench(state, make_fig3(), TmKind::kGlobalLock,
+                   FencePolicy::kNone, kRuns, kPause);
+}
+BENCHMARK(BM_Fig3_GlobalLock)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace privstm::bench

@@ -1,0 +1,64 @@
+// Experiment E5 — Figure 6, privatization by agreement outside
+// transactions.
+//
+// The idiom is DRF purely through client order (cl ⊆ hb), so it is safe on
+// every TM with *no* fence at all — the zero-violation row that contrasts
+// with Fig 1's fence requirement.
+#include "bench_common.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using lang::make_fig6;
+using tm::FencePolicy;
+using tm::TmKind;
+
+constexpr std::size_t kRuns = 500;
+
+void BM_Fig6_TL2_NoFence(benchmark::State& state) {
+  run_litmus_bench(state, make_fig6(), TmKind::kTl2, FencePolicy::kNone,
+                   kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig6_TL2_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_NOrec_NoFence(benchmark::State& state) {
+  run_litmus_bench(state, make_fig6(), TmKind::kNOrec, FencePolicy::kNone,
+                   kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig6_NOrec_NoFence)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_GlobalLock(benchmark::State& state) {
+  run_litmus_bench(state, make_fig6(), TmKind::kGlobalLock,
+                   FencePolicy::kNone, kRuns, /*commit_pause=*/512);
+}
+BENCHMARK(BM_Fig6_GlobalLock)->Iterations(4)->Unit(benchmark::kMillisecond);
+
+// Latency of the agreement handshake itself (transaction → NT flag →
+// NT spin → NT read) as a function of the spin-observation cost.
+void BM_Fig6_HandshakeLatency(benchmark::State& state) {
+  tm::TmConfig config;
+  config.num_registers = 2;
+  auto tmi = tm::make_tm(TmKind::kTl2, config);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const auto spec = make_fig6();
+    lang::LitmusRunOptions options;
+    options.runs = 200;
+    options.jitter_max_spins = 0;  // pure handshake latency
+    options.commit_pause_spins = 0;
+    const auto stats = lang::run_litmus(spec, TmKind::kTl2,
+                                        FencePolicy::kNone, options);
+    rounds += stats.runs;
+    if (stats.postcondition_violations != 0) {
+      state.SkipWithError("agreement idiom violated — TM bug");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+}
+BENCHMARK(BM_Fig6_HandshakeLatency)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace privstm::bench

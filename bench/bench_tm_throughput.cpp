@@ -1,0 +1,128 @@
+// Experiment E8 — TL2 vs NOrec vs global lock throughput.
+//
+// Shape expectations:
+//  * read-heavy, low-contention: TL2 > NOrec > glock at >1 thread
+//    (TL2 validates per register; NOrec serializes commits; glock
+//    serializes everything);
+//  * write-heavy / high-contention: the gap narrows, NOrec's single
+//    seqlock and glock's mutex converge;
+//  * 1 thread: glock wins (no metadata), the STM instrumentation cost is
+//    the TL2/NOrec intercept.
+//
+// Args: {threads, read_pct, registers}.
+#include "bench_common.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using tm::TmKind;
+
+void run_throughput(benchmark::State& state, TmKind kind) {
+  MixParams params;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  params.read_pct = static_cast<std::size_t>(state.range(1));
+  params.registers = static_cast<std::size_t>(state.range(2));
+  params.txn_size = 4;
+  params.txns_per_thread = 4000;
+
+  tm::TmConfig config;
+  config.num_registers = params.registers;
+  auto tmi = tm::make_tm(kind, config);
+
+  std::uint64_t total = 0;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    total += run_mix_phase(*tmi, params, seed++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["txn_throughput"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+  state.counters["aborts"] =
+      static_cast<double>(tmi->stats().total(rt::Counter::kTxAbort));
+}
+
+void BM_Throughput_TL2(benchmark::State& state) {
+  run_throughput(state, TmKind::kTl2);
+}
+void BM_Throughput_NOrec(benchmark::State& state) {
+  run_throughput(state, TmKind::kNOrec);
+}
+void BM_Throughput_GlobalLock(benchmark::State& state) {
+  run_throughput(state, TmKind::kGlobalLock);
+}
+
+void apply_args(benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4}) {
+    for (int read_pct : {90, 50}) {
+      for (int registers : {64, 4096}) {
+        b->Args({threads, read_pct, registers});
+      }
+    }
+  }
+  b->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(3);
+}
+
+BENCHMARK(BM_Throughput_TL2)->Apply(apply_args);
+BENCHMARK(BM_Throughput_NOrec)->Apply(apply_args);
+BENCHMARK(BM_Throughput_GlobalLock)->Apply(apply_args);
+
+// Privatization-phase workload: threads alternate between transactional
+// batches and privatize→NT-update→publish phases — the end-to-end cost of
+// the paper's programming model on each TM (TL2 pays the fence; NOrec
+// does not need it; glock is the serial floor).
+void run_privatization_phases(benchmark::State& state, TmKind kind,
+                              bool use_fence) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kSlots = 8;     // per-thread data slot + flag
+  tm::TmConfig config;
+  config.num_registers = 2 * kSlots;
+  auto tmi = tm::make_tm(kind, config);
+
+  std::uint64_t phases = 0;
+  for (auto _ : state) {
+    parallel_phase(threads, [&](std::size_t t) {
+      auto session = tmi->make_thread(static_cast<hist::ThreadId>(t),
+                                      nullptr);
+      const auto flag = static_cast<hist::RegId>(t % kSlots);
+      const auto data = static_cast<hist::RegId>(kSlots + (t % kSlots));
+      hist::Value tag = (static_cast<hist::Value>(t) + 1) << 40;
+      for (int round = 0; round < 300; ++round) {
+        // Privatize the slot.
+        tm::run_tx_retry(*session,
+                         [&](tm::TxScope& tx) { tx.write(flag, ++tag); });
+        if (use_fence) session->fence();
+        // NT updates while private.
+        for (int k = 0; k < 8; ++k) session->nt_write(data, ++tag);
+        // Publish back.
+        tm::run_tx_retry(*session,
+                         [&](tm::TxScope& tx) { tx.write(flag, ++tag); });
+      }
+    });
+    phases += threads * 300;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(phases));
+  state.counters["fences"] =
+      static_cast<double>(tmi->stats().total(rt::Counter::kFence));
+}
+
+void BM_PrivatizationPhases_TL2_Fenced(benchmark::State& state) {
+  run_privatization_phases(state, TmKind::kTl2, true);
+}
+void BM_PrivatizationPhases_NOrec_NoFence(benchmark::State& state) {
+  run_privatization_phases(state, TmKind::kNOrec, false);
+}
+void BM_PrivatizationPhases_GlobalLock(benchmark::State& state) {
+  run_privatization_phases(state, TmKind::kGlobalLock, false);
+}
+
+void apply_phase_args(benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4}) b->Args({threads});
+  b->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(3);
+}
+
+BENCHMARK(BM_PrivatizationPhases_TL2_Fenced)->Apply(apply_phase_args);
+BENCHMARK(BM_PrivatizationPhases_NOrec_NoFence)->Apply(apply_phase_args);
+BENCHMARK(BM_PrivatizationPhases_GlobalLock)->Apply(apply_phase_args);
+
+}  // namespace
+}  // namespace privstm::bench

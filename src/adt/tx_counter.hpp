@@ -1,0 +1,70 @@
+// Striped transactional counter.
+//
+// Increments hit one stripe (register) chosen by the caller's hint, so
+// concurrent adders rarely conflict; reads sum all stripes in one
+// transaction (a consistent snapshot — TL2/NOrec validation guarantees the
+// stripes belong to one serialization point).
+//
+// Register layout: [base, base + stripes).
+#pragma once
+
+#include <cstddef>
+
+#include "tm/tm.hpp"
+
+namespace privstm::adt {
+
+class TxCounter {
+ public:
+  TxCounter(tm::RegId base, std::size_t stripes) noexcept
+      : base_(base), stripes_(stripes) {}
+
+  static std::size_t registers_needed(std::size_t stripes) noexcept {
+    return stripes;
+  }
+
+  /// Add `delta` to the stripe selected by `stripe_hint` (e.g. thread id).
+  void add(tm::TmThread& session, tm::Value delta,
+           std::size_t stripe_hint) const {
+    const tm::RegId reg = stripe_reg(stripe_hint);
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      tx.write(reg, tx.read(reg) + delta);
+    });
+  }
+
+  /// Consistent total across all stripes.
+  tm::Value read(tm::TmThread& session) const {
+    tm::Value total = 0;
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      total = 0;
+      for (std::size_t s = 0; s < stripes_; ++s) {
+        total += tx.read(stripe_reg(s));
+      }
+    });
+    return total;
+  }
+
+  /// Uninstrumented total — ONLY safe when the caller has privatized the
+  /// counter (no concurrent transactional writers, e.g. after a fence in a
+  /// stop-the-world phase). The caller owns the DRF argument.
+  tm::Value read_privatized(tm::TmThread& session) const {
+    tm::Value total = 0;
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      total += session.nt_read(stripe_reg(s));
+    }
+    return total;
+  }
+
+  std::size_t stripes() const noexcept { return stripes_; }
+
+ private:
+  tm::RegId stripe_reg(std::size_t s) const noexcept {
+    return static_cast<tm::RegId>(
+        static_cast<std::size_t>(base_) + (s % stripes_));
+  }
+
+  tm::RegId base_;
+  std::size_t stripes_;
+};
+
+}  // namespace privstm::adt

@@ -1,0 +1,209 @@
+// Fixed-capacity open-addressing transactional hash map with privatized
+// iteration.
+//
+// Register layout: [base] freeze flag, then `capacity` (key, value) pairs:
+//   key of slot i   → base + 1 + 2 i
+//   value of slot i → base + 2 + 2 i
+// Keys are nonzero; 0 = empty slot, kTombstone = erased. Linear probing.
+//
+// put/get/erase are single transactions touching only the probed slots, so
+// operations on different chains run conflict-free on TL2. Full-table
+// iteration — the operation STM papers struggle with — uses the paper's
+// privatization idiom instead of a giant transaction: freeze (agreement),
+// fence (quiesce in-flight writers), iterate with NT reads, publish back.
+//
+// NOTE on checking: like the other ADTs this encodes emptiness as 0, so a
+// *recorded* run would violate the formal model's unique-writes rule;
+// these containers are production-path code, not checker workloads.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "tm/tm.hpp"
+
+namespace privstm::adt {
+
+class TxHashMap {
+ public:
+  static constexpr tm::Value kTombstone = ~tm::Value{0};
+
+  TxHashMap(tm::RegId base, std::size_t capacity) noexcept
+      : base_(base), capacity_(capacity) {}
+
+  static std::size_t registers_needed(std::size_t capacity) noexcept {
+    return 2 * capacity + 1;
+  }
+
+  /// Insert or update. Returns false when the table is full (probe
+  /// exhausted) — the caller must resize offline (see rebuild_privatized).
+  /// Blocks (retrying) while the table is frozen by a privatized phase.
+  bool put(tm::TmThread& session, tm::Value key, tm::Value value) const {
+    bool ok = false;
+    bool frozen = true;
+    while (frozen) {
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      ok = false;
+      frozen = tx.read(freeze_reg()) != 0;
+      if (frozen) return;
+      std::size_t free_slot = capacity_;
+      for (std::size_t probe = 0; probe < capacity_; ++probe) {
+        const std::size_t slot = index(key, probe);
+        const tm::Value k = tx.read(key_reg(slot));
+        if (k == key) {
+          tx.write(value_reg(slot), value);
+          ok = true;
+          return;
+        }
+        if (k == kTombstone) {
+          if (free_slot == capacity_) free_slot = slot;
+          continue;  // erased: keep probing, the key may be further on
+        }
+        if (k == 0) {
+          if (free_slot == capacity_) free_slot = slot;
+          break;  // end of chain
+        }
+      }
+      if (free_slot == capacity_) return;  // full
+      tx.write(key_reg(free_slot), key);
+      tx.write(value_reg(free_slot), value);
+      ok = true;
+    });
+    }
+    return ok;
+  }
+
+  std::optional<tm::Value> get(tm::TmThread& session, tm::Value key) const {
+    std::optional<tm::Value> result;
+    bool frozen = true;
+    while (frozen) {
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      result.reset();
+      frozen = tx.read(freeze_reg()) != 0;
+      if (frozen) return;  // rebuild_privatized mutates slots with NT writes
+      for (std::size_t probe = 0; probe < capacity_; ++probe) {
+        const std::size_t slot = index(key, probe);
+        const tm::Value k = tx.read(key_reg(slot));
+        if (k == key) {
+          result = tx.read(value_reg(slot));
+          return;
+        }
+        if (k == 0) return;  // end of chain
+        // tombstone or other key: keep probing
+      }
+    });
+    }
+    return result;
+  }
+
+  /// Remove the key; true if it was present.
+  bool erase(tm::TmThread& session, tm::Value key) const {
+    bool found = false;
+    bool frozen = true;
+    while (frozen) {
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      found = false;
+      frozen = tx.read(freeze_reg()) != 0;
+      if (frozen) return;
+      for (std::size_t probe = 0; probe < capacity_; ++probe) {
+        const std::size_t slot = index(key, probe);
+        const tm::Value k = tx.read(key_reg(slot));
+        if (k == key) {
+          tx.write(key_reg(slot), kTombstone);
+          found = true;
+          return;
+        }
+        if (k == 0) return;
+      }
+    });
+    }
+    return found;
+  }
+
+  /// Privatized full iteration: freeze, fence, visit every live (key,
+  /// value) pair with NT reads, publish back. `freeze_token` must be a
+  /// fresh nonzero value per call.
+  void for_each_privatized(
+      tm::TmThread& session, tm::Value freeze_token,
+      const std::function<void(tm::Value key, tm::Value value)>& visit)
+      const {
+    freeze(session, freeze_token);
+    session.fence();
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+      const tm::Value k = session.nt_read(key_reg(slot));
+      if (k != 0 && k != kTombstone) {
+        visit(k, session.nt_read(value_reg(slot)));
+      }
+    }
+    unfreeze(session);
+  }
+
+  /// Privatized tombstone compaction (the offline "rebuild" of
+  /// open-addressing tables): collect all live pairs, clear, reinsert with
+  /// NT accesses only.
+  void rebuild_privatized(tm::TmThread& session,
+                          tm::Value freeze_token) const {
+    freeze(session, freeze_token);
+    session.fence();
+    std::vector<std::pair<tm::Value, tm::Value>> live;
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+      const tm::Value k = session.nt_read(key_reg(slot));
+      if (k != 0 && k != kTombstone) {
+        live.emplace_back(k, session.nt_read(value_reg(slot)));
+      }
+      session.nt_write(key_reg(slot), 0);
+    }
+    for (const auto& [k, v] : live) {
+      for (std::size_t probe = 0; probe < capacity_; ++probe) {
+        const std::size_t slot = index(k, probe);
+        if (session.nt_read(key_reg(slot)) == 0) {
+          session.nt_write(key_reg(slot), k);
+          session.nt_write(value_reg(slot), v);
+          break;
+        }
+      }
+    }
+    unfreeze(session);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  void freeze(tm::TmThread& session, tm::Value token) const {
+    for (;;) {
+      bool acquired = false;
+      tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+        acquired = tx.read(freeze_reg()) == 0;
+        if (acquired) tx.write(freeze_reg(), token);
+      });
+      if (acquired) return;
+    }
+  }
+  void unfreeze(tm::TmThread& session) const {
+    tm::run_tx_retry(session,
+                     [&](tm::TxScope& tx) { tx.write(freeze_reg(), 0); });
+  }
+
+  std::size_t index(tm::Value key, std::size_t probe) const noexcept {
+    // Fibonacci hashing + linear probe.
+    const tm::Value h = key * 11400714819323198485ULL;
+    return static_cast<std::size_t>((h >> 32) + probe) % capacity_;
+  }
+
+  tm::RegId freeze_reg() const noexcept { return base_; }
+  tm::RegId key_reg(std::size_t slot) const noexcept {
+    return static_cast<tm::RegId>(static_cast<std::size_t>(base_) + 1 +
+                                  2 * slot);
+  }
+  tm::RegId value_reg(std::size_t slot) const noexcept {
+    return static_cast<tm::RegId>(static_cast<std::size_t>(base_) + 2 +
+                                  2 * slot);
+  }
+
+  tm::RegId base_;
+  std::size_t capacity_;
+};
+
+}  // namespace privstm::adt

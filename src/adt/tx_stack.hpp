@@ -1,0 +1,120 @@
+// Bounded transactional stack with a privatized bulk-drain.
+//
+// Register layout: [base] size, [base+1] freeze flag, [base+2, …) slots.
+//
+// push/pop are single transactions. `drain_privatized` demonstrates the
+// paper's programming model end to end:
+//   1. transactionally set the freeze flag (push/pop observe it and back
+//      off — this is the privatization agreement);
+//   2. transactional fence — waits out any pusher/popper that read the
+//      flag before the freeze and may still be committing (the Fig 1(a)
+//      delayed-commit hazard on `size` and the slots);
+//   3. drain every element with plain NT reads/writes;
+//   4. transactionally clear the flag (publication).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tm/tm.hpp"
+
+namespace privstm::adt {
+
+enum class StackOp : std::uint8_t { kOk, kFullOrEmpty, kFrozen };
+
+class TxStack {
+ public:
+  TxStack(tm::RegId base, std::size_t capacity) noexcept
+      : base_(base), capacity_(capacity) {}
+
+  static std::size_t registers_needed(std::size_t capacity) noexcept {
+    return capacity + 2;
+  }
+
+  StackOp try_push(tm::TmThread& session, tm::Value value) const {
+    StackOp result = StackOp::kOk;
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      result = StackOp::kOk;
+      if (tx.read(freeze_reg()) != 0) {
+        result = StackOp::kFrozen;
+        return;
+      }
+      const tm::Value size = tx.read(size_reg());
+      if (size >= capacity_) {
+        result = StackOp::kFullOrEmpty;
+        return;
+      }
+      tx.write(slot_reg(size), value);
+      tx.write(size_reg(), size + 1);
+    });
+    return result;
+  }
+
+  StackOp try_pop(tm::TmThread& session, tm::Value& out) const {
+    StackOp result = StackOp::kOk;
+    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+      result = StackOp::kOk;
+      if (tx.read(freeze_reg()) != 0) {
+        result = StackOp::kFrozen;
+        return;
+      }
+      const tm::Value size = tx.read(size_reg());
+      if (size == 0) {
+        result = StackOp::kFullOrEmpty;
+        return;
+      }
+      out = tx.read(slot_reg(size - 1));
+      tx.write(size_reg(), size - 1);
+    });
+    return result;
+  }
+
+  /// Consistent size snapshot.
+  tm::Value size(tm::TmThread& session) const {
+    tm::Value n = 0;
+    tm::run_tx_retry(session,
+                     [&](tm::TxScope& tx) { n = tx.read(size_reg()); });
+    return n;
+  }
+
+  /// Privatize, drain all elements into `out` (top first) with NT
+  /// accesses, publish back. `freeze_token` must be a fresh nonzero value.
+  void drain_privatized(tm::TmThread& session, std::vector<tm::Value>& out,
+                        tm::Value freeze_token) const {
+    // 1. Freeze (retry while someone else holds the freeze).
+    for (;;) {
+      bool acquired = false;
+      tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+        acquired = tx.read(freeze_reg()) == 0;
+        if (acquired) tx.write(freeze_reg(), freeze_token);
+      });
+      if (acquired) break;
+    }
+    // 2. Quiesce in-flight pushers/poppers.
+    session.fence();
+    // 3. Uninstrumented drain.
+    const tm::Value size = session.nt_read(size_reg());
+    out.clear();
+    for (tm::Value i = size; i-- > 0;) {
+      out.push_back(session.nt_read(slot_reg(i)));
+    }
+    session.nt_write(size_reg(), 0);
+    // 4. Publish back.
+    tm::run_tx_retry(session,
+                     [&](tm::TxScope& tx) { tx.write(freeze_reg(), 0); });
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  tm::RegId size_reg() const noexcept { return base_; }
+  tm::RegId freeze_reg() const noexcept { return base_ + 1; }
+  tm::RegId slot_reg(tm::Value i) const noexcept {
+    return static_cast<tm::RegId>(static_cast<tm::Value>(base_) + 2 + i);
+  }
+
+  tm::RegId base_;
+  std::size_t capacity_;
+};
+
+}  // namespace privstm::adt

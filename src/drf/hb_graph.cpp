@@ -1,0 +1,205 @@
+#include "drf/hb_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace privstm::drf {
+
+using hist::Action;
+using hist::ActionKind;
+
+const char* hb_edge_kind_name(HbEdgeKind k) noexcept {
+  switch (k) {
+    case HbEdgeKind::kPo:
+      return "po";
+    case HbEdgeKind::kCl:
+      return "cl";
+    case HbEdgeKind::kAf:
+      return "af";
+    case HbEdgeKind::kBf:
+      return "bf";
+    case HbEdgeKind::kXpoTxwr:
+      return "xpo;txwr";
+  }
+  return "?";
+}
+
+WriteIndex::WriteIndex(const History& h) {
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind == ActionKind::kWriteReq) {
+      sorted_.emplace_back(h[i].value, i);
+    }
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+std::size_t WriteIndex::writer_of(hist::Value v) const noexcept {
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), v,
+      [](const auto& entry, hist::Value key) { return entry.first < key; });
+  if (it == sorted_.end() || it->first != v) return npos;
+  return it->second;
+}
+
+HbGraph::HbGraph(const History& h) : n_(h.size()) {
+  successors_.resize(n_);
+  build_edges(h);
+  build_closure();
+}
+
+void HbGraph::add_edge(std::size_t from, std::size_t to, HbEdgeKind kind) {
+  assert(from < to && "hb edges must respect execution order");
+  edges_.push_back({from, to, kind});
+  successors_[from].push_back(static_cast<std::uint32_t>(to));
+}
+
+void HbGraph::build_edges(const History& h) {
+  // po chains.
+  for (hist::ThreadId t : h.threads()) {
+    const auto idx = h.thread_actions(t);
+    for (std::size_t k = 1; k < idx.size(); ++k) {
+      add_edge(idx[k - 1], idx[k], HbEdgeKind::kPo);
+    }
+  }
+
+  // cl chain over non-transactional actions (NT accesses and fence actions).
+  std::size_t prev_nt = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (h.is_transactional(i)) continue;
+    if (prev_nt != static_cast<std::size_t>(-1)) {
+      add_edge(prev_nt, i, HbEdgeKind::kCl);
+    }
+    prev_nt = i;
+  }
+
+  // af: fbegin → each later txbegin; bf: each txn end → each later fend.
+  std::vector<std::size_t> fbegins;
+  std::vector<std::size_t> txbegins;
+  std::vector<std::size_t> txends;
+  std::vector<std::size_t> fends;
+  for (std::size_t i = 0; i < n_; ++i) {
+    switch (h[i].kind) {
+      case ActionKind::kFenceBegin:
+        fbegins.push_back(i);
+        break;
+      case ActionKind::kTxBegin:
+        txbegins.push_back(i);
+        break;
+      case ActionKind::kCommitted:
+      case ActionKind::kAborted:
+        if (h.is_transactional(i)) txends.push_back(i);
+        break;
+      case ActionKind::kFenceEnd:
+        fends.push_back(i);
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t f : fbegins) {
+    for (std::size_t b : txbegins) {
+      if (f < b) add_edge(f, b, HbEdgeKind::kAf);
+    }
+  }
+  for (std::size_t e : txends) {
+    for (std::size_t f : fends) {
+      if (e < f) add_edge(e, f, HbEdgeKind::kBf);
+    }
+  }
+
+  // (xpo ; txwr): for each transactional read response returning the value
+  // of a transactional write, add an edge from the last same-thread action
+  // preceding the writer transaction's txbegin.
+  WriteIndex writes(h);
+
+  // Last action of each thread before a given index: precompute per thread
+  // the sorted action list; binary search below.
+  for (std::size_t j = 0; j < n_; ++j) {
+    const Action& resp = h[j];
+    if (resp.kind != ActionKind::kReadRet) continue;
+    if (!h.is_transactional(j)) continue;
+    if (resp.value == hist::kVInit) continue;  // no writer
+    const std::size_t w = writes.writer_of(resp.value);
+    if (w == WriteIndex::npos) continue;
+    if (!h.is_transactional(w)) continue;  // txwr needs both transactional
+    const auto wtxn = h.txn_of(w);
+    assert(wtxn.has_value());
+    const hist::TxnInfo& txn = h.txns()[*wtxn];
+    const std::size_t begin = txn.begin_index();
+    // Last action by txn.thread strictly before `begin`.
+    const auto idx = h.thread_actions(txn.thread);
+    auto it = std::lower_bound(idx.begin(), idx.end(), begin);
+    if (it == idx.begin()) continue;  // nothing precedes the transaction
+    const std::size_t pred = *(it - 1);
+    if (pred < j) add_edge(pred, j, HbEdgeKind::kXpoTxwr);
+  }
+}
+
+void HbGraph::build_closure() {
+  words_per_row_ = (n_ + 63) / 64;
+  reach_.assign(n_ * words_per_row_, 0);
+  if (n_ == 0) return;
+  for (std::size_t i = n_; i-- > 0;) {
+    std::uint64_t* row = &reach_[i * words_per_row_];
+    for (std::uint32_t succ : successors_[i]) {
+      row[succ / 64] |= (1ULL << (succ % 64));
+      const std::uint64_t* srow = &reach_[succ * words_per_row_];
+      for (std::size_t w = 0; w < words_per_row_; ++w) row[w] |= srow[w];
+    }
+  }
+}
+
+bool HbGraph::ordered(std::size_t i, std::size_t j) const noexcept {
+  if (i >= n_ || j >= n_) return false;
+  return (reach_[i * words_per_row_ + j / 64] >> (j % 64)) & 1;
+}
+
+std::optional<std::vector<HbEdge>> HbGraph::explain(std::size_t from,
+                                                    std::size_t to) const {
+  if (!ordered(from, to)) return std::nullopt;
+  // BFS over generating edges for a shortest chain.
+  std::vector<std::size_t> via_edge(n_, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> parent(n_, static_cast<std::size_t>(-1));
+  std::vector<std::size_t> queue{from};
+  std::vector<bool> seen(n_, false);
+  seen[from] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t node = queue[head];
+    if (node == to) break;
+    // Scan the edge list for successors of `node` (edges_ is small
+    // relative to the closure; diagnostics only).
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].from != node || seen[edges_[e].to]) continue;
+      seen[edges_[e].to] = true;
+      parent[edges_[e].to] = node;
+      via_edge[edges_[e].to] = e;
+      queue.push_back(edges_[e].to);
+    }
+  }
+  std::vector<HbEdge> path;
+  for (std::size_t node = to; node != from;
+       node = parent[node]) {
+    if (parent[node] == static_cast<std::size_t>(-1)) return std::nullopt;
+    path.push_back(edges_[via_edge[node]]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string HbGraph::explain_string(const History& h, std::size_t from,
+                                    std::size_t to) const {
+  const auto path = explain(from, to);
+  if (!path.has_value()) {
+    return hist::to_string(h[from]) + " and " + hist::to_string(h[to]) +
+           " are unordered in happens-before";
+  }
+  std::string out = hist::to_string(h[from]);
+  for (const HbEdge& edge : *path) {
+    out += std::string(" --") + hb_edge_kind_name(edge.kind) + "--> " +
+           hist::to_string(h[edge.to]);
+  }
+  return out;
+}
+
+}  // namespace privstm::drf

@@ -1,0 +1,118 @@
+// Happens-before — Definition 3.4 of the paper.
+//
+//   hb(H) = ( po(H) ∪ cl(H) ∪ af(H) ∪ bf(H)
+//             ∪ ⋃_x ( xpo(H) ; txwr_x(H) ) )⁺
+//
+// All five component relations respect the execution order <H, so hb is a
+// DAG over action indices with every edge pointing forward. We materialize a
+// *generating* edge set whose transitive closure equals hb:
+//
+//   po  — chain: each action to its thread-successor;
+//   cl  — chain: each non-transactional action (including fence actions) to
+//         the next non-transactional action, in execution order. cl itself
+//         is the total order over these actions; the chain generates it.
+//   af  — fbegin → every later txbegin (not chainable: txbegins of distinct
+//         transactions are not hb-related by af alone);
+//   bf  — every committed/aborted action → every later fend;
+//   xpo;txwr — for a transactional read response ρ returning the value of a
+//         transactional write w in transaction T of thread t: one edge from
+//         the last action of t preceding T's txbegin to ρ. The po chain then
+//         yields exactly { α | α <xpo w <txwr ρ } — all earlier actions of t
+//         with a txbegin in between — without relating T's own txbegin to ρ.
+//
+// Reachability is answered from per-action successor bitsets computed by a
+// reverse topological sweep (indices descend; all edges go forward).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace privstm::drf {
+
+using hist::History;
+
+enum class HbEdgeKind : std::uint8_t {
+  kPo,        ///< per-thread order chain
+  kCl,        ///< client (non-transactional) order chain
+  kAf,        ///< after-fence: fbegin → txbegin
+  kBf,        ///< before-fence: committed/aborted → fend
+  kXpoTxwr,   ///< (xpo ; txwr_x) composite
+};
+
+const char* hb_edge_kind_name(HbEdgeKind k) noexcept;
+
+struct HbEdge {
+  std::size_t from;
+  std::size_t to;
+  HbEdgeKind kind;
+
+  friend bool operator==(const HbEdge&, const HbEdge&) = default;
+};
+
+/// Happens-before of one history, with O(1) reachability queries.
+class HbGraph {
+ public:
+  explicit HbGraph(const History& h);
+
+  /// True iff actions i `<hb` j (strictly; irreflexive).
+  bool ordered(std::size_t i, std::size_t j) const noexcept;
+
+  /// True iff i <hb j or j <hb i.
+  bool related(std::size_t i, std::size_t j) const noexcept {
+    return ordered(i, j) || ordered(j, i);
+  }
+
+  /// The generating edges (for tests and diagnostics).
+  const std::vector<HbEdge>& edges() const noexcept { return edges_; }
+
+  /// Why is i <hb j? Returns a shortest chain of generating edges from i
+  /// to j, or nullopt when they are not ordered. Diagnostics: this is the
+  /// synchronization argument a programmer would give (e.g. "committed
+  /// --bf--> fend --po--> write" for fence-protected privatization).
+  std::optional<std::vector<HbEdge>> explain(std::size_t from,
+                                             std::size_t to) const;
+
+  /// Render an explain() result as one line.
+  std::string explain_string(const History& h, std::size_t from,
+                             std::size_t to) const;
+
+  std::size_t action_count() const noexcept { return n_; }
+
+  /// Approximate memory footprint of the closure, in bytes.
+  std::size_t closure_bytes() const noexcept {
+    return reach_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  void add_edge(std::size_t from, std::size_t to, HbEdgeKind kind);
+  void build_edges(const History& h);
+  void build_closure();
+
+  std::size_t n_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<HbEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> successors_;
+  std::vector<std::uint64_t> reach_;  ///< n_ rows × words_per_row_
+};
+
+/// Index from written value to the (unique) write-request action, exploiting
+/// the unique-writes assumption of §2.2. Shared by hb construction, the
+/// consistency checker and the opacity graph.
+class WriteIndex {
+ public:
+  explicit WriteIndex(const History& h);
+
+  /// Action index of the write request that wrote `v`, or npos.
+  std::size_t writer_of(hist::Value v) const noexcept;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<std::pair<hist::Value, std::size_t>> sorted_;  ///< by value
+};
+
+}  // namespace privstm::drf

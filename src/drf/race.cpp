@@ -1,0 +1,89 @@
+#include "drf/race.hpp"
+
+#include <sstream>
+
+namespace privstm::drf {
+
+using hist::ActionKind;
+
+namespace {
+
+bool is_access_request(ActionKind k) noexcept {
+  return k == ActionKind::kReadReq || k == ActionKind::kWriteReq;
+}
+
+}  // namespace
+
+bool conflicting(const hist::History& h, std::size_t i, std::size_t j) {
+  const hist::Action& a = h[i];
+  const hist::Action& b = h[j];
+  if (!is_access_request(a.kind) || !is_access_request(b.kind)) return false;
+  if (a.thread == b.thread) return false;
+  if (a.reg != b.reg) return false;
+  if (a.kind != ActionKind::kWriteReq && b.kind != ActionKind::kWriteReq) {
+    return false;
+  }
+  // Exactly one of the two must be transactional (Definition 3.1 pairs a
+  // non-transactional request with a transactional one).
+  return h.is_transactional(i) != h.is_transactional(j);
+}
+
+RaceReport find_races(const hist::History& h, const HbGraph& hb) {
+  // Bucket access requests per register, split by transactionality.
+  struct Ref {
+    std::size_t index;
+    bool is_write;
+  };
+  std::vector<std::vector<Ref>> nt_by_reg;
+  std::vector<std::vector<Ref>> tx_by_reg;
+  auto bucket = [](std::vector<std::vector<Ref>>& buckets, hist::RegId reg,
+                   Ref ref) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r >= buckets.size()) buckets.resize(r + 1);
+    buckets[r].push_back(ref);
+  };
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const hist::Action& a = h[i];
+    if (!is_access_request(a.kind) || a.reg < 0) continue;
+    const Ref ref{i, a.kind == ActionKind::kWriteReq};
+    if (h.is_transactional(i)) {
+      bucket(tx_by_reg, a.reg, ref);
+    } else {
+      bucket(nt_by_reg, a.reg, ref);
+    }
+  }
+
+  RaceReport report;
+  const std::size_t regs = std::min(nt_by_reg.size(), tx_by_reg.size());
+  for (std::size_t r = 0; r < regs; ++r) {
+    for (const Ref& nt : nt_by_reg[r]) {
+      for (const Ref& tx : tx_by_reg[r]) {
+        if (!nt.is_write && !tx.is_write) continue;
+        if (h[nt.index].thread == h[tx.index].thread) continue;
+        if (hb.related(nt.index, tx.index)) continue;
+        const std::size_t lo = std::min(nt.index, tx.index);
+        const std::size_t hi = std::max(nt.index, tx.index);
+        report.races.push_back({lo, hi, static_cast<hist::RegId>(r)});
+      }
+    }
+  }
+  return report;
+}
+
+RaceReport find_races(const hist::History& h) {
+  HbGraph hb(h);
+  return find_races(h, hb);
+}
+
+std::string RaceReport::to_string(const hist::History& h) const {
+  if (drf()) return "data-race free";
+  std::ostringstream out;
+  out << races.size() << " race(s):\n";
+  for (const Race& r : races) {
+    out << "  " << hist::to_string(h[r.first]) << "  vs  "
+        << hist::to_string(h[r.second]) << "  on x" << r.reg << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace privstm::drf

@@ -1,0 +1,46 @@
+// Conflicts and data races — Definitions 3.1–3.3 of the paper.
+//
+// A conflict is a pair of a *non-transactional* request action and a
+// *transactional* request action, by different threads, on the same
+// register, at least one of them a write. Two conflicting actions race when
+// happens-before orders them neither way. DRF(H) holds when no pair races.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "drf/hb_graph.hpp"
+#include "history/history.hpp"
+
+namespace privstm::drf {
+
+struct Race {
+  std::size_t first;   ///< earlier action index (by execution order)
+  std::size_t second;  ///< later action index
+  hist::RegId reg;
+
+  friend bool operator==(const Race&, const Race&) = default;
+};
+
+struct RaceReport {
+  std::vector<Race> races;
+
+  bool drf() const noexcept { return races.empty(); }
+  std::string to_string(const hist::History& h) const;
+};
+
+/// True iff actions i and j of h conflict (Definition 3.1). Order of i and
+/// j does not matter.
+bool conflicting(const hist::History& h, std::size_t i, std::size_t j);
+
+/// Find all data races of h using a prebuilt happens-before graph.
+RaceReport find_races(const hist::History& h, const HbGraph& hb);
+
+/// Convenience: build hb(H) internally and check DRF(H) (Definition 3.2).
+RaceReport find_races(const hist::History& h);
+
+/// DRF(H) — Definition 3.2.
+inline bool is_drf(const hist::History& h) { return find_races(h).drf(); }
+
+}  // namespace privstm::drf

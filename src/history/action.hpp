@@ -1,0 +1,97 @@
+// TM interface actions — Figure 4 of the paper.
+//
+// A history is a finite sequence of these actions. Request actions transfer
+// control from the program to the TM; response actions hand it back.
+// Non-transactional (NT) accesses use the same read/write actions as
+// transactional ones (§2.2): whether an access is transactional is a
+// property of its *position* (inside or outside a transaction of its
+// thread), not of the action kind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace privstm::hist {
+
+using ThreadId = std::int32_t;   ///< t ∈ ThreadID
+using RegId = std::int32_t;      ///< x ∈ Reg
+using Value = std::uint64_t;     ///< v; the paper's integers (vinit = 0)
+using ActionId = std::uint64_t;  ///< a ∈ ActionId — unique per action
+
+/// Initial value of every register (the paper's vinit).
+inline constexpr Value kVInit = 0;
+
+inline constexpr RegId kNoReg = -1;
+
+enum class ActionKind : std::uint8_t {
+  // ---- request actions -------------------------------------------------
+  kTxBegin,     ///< (a, t, txbegin)
+  kTxCommit,    ///< (a, t, txcommit)
+  kWriteReq,    ///< (a, t, write(x, v))
+  kReadReq,     ///< (a, t, read(x))
+  kFenceBegin,  ///< (a, t, fbegin)
+  // ---- response actions ------------------------------------------------
+  kOk,          ///< (a, t, ok)        — response to txbegin
+  kCommitted,   ///< (a, t, committed) — response to txcommit
+  kAborted,     ///< (a, t, aborted)   — response to any in-txn request
+  kWriteRet,    ///< (a, t, ret(⊥))    — response to write
+  kReadRet,     ///< (a, t, ret(v))    — response to read
+  kFenceEnd,    ///< (a, t, fend)
+};
+
+constexpr bool is_request(ActionKind k) noexcept {
+  switch (k) {
+    case ActionKind::kTxBegin:
+    case ActionKind::kTxCommit:
+    case ActionKind::kWriteReq:
+    case ActionKind::kReadReq:
+    case ActionKind::kFenceBegin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_response(ActionKind k) noexcept { return !is_request(k); }
+
+/// True for actions that terminate a transaction (the committed/aborted
+/// responses of Definition 2.1).
+constexpr bool ends_transaction(ActionKind k) noexcept {
+  return k == ActionKind::kCommitted || k == ActionKind::kAborted;
+}
+
+struct Action {
+  ActionId id = 0;
+  ThreadId thread = 0;
+  ActionKind kind = ActionKind::kTxBegin;
+  RegId reg = kNoReg;  ///< register for read/write actions
+  Value value = 0;     ///< written value (kWriteReq) or read value (kReadRet)
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// Whether `kind` is a legal response to the request kind `req`
+/// (the matching rules of Figure 4).
+constexpr bool matches_response(ActionKind req, ActionKind resp) noexcept {
+  switch (req) {
+    case ActionKind::kTxBegin:
+      return resp == ActionKind::kOk || resp == ActionKind::kAborted;
+    case ActionKind::kTxCommit:
+      return resp == ActionKind::kCommitted || resp == ActionKind::kAborted;
+    case ActionKind::kWriteReq:
+      return resp == ActionKind::kWriteRet || resp == ActionKind::kAborted;
+    case ActionKind::kReadReq:
+      return resp == ActionKind::kReadRet || resp == ActionKind::kAborted;
+    case ActionKind::kFenceBegin:
+      return resp == ActionKind::kFenceEnd;
+    default:
+      return false;
+  }
+}
+
+/// Human-readable rendering, e.g. "(17, t2, write(x3, 42))".
+std::string to_string(const Action& a);
+
+const char* kind_name(ActionKind k) noexcept;
+
+}  // namespace privstm::hist

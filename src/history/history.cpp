@@ -1,0 +1,254 @@
+#include "history/history.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace privstm::hist {
+
+const char* kind_name(ActionKind k) noexcept {
+  switch (k) {
+    case ActionKind::kTxBegin:
+      return "txbegin";
+    case ActionKind::kTxCommit:
+      return "txcommit";
+    case ActionKind::kWriteReq:
+      return "write";
+    case ActionKind::kReadReq:
+      return "read";
+    case ActionKind::kFenceBegin:
+      return "fbegin";
+    case ActionKind::kOk:
+      return "ok";
+    case ActionKind::kCommitted:
+      return "committed";
+    case ActionKind::kAborted:
+      return "aborted";
+    case ActionKind::kWriteRet:
+      return "ret(⊥)";
+    case ActionKind::kReadRet:
+      return "ret";
+    case ActionKind::kFenceEnd:
+      return "fend";
+  }
+  return "?";
+}
+
+std::string to_string(const Action& a) {
+  std::ostringstream out;
+  out << '(' << a.id << ", t" << a.thread << ", ";
+  switch (a.kind) {
+    case ActionKind::kWriteReq:
+      out << "write(x" << a.reg << ", " << a.value << ')';
+      break;
+    case ActionKind::kReadReq:
+      out << "read(x" << a.reg << ')';
+      break;
+    case ActionKind::kReadRet:
+      out << "ret(" << a.value << ')';
+      break;
+    default:
+      out << kind_name(a.kind);
+      break;
+  }
+  out << ')';
+  return out.str();
+}
+
+const char* txn_status_name(TxnStatus s) noexcept {
+  switch (s) {
+    case TxnStatus::kCommitted:
+      return "committed";
+    case TxnStatus::kAborted:
+      return "aborted";
+    case TxnStatus::kCommitPending:
+      return "commit-pending";
+    case TxnStatus::kLive:
+      return "live";
+  }
+  return "?";
+}
+
+History::History(std::vector<Action> actions) {
+  actions_.reserve(actions.size());
+  for (const Action& a : actions) push_back(a);
+}
+
+History::ThreadState& History::state_for(ThreadId t) {
+  assert(t >= 0);
+  if (static_cast<std::size_t>(t) >= thread_state_.size()) {
+    thread_state_.resize(static_cast<std::size_t>(t) + 1);
+  }
+  return thread_state_[static_cast<std::size_t>(t)];
+}
+
+void History::push_back(const Action& a) {
+  actions_.push_back(a);
+  owners_.push_back(ActionOwner{});
+  index_action(actions_.size() - 1);
+}
+
+void History::index_action(std::size_t i) {
+  const Action& a = actions_[i];
+  ThreadState& st = state_for(a.thread);
+
+  // Inside a transaction of this thread?
+  if (st.open_txn.has_value() && a.kind != ActionKind::kTxBegin) {
+    TxnInfo& txn = txns_[*st.open_txn];
+    txn.actions.push_back(i);
+    owners_[i] = ActionOwner{ActionOwner::Kind::kTxn, *st.open_txn};
+    switch (a.kind) {
+      case ActionKind::kCommitted:
+        txn.status = TxnStatus::kCommitted;
+        st.open_txn.reset();
+        break;
+      case ActionKind::kAborted:
+        txn.status = TxnStatus::kAborted;
+        st.open_txn.reset();
+        break;
+      case ActionKind::kTxCommit:
+        txn.status = TxnStatus::kCommitPending;
+        break;
+      default:
+        txn.status = TxnStatus::kLive;
+        break;
+    }
+    return;
+  }
+
+  switch (a.kind) {
+    case ActionKind::kTxBegin: {
+      // Definition 2.1 forbids nesting; if violated, close the old one as
+      // live and let the well-formedness checker report it.
+      TxnInfo txn;
+      txn.thread = a.thread;
+      txn.status = TxnStatus::kLive;
+      txn.actions.push_back(i);
+      txns_.push_back(std::move(txn));
+      st.open_txn = txns_.size() - 1;
+      owners_[i] = ActionOwner{ActionOwner::Kind::kTxn, txns_.size() - 1};
+      break;
+    }
+    case ActionKind::kFenceBegin: {
+      FenceInfo fence;
+      fence.thread = a.thread;
+      fence.begin = i;
+      fences_.push_back(fence);
+      st.open_fence = fences_.size() - 1;
+      owners_[i] = ActionOwner{ActionOwner::Kind::kFence, fences_.size() - 1};
+      break;
+    }
+    case ActionKind::kFenceEnd: {
+      if (st.open_fence.has_value()) {
+        fences_[*st.open_fence].end = i;
+        owners_[i] = ActionOwner{ActionOwner::Kind::kFence, *st.open_fence};
+        st.open_fence.reset();
+      }
+      break;
+    }
+    case ActionKind::kReadReq:
+    case ActionKind::kWriteReq: {
+      st.pending_req = i;  // resolved when the matching response arrives
+      break;
+    }
+    case ActionKind::kReadRet:
+    case ActionKind::kWriteRet: {
+      if (!st.pending_req.has_value()) break;  // ill-formed; WF checker flags
+      const std::size_t req = *st.pending_req;
+      st.pending_req.reset();
+      const Action& request = actions_[req];
+      NtAccess access;
+      access.thread = a.thread;
+      access.request = req;
+      access.response = i;
+      access.is_write = request.kind == ActionKind::kWriteReq;
+      access.reg = request.reg;
+      access.value = access.is_write ? request.value : a.value;
+      nt_.push_back(access);
+      owners_[req] = ActionOwner{ActionOwner::Kind::kNtAccess, nt_.size() - 1};
+      owners_[i] = ActionOwner{ActionOwner::Kind::kNtAccess, nt_.size() - 1};
+      break;
+    }
+    default:
+      // ok/committed/aborted outside a transaction: ill-formed; left
+      // unowned for the well-formedness checker to report.
+      break;
+  }
+}
+
+std::optional<std::size_t> History::txn_of(std::size_t i) const noexcept {
+  const ActionOwner& o = owners_[i];
+  if (o.kind == ActionOwner::Kind::kTxn) return o.index;
+  return std::nullopt;
+}
+
+bool History::is_transactional(std::size_t i) const noexcept {
+  return owners_[i].kind == ActionOwner::Kind::kTxn;
+}
+
+std::vector<std::size_t> History::thread_actions(ThreadId t) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (actions_[i].thread == t) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<ThreadId> History::threads() const {
+  std::set<ThreadId> seen;
+  for (const Action& a : actions_) seen.insert(a.thread);
+  return {seen.begin(), seen.end()};
+}
+
+std::string History::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    out << i << ": " << hist::to_string(actions_[i]);
+    const ActionOwner& o = owners_[i];
+    switch (o.kind) {
+      case ActionOwner::Kind::kTxn:
+        out << "  [T" << o.index << ' '
+            << txn_status_name(txns_[o.index].status) << ']';
+        break;
+      case ActionOwner::Kind::kNtAccess:
+        out << "  [nt" << o.index << ']';
+        break;
+      case ActionOwner::Kind::kFence:
+        out << "  [fence" << o.index << ']';
+        break;
+      case ActionOwner::Kind::kNone:
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+History make_history(std::vector<Action> actions) {
+  ActionId next = 1;
+  for (Action& a : actions) {
+    if (a.id == 0) a.id = next;
+    next = std::max(next, a.id) + 1;
+  }
+  return History(std::move(actions));
+}
+
+std::vector<std::size_t> match_actions(const History& h) {
+  std::vector<std::size_t> match(h.size(), kNoMatch);
+  std::vector<std::size_t> pending;  // per-thread open request, by thread id
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const auto t = static_cast<std::size_t>(h[i].thread);
+    if (t >= pending.size()) pending.resize(t + 1, kNoMatch);
+    if (is_request(h[i].kind)) {
+      pending[t] = i;
+    } else if (pending[t] != kNoMatch) {
+      match[pending[t]] = i;
+      match[i] = pending[t];
+      pending[t] = kNoMatch;
+    }
+  }
+  return match;
+}
+
+}  // namespace privstm::hist

@@ -1,0 +1,142 @@
+// Histories and their structural decomposition — §2.2 of the paper.
+//
+// A History is a finite sequence of TM interface actions. This file also
+// provides the derived structure used everywhere downstream:
+//   * transactions txns(H) with their status (Definition 2.1's committed /
+//     aborted / commit-pending / live classification),
+//   * non-transactional accesses nontxn(H) (matched request/response pairs
+//     outside any transaction),
+//   * fences (fbegin/fend pairs),
+//   * per-action ownership (which transaction / NT access an action is in).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/action.hpp"
+
+namespace privstm::hist {
+
+enum class TxnStatus : std::uint8_t {
+  kCommitted,      ///< ends with a committed response
+  kAborted,        ///< ends with an aborted response
+  kCommitPending,  ///< last action is the txcommit request
+  kLive,           ///< anything else
+};
+
+const char* txn_status_name(TxnStatus s) noexcept;
+
+/// A transaction of a history: a maximal subsequence of one thread's actions
+/// starting at txbegin and ending at committed/aborted (or the history end).
+struct TxnInfo {
+  ThreadId thread = 0;
+  TxnStatus status = TxnStatus::kLive;
+  std::vector<std::size_t> actions;  ///< indices into the history, ascending
+
+  std::size_t begin_index() const noexcept { return actions.front(); }
+  std::size_t end_index() const noexcept { return actions.back(); }
+  bool is_committed() const noexcept { return status == TxnStatus::kCommitted; }
+  bool is_aborted() const noexcept { return status == TxnStatus::kAborted; }
+  bool is_complete() const noexcept {
+    return status == TxnStatus::kCommitted || status == TxnStatus::kAborted;
+  }
+};
+
+/// A non-transactional access ν: a matching read/write request-response pair
+/// outside any transaction of its thread.
+struct NtAccess {
+  ThreadId thread = 0;
+  std::size_t request = 0;   ///< index of the read/write request
+  std::size_t response = 0;  ///< index of the matching response
+  bool is_write = false;
+  RegId reg = kNoReg;
+  Value value = 0;  ///< value written (write) or returned (read)
+};
+
+/// A fence execution: fbegin with its fend (absent if still blocked at the
+/// end of the history).
+struct FenceInfo {
+  ThreadId thread = 0;
+  std::size_t begin = 0;
+  std::optional<std::size_t> end;
+};
+
+/// Node identity shared with the opacity graph: every action belongs to at
+/// most one of {transaction, NT access, fence}.
+struct ActionOwner {
+  enum class Kind : std::uint8_t { kNone, kTxn, kNtAccess, kFence };
+  Kind kind = Kind::kNone;
+  std::size_t index = 0;  ///< into txns() / nt_accesses() / fences()
+};
+
+class History {
+ public:
+  History() = default;
+  explicit History(std::vector<Action> actions);
+
+  const std::vector<Action>& actions() const noexcept { return actions_; }
+  const Action& operator[](std::size_t i) const noexcept { return actions_[i]; }
+  std::size_t size() const noexcept { return actions_.size(); }
+  bool empty() const noexcept { return actions_.empty(); }
+
+  /// Append an action and update the derived structure incrementally.
+  void push_back(const Action& a);
+
+  // ---- derived structure (kept consistent with actions()) ---------------
+
+  const std::vector<TxnInfo>& txns() const noexcept { return txns_; }
+  const std::vector<NtAccess>& nt_accesses() const noexcept { return nt_; }
+  const std::vector<FenceInfo>& fences() const noexcept { return fences_; }
+
+  /// Owner of action i (transaction / NT access / fence membership).
+  const ActionOwner& owner(std::size_t i) const noexcept { return owners_[i]; }
+
+  /// Index of the transaction containing action i, or nullopt.
+  std::optional<std::size_t> txn_of(std::size_t i) const noexcept;
+
+  /// True if action i lies inside a transaction of its thread (as opposed to
+  /// being a non-transactional action, §2.2).
+  bool is_transactional(std::size_t i) const noexcept;
+
+  /// Projection H|t — indices of thread t's actions, in order.
+  std::vector<std::size_t> thread_actions(ThreadId t) const;
+
+  /// All thread ids occurring in the history, ascending.
+  std::vector<ThreadId> threads() const;
+
+  /// Multi-line rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  void index_action(std::size_t i);
+
+  std::vector<Action> actions_;
+  std::vector<TxnInfo> txns_;
+  std::vector<NtAccess> nt_;
+  std::vector<FenceInfo> fences_;
+  std::vector<ActionOwner> owners_;
+
+  // Per-thread scanning state for incremental indexing.
+  struct ThreadState {
+    std::optional<std::size_t> open_txn;      ///< index into txns_
+    std::optional<std::size_t> open_fence;    ///< index into fences_
+    std::optional<std::size_t> pending_req;   ///< action index of open request
+  };
+  std::vector<ThreadState> thread_state_;  ///< indexed by ThreadId
+
+  ThreadState& state_for(ThreadId t);
+};
+
+/// Convenience factory used heavily in tests: builds a History from a list
+/// of actions, assigning fresh ascending ids where a.id == 0.
+History make_history(std::vector<Action> actions);
+
+/// For each action index: the index of its matching response (for requests)
+/// or matching request (for responses), or kNoMatch. Matching follows the
+/// per-thread request/response alternation of Definition A.1 condition 5.
+inline constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+std::vector<std::size_t> match_actions(const History& h);
+
+}  // namespace privstm::hist

@@ -1,0 +1,42 @@
+#include "history/recorder.hpp"
+
+#include <algorithm>
+
+namespace privstm::hist {
+
+RecordedExecution Recorder::collect() const {
+  std::vector<Event> events;
+  std::vector<PublishEvent> publishes;
+  for (const auto& buf : threads_) {
+    events.insert(events.end(), buf->events.begin(), buf->events.end());
+    publishes.insert(publishes.end(), buf->publishes.begin(),
+                     buf->publishes.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ticket < b.ticket; });
+  std::sort(publishes.begin(), publishes.end(),
+            [](const PublishEvent& a, const PublishEvent& b) {
+              return a.ticket < b.ticket;
+            });
+
+  RecordedExecution out;
+  std::vector<Action> actions;
+  actions.reserve(events.size());
+  for (const Event& e : events) actions.push_back(e.action);
+  out.history = History(std::move(actions));
+  for (const PublishEvent& p : publishes) {
+    out.publish_order[p.reg].push_back(p.value);
+  }
+  return out;
+}
+
+void Recorder::reset() {
+  for (auto& buf : threads_) {
+    buf->events.clear();
+    buf->publishes.clear();
+  }
+  ticket_.store(1, std::memory_order_relaxed);
+  next_slot_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace privstm::hist

@@ -1,0 +1,154 @@
+#include "history/wellformed.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace privstm::hist {
+
+std::string WfReport::to_string() const {
+  if (ok()) return "well-formed";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):\n";
+  for (const auto& v : violations) out << "  - " << v << '\n';
+  return out.str();
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const History& h) : h_(h) {}
+
+  WfReport run() {
+    check_unique_ids();
+    check_unique_writes();
+    check_per_thread_protocol();
+    check_nt_atomicity();
+    check_fence_blocking();
+    return std::move(report_);
+  }
+
+ private:
+  void fail(std::size_t i, const std::string& what) {
+    std::ostringstream out;
+    out << "action " << i << ' ' << to_string(h_[i]) << ": " << what;
+    report_.violations.push_back(out.str());
+  }
+
+  // Condition (1).
+  void check_unique_ids() {
+    std::unordered_set<ActionId> seen;
+    for (std::size_t i = 0; i < h_.size(); ++i) {
+      if (!seen.insert(h_[i].id).second) {
+        fail(i, "duplicate action identifier");
+      }
+    }
+  }
+
+  // Condition (3): every write's value is unique and distinct from vinit.
+  void check_unique_writes() {
+    std::unordered_map<Value, std::size_t> writes;
+    for (std::size_t i = 0; i < h_.size(); ++i) {
+      if (h_[i].kind != ActionKind::kWriteReq) continue;
+      if (h_[i].value == kVInit) {
+        fail(i, "write of the initial value vinit");
+      }
+      auto [it, inserted] = writes.emplace(h_[i].value, i);
+      if (!inserted) {
+        std::ostringstream out;
+        out << "value " << h_[i].value << " already written by action "
+            << it->second;
+        fail(i, out.str());
+      }
+    }
+  }
+
+  // Conditions (5), (6), (8), (9): one pass over each thread's projection.
+  void check_per_thread_protocol() {
+    for (ThreadId t : h_.threads()) {
+      std::optional<std::size_t> open_request;  // awaiting a response
+      bool in_txn = false;
+      for (std::size_t i : h_.thread_actions(t)) {
+        const Action& a = h_[i];
+        if (is_request(a.kind)) {
+          if (open_request.has_value()) {
+            fail(i, "request while a previous request is unanswered");
+          }
+          open_request = i;
+          if (a.kind == ActionKind::kTxBegin) {
+            if (in_txn) fail(i, "nested txbegin (condition 6)");
+            in_txn = true;
+          }
+          if (a.kind == ActionKind::kFenceBegin && in_txn) {
+            fail(i, "fence inside a transaction (condition 9)");
+          }
+        } else {
+          if (!open_request.has_value()) {
+            fail(i, "response without a pending request (condition 5)");
+            continue;
+          }
+          const Action& req = h_[*open_request];
+          if (!matches_response(req.kind, a.kind)) {
+            std::ostringstream out;
+            out << "response does not match request " << to_string(req)
+                << " (condition 5)";
+            fail(i, out.str());
+          }
+          if (a.kind == ActionKind::kAborted && !in_txn) {
+            fail(i, "non-transactional access aborted (condition 8)");
+          }
+          if (ends_transaction(a.kind)) {
+            if (!in_txn) fail(i, "transaction end outside a transaction");
+            in_txn = false;
+          }
+          open_request.reset();
+        }
+      }
+    }
+  }
+
+  // Condition (7): an NT access's response is globally adjacent to its
+  // request.
+  void check_nt_atomicity() {
+    for (const NtAccess& nt : h_.nt_accesses()) {
+      if (nt.response != nt.request + 1) {
+        fail(nt.request,
+             "non-transactional access interleaved with other actions "
+             "(condition 7)");
+      }
+    }
+  }
+
+  // Condition (10): every transaction that began before a fence's fbegin
+  // has completed before the fence's fend.
+  void check_fence_blocking() {
+    for (const FenceInfo& fence : h_.fences()) {
+      if (!fence.end.has_value()) continue;  // still blocked: nothing to check
+      for (const TxnInfo& txn : h_.txns()) {
+        if (txn.begin_index() >= fence.begin) continue;
+        const bool completed_in_time =
+            txn.is_complete() && txn.end_index() < *fence.end;
+        if (!completed_in_time) {
+          std::ostringstream out;
+          out << "fence at [" << fence.begin << ", " << *fence.end
+              << "] completed although the transaction beginning at action "
+              << txn.begin_index() << " had not (condition 10)";
+          report_.violations.push_back(out.str());
+        }
+      }
+    }
+  }
+
+  const History& h_;
+  WfReport report_;
+};
+
+}  // namespace
+
+WfReport check_wellformed(const History& h) { return Checker(h).run(); }
+
+}  // namespace privstm::hist

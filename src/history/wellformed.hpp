@@ -1,0 +1,37 @@
+// Well-formedness of histories — Definition 2.1 / A.1 of the paper.
+//
+// The checker validates every condition of Definition A.1 that concerns TM
+// interface actions (conditions about primitive commands apply to traces of
+// the mini-language and are enforced by its interpreter instead):
+//
+//   (1)  unique action identifiers;
+//   (3)  unique written values, all distinct from vinit;
+//   (5)  per-thread request/response alternation with matching kinds (Fig 4);
+//   (6)  per-thread txbegin / committed-aborted alternation (no nesting);
+//   (7)  non-transactional accesses execute atomically (the response
+//        immediately follows its request in the history);
+//   (8)  non-transactional accesses never abort;
+//   (9)  fences do not occur inside transactions;
+//   (10) a fence's fend is preceded by the completion of every transaction
+//        that began before the fence did.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace privstm::hist {
+
+struct WfReport {
+  std::vector<std::string> violations;
+
+  bool ok() const noexcept { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Check all well-formedness conditions; reports every violation found
+/// (does not stop at the first).
+WfReport check_wellformed(const History& h);
+
+}  // namespace privstm::hist

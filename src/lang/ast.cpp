@@ -1,0 +1,333 @@
+#include "lang/ast.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace privstm::lang {
+
+// ---- expressions ----------------------------------------------------------
+
+ExprPtr constant(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->op = Expr::Op::kConst;
+  e->konst = v;
+  return e;
+}
+
+ExprPtr var(VarId v) {
+  auto e = std::make_shared<Expr>();
+  e->op = Expr::Op::kVar;
+  e->var = v;
+  return e;
+}
+
+namespace {
+ExprPtr binop(Expr::Op op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->op = op;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+}  // namespace
+
+ExprPtr add(ExprPtr a, ExprPtr b) {
+  return binop(Expr::Op::kAdd, std::move(a), std::move(b));
+}
+ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return binop(Expr::Op::kSub, std::move(a), std::move(b));
+}
+ExprPtr mul(ExprPtr a, ExprPtr b) {
+  return binop(Expr::Op::kMul, std::move(a), std::move(b));
+}
+ExprPtr bit_or(ExprPtr a, ExprPtr b) {
+  return binop(Expr::Op::kBitOr, std::move(a), std::move(b));
+}
+
+Value eval(const Expr& e, const std::vector<Value>& locals) {
+  switch (e.op) {
+    case Expr::Op::kConst:
+      return e.konst;
+    case Expr::Op::kVar:
+      assert(e.var >= 0 &&
+             static_cast<std::size_t>(e.var) < locals.size());
+      return locals[static_cast<std::size_t>(e.var)];
+    case Expr::Op::kAdd:
+      return eval(*e.lhs, locals) + eval(*e.rhs, locals);
+    case Expr::Op::kSub:
+      return eval(*e.lhs, locals) - eval(*e.rhs, locals);
+    case Expr::Op::kMul:
+      return eval(*e.lhs, locals) * eval(*e.rhs, locals);
+    case Expr::Op::kBitOr:
+      return eval(*e.lhs, locals) | eval(*e.rhs, locals);
+  }
+  return 0;
+}
+
+// ---- boolean expressions --------------------------------------------------
+
+namespace {
+BExprPtr cmp(BExpr::Op op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<BExpr>();
+  e->op = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+BExprPtr logic(BExpr::Op op, BExprPtr x, BExprPtr y) {
+  auto e = std::make_shared<BExpr>();
+  e->op = op;
+  e->x = std::move(x);
+  e->y = std::move(y);
+  return e;
+}
+}  // namespace
+
+BExprPtr btrue() { return std::make_shared<BExpr>(); }
+BExprPtr eq(ExprPtr a, ExprPtr b) {
+  return cmp(BExpr::Op::kEq, std::move(a), std::move(b));
+}
+BExprPtr ne(ExprPtr a, ExprPtr b) {
+  return cmp(BExpr::Op::kNe, std::move(a), std::move(b));
+}
+BExprPtr lt(ExprPtr a, ExprPtr b) {
+  return cmp(BExpr::Op::kLt, std::move(a), std::move(b));
+}
+BExprPtr le(ExprPtr a, ExprPtr b) {
+  return cmp(BExpr::Op::kLe, std::move(a), std::move(b));
+}
+BExprPtr bnot(BExprPtr x) {
+  return logic(BExpr::Op::kNot, std::move(x), nullptr);
+}
+BExprPtr band(BExprPtr x, BExprPtr y) {
+  return logic(BExpr::Op::kAnd, std::move(x), std::move(y));
+}
+BExprPtr bor(BExprPtr x, BExprPtr y) {
+  return logic(BExpr::Op::kOr, std::move(x), std::move(y));
+}
+
+bool eval(const BExpr& b, const std::vector<Value>& locals) {
+  switch (b.op) {
+    case BExpr::Op::kTrue:
+      return true;
+    case BExpr::Op::kEq:
+      return eval(*b.a, locals) == eval(*b.b, locals);
+    case BExpr::Op::kNe:
+      return eval(*b.a, locals) != eval(*b.b, locals);
+    case BExpr::Op::kLt:
+      return eval(*b.a, locals) < eval(*b.b, locals);
+    case BExpr::Op::kLe:
+      return eval(*b.a, locals) <= eval(*b.b, locals);
+    case BExpr::Op::kNot:
+      return !eval(*b.x, locals);
+    case BExpr::Op::kAnd:
+      return eval(*b.x, locals) && eval(*b.y, locals);
+    case BExpr::Op::kOr:
+      return eval(*b.x, locals) || eval(*b.y, locals);
+  }
+  return false;
+}
+
+// ---- commands -------------------------------------------------------------
+
+namespace {
+std::shared_ptr<Cmd> make_cmd(Cmd::Kind kind) {
+  auto c = std::make_shared<Cmd>();
+  c->kind = kind;
+  return c;
+}
+}  // namespace
+
+CmdPtr assign(VarId dst, ExprPtr e) {
+  auto c = make_cmd(Cmd::Kind::kAssign);
+  c->dst = dst;
+  c->expr = std::move(e);
+  return c;
+}
+
+CmdPtr seq(std::vector<CmdPtr> cmds) {
+  auto c = make_cmd(Cmd::Kind::kSeq);
+  c->children = std::move(cmds);
+  return c;
+}
+
+CmdPtr ifelse(BExprPtr cond, CmdPtr then_branch, CmdPtr else_branch) {
+  auto c = make_cmd(Cmd::Kind::kIf);
+  c->cond = std::move(cond);
+  c->children = {std::move(then_branch), std::move(else_branch)};
+  return c;
+}
+
+CmdPtr ifthen(BExprPtr cond, CmdPtr then_branch) {
+  return ifelse(std::move(cond), std::move(then_branch), skip());
+}
+
+CmdPtr whileloop(BExprPtr cond, CmdPtr body) {
+  auto c = make_cmd(Cmd::Kind::kWhile);
+  c->cond = std::move(cond);
+  c->children = {std::move(body)};
+  return c;
+}
+
+CmdPtr atomic(VarId result, CmdPtr body) {
+  assert(!contains_atomic_or_fence(*body) &&
+         "nested atomic blocks / fences inside transactions are forbidden");
+  auto c = make_cmd(Cmd::Kind::kAtomic);
+  c->dst = result;
+  c->children = {std::move(body)};
+  return c;
+}
+
+CmdPtr read(VarId dst, ExprPtr reg) {
+  auto c = make_cmd(Cmd::Kind::kRead);
+  c->dst = dst;
+  c->addr = std::move(reg);
+  return c;
+}
+
+CmdPtr read(VarId dst, RegId reg) {
+  return read(dst, constant(static_cast<Value>(reg)));
+}
+
+CmdPtr write(ExprPtr reg, ExprPtr value) {
+  auto c = make_cmd(Cmd::Kind::kWrite);
+  c->addr = std::move(reg);
+  c->expr = std::move(value);
+  return c;
+}
+
+CmdPtr write(RegId reg, Value value) {
+  return write(constant(static_cast<Value>(reg)), constant(value));
+}
+
+CmdPtr fence_cmd() { return make_cmd(Cmd::Kind::kFence); }
+
+CmdPtr skip() { return seq({}); }
+
+CmdPtr probe(std::int32_t slot, ExprPtr value) {
+  assert(slot >= 0 && static_cast<std::size_t>(slot) < kMaxProbes);
+  auto c = make_cmd(Cmd::Kind::kProbe);
+  c->dst = slot;
+  c->expr = std::move(value);
+  return c;
+}
+
+bool contains_atomic_or_fence(const Cmd& c) {
+  if (c.kind == Cmd::Kind::kAtomic || c.kind == Cmd::Kind::kFence) return true;
+  return std::any_of(c.children.begin(), c.children.end(),
+                     [](const CmdPtr& child) {
+                       return child && contains_atomic_or_fence(*child);
+                     });
+}
+
+// ---- builder / printing ---------------------------------------------------
+
+VarId ThreadBuilder::local(const std::string& name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<VarId>(i);
+  }
+  names_.push_back(name);
+  return static_cast<VarId>(names_.size() - 1);
+}
+
+ThreadProgram ThreadBuilder::finish(CmdPtr body) && {
+  ThreadProgram out;
+  out.body = std::move(body);
+  out.num_vars = names_.size();
+  out.var_names = std::move(names_);
+  return out;
+}
+
+namespace {
+void print_expr(std::ostream& out, const Expr& e) {
+  switch (e.op) {
+    case Expr::Op::kConst:
+      out << e.konst;
+      return;
+    case Expr::Op::kVar:
+      out << 'v' << e.var;
+      return;
+    default:
+      out << '(';
+      print_expr(out, *e.lhs);
+      switch (e.op) {
+        case Expr::Op::kAdd:
+          out << " + ";
+          break;
+        case Expr::Op::kSub:
+          out << " - ";
+          break;
+        case Expr::Op::kMul:
+          out << " * ";
+          break;
+        case Expr::Op::kBitOr:
+          out << " | ";
+          break;
+        default:
+          break;
+      }
+      print_expr(out, *e.rhs);
+      out << ')';
+  }
+}
+
+void print_cmd(std::ostream& out, const Cmd& c, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (c.kind) {
+    case Cmd::Kind::kAssign:
+      out << pad << 'v' << c.dst << " := ";
+      print_expr(out, *c.expr);
+      out << '\n';
+      break;
+    case Cmd::Kind::kSeq:
+      for (const auto& child : c.children) print_cmd(out, *child, indent);
+      break;
+    case Cmd::Kind::kIf:
+      out << pad << "if (...) {\n";
+      print_cmd(out, *c.children[0], indent + 1);
+      out << pad << "} else {\n";
+      print_cmd(out, *c.children[1], indent + 1);
+      out << pad << "}\n";
+      break;
+    case Cmd::Kind::kWhile:
+      out << pad << "while (...) {\n";
+      print_cmd(out, *c.children[0], indent + 1);
+      out << pad << "}\n";
+      break;
+    case Cmd::Kind::kAtomic:
+      out << pad << 'v' << c.dst << " := atomic {\n";
+      print_cmd(out, *c.children[0], indent + 1);
+      out << pad << "}\n";
+      break;
+    case Cmd::Kind::kRead:
+      out << pad << 'v' << c.dst << " := x[";
+      print_expr(out, *c.addr);
+      out << "].read()\n";
+      break;
+    case Cmd::Kind::kWrite:
+      out << pad << "x[";
+      print_expr(out, *c.addr);
+      out << "].write(";
+      print_expr(out, *c.expr);
+      out << ")\n";
+      break;
+    case Cmd::Kind::kFence:
+      out << pad << "fence\n";
+      break;
+    case Cmd::Kind::kProbe:
+      out << pad << "probe[" << c.dst << "] := ";
+      print_expr(out, *c.expr);
+      out << '\n';
+      break;
+  }
+}
+}  // namespace
+
+std::string to_string(const Cmd& c, int indent) {
+  std::ostringstream out;
+  print_cmd(out, c, indent);
+  return out.str();
+}
+
+}  // namespace privstm::lang

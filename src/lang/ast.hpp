@@ -1,0 +1,174 @@
+// The mini programming language of §2.1:
+//
+//   C ::= c | C ; C | if (b) C else C | while (b) C
+//       | l := atomic { C } | l := x.read() | x.write(e) | fence
+//
+// Primitive commands c are local-variable assignments l := e. Conditions b
+// and expressions e range over local variables and constants (threads never
+// mention other threads' locals — condition 2 of Definition A.1 holds by
+// construction, since locals are indexed per thread).
+//
+// Atomic-block results are modeled as the distinguished values kCommitted /
+// kAborted assigned to the result variable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "history/action.hpp"
+
+namespace privstm::lang {
+
+using hist::RegId;
+using hist::Value;
+
+/// Distinguished results of `l := atomic { C }`. Chosen high so they never
+/// collide with workload data values.
+inline constexpr Value kCommitted = ~Value{0};
+inline constexpr Value kAborted = ~Value{0} - 1;
+
+using VarId = std::int32_t;  ///< local-variable index within one thread
+
+// ---------------------------------------------------------------------------
+// Integer expressions over locals.
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Op : std::uint8_t { kConst, kVar, kAdd, kSub, kMul, kBitOr };
+  Op op = Op::kConst;
+  Value konst = 0;
+  VarId var = -1;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+ExprPtr constant(Value v);
+ExprPtr var(VarId v);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr bit_or(ExprPtr a, ExprPtr b);
+
+Value eval(const Expr& e, const std::vector<Value>& locals);
+
+// ---------------------------------------------------------------------------
+// Boolean expressions over locals.
+// ---------------------------------------------------------------------------
+
+struct BExpr;
+using BExprPtr = std::shared_ptr<const BExpr>;
+
+struct BExpr {
+  enum class Op : std::uint8_t {
+    kTrue,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kNot,
+    kAnd,
+    kOr,
+  };
+  Op op = Op::kTrue;
+  ExprPtr a;
+  ExprPtr b;
+  BExprPtr x;
+  BExprPtr y;
+};
+
+BExprPtr btrue();
+BExprPtr eq(ExprPtr a, ExprPtr b);
+BExprPtr ne(ExprPtr a, ExprPtr b);
+BExprPtr lt(ExprPtr a, ExprPtr b);
+BExprPtr le(ExprPtr a, ExprPtr b);
+BExprPtr bnot(BExprPtr x);
+BExprPtr band(BExprPtr x, BExprPtr y);
+BExprPtr bor(BExprPtr x, BExprPtr y);
+
+bool eval(const BExpr& b, const std::vector<Value>& locals);
+
+// ---------------------------------------------------------------------------
+// Commands.
+// ---------------------------------------------------------------------------
+
+struct Cmd;
+using CmdPtr = std::shared_ptr<const Cmd>;
+
+struct Cmd {
+  enum class Kind : std::uint8_t {
+    kAssign,  ///< l := e
+    kSeq,     ///< C1 ; ... ; Cn
+    kIf,      ///< if (b) C1 else C2
+    kWhile,   ///< while (b) C
+    kAtomic,  ///< l := atomic { C }
+    kRead,    ///< l := x.read()     (x computed from `addr`)
+    kWrite,   ///< x.write(e)
+    kFence,   ///< fence
+    kProbe,   ///< harness-only: record e into a probe slot that survives
+              ///< abort roll-back (used to observe doomed transactions)
+  };
+  Kind kind = Kind::kSeq;
+  VarId dst = -1;               ///< kAssign / kAtomic / kRead
+  ExprPtr expr;                 ///< kAssign value / kWrite value
+  ExprPtr addr;                 ///< kRead / kWrite register index
+  BExprPtr cond;                ///< kIf / kWhile
+  std::vector<CmdPtr> children; ///< kSeq bodies; kIf {then, else};
+                                ///< kWhile / kAtomic {body}
+};
+
+CmdPtr assign(VarId dst, ExprPtr e);
+CmdPtr seq(std::vector<CmdPtr> cmds);
+CmdPtr ifelse(BExprPtr cond, CmdPtr then_branch, CmdPtr else_branch);
+CmdPtr ifthen(BExprPtr cond, CmdPtr then_branch);
+CmdPtr whileloop(BExprPtr cond, CmdPtr body);
+CmdPtr atomic(VarId result, CmdPtr body);
+CmdPtr read(VarId dst, ExprPtr reg);
+CmdPtr read(VarId dst, RegId reg);
+CmdPtr write(ExprPtr reg, ExprPtr value);
+CmdPtr write(RegId reg, Value value);
+CmdPtr fence_cmd();
+CmdPtr skip();
+
+/// Number of probe slots per thread (see Cmd::Kind::kProbe).
+inline constexpr std::size_t kMaxProbes = 8;
+CmdPtr probe(std::int32_t slot, ExprPtr value);
+
+/// True if the command (recursively) contains an atomic block or fence —
+/// both are forbidden inside atomic blocks.
+bool contains_atomic_or_fence(const Cmd& c);
+
+// ---------------------------------------------------------------------------
+// Programs.
+// ---------------------------------------------------------------------------
+
+struct ThreadProgram {
+  CmdPtr body;
+  std::size_t num_vars = 0;
+  std::vector<std::string> var_names;  ///< for diagnostics (optional)
+};
+
+struct Program {
+  std::vector<ThreadProgram> threads;
+  std::size_t num_registers = 0;
+};
+
+/// Helper for building one thread's program with named locals.
+class ThreadBuilder {
+ public:
+  /// Declare (or look up) a local variable.
+  VarId local(const std::string& name);
+
+  ThreadProgram finish(CmdPtr body) &&;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+std::string to_string(const Cmd& c, int indent = 0);
+
+}  // namespace privstm::lang

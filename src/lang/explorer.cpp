@@ -1,0 +1,308 @@
+#include "lang/explorer.hpp"
+
+#include <cassert>
+#include <map>
+
+namespace privstm::lang {
+
+namespace {
+
+using hist::Action;
+using hist::ActionKind;
+
+struct Frame {
+  const Cmd* cmd;
+  std::size_t pos = 0;       ///< progress marker (kSeq index, kIf branch+1)
+  std::uint64_t iters = 0;   ///< kWhile iteration count
+};
+
+struct ThreadState {
+  std::vector<Frame> stack;
+  std::vector<Value> locals;
+  std::vector<Value> probes;
+};
+
+struct Machine {
+  std::vector<Value> regs;
+  std::vector<ThreadState> threads;
+  std::vector<Action> actions;
+  hist::ActionId next_id = 1;
+};
+
+class Explorer {
+ public:
+  Explorer(const Program& program, const ExploreOptions& options)
+      : program_(program), options_(options) {}
+
+  ExplorationResult run() {
+    Machine init;
+    init.regs.assign(program_.num_registers, hist::kVInit);
+    init.threads.resize(program_.threads.size());
+    for (std::size_t t = 0; t < program_.threads.size(); ++t) {
+      init.threads[t].locals.assign(program_.threads[t].num_vars, 0);
+      init.threads[t].probes.assign(kMaxProbes, 0);
+      init.threads[t].stack.push_back({program_.threads[t].body.get()});
+    }
+    dfs(std::move(init));
+    return std::move(result_);
+  }
+
+ private:
+  /// Advance local computation (assignments, control flow) until the top
+  /// frame is a shared operation or the stack empties. Deterministic, so it
+  /// is performed in place before scheduling decisions.
+  void settle(ThreadState& ts) {
+    while (!ts.stack.empty()) {
+      Frame& frame = ts.stack.back();
+      const Cmd& c = *frame.cmd;
+      switch (c.kind) {
+        case Cmd::Kind::kAssign:
+          ts.locals[static_cast<std::size_t>(c.dst)] =
+              eval(*c.expr, ts.locals);
+          ts.stack.pop_back();
+          continue;
+        case Cmd::Kind::kProbe:
+          ts.probes[static_cast<std::size_t>(c.dst)] =
+              eval(*c.expr, ts.locals);
+          ts.stack.pop_back();
+          continue;
+        case Cmd::Kind::kSeq:
+          if (frame.pos < c.children.size()) {
+            const Cmd* child = c.children[frame.pos].get();
+            ++frame.pos;
+            ts.stack.push_back({child});
+          } else {
+            ts.stack.pop_back();
+          }
+          continue;
+        case Cmd::Kind::kIf: {
+          const Cmd* branch =
+              eval(*c.cond, ts.locals) ? c.children[0].get()
+                                       : c.children[1].get();
+          ts.stack.pop_back();
+          ts.stack.push_back({branch});
+          continue;
+        }
+        case Cmd::Kind::kWhile:
+          if (eval(*c.cond, ts.locals)) {
+            if (++frame.iters > options_.max_loop_iterations) {
+              result_.truncated = true;
+              ts.stack.clear();  // give up on this thread
+              return;
+            }
+            ts.stack.push_back({c.children[0].get()});
+          } else {
+            ts.stack.pop_back();
+          }
+          continue;
+        case Cmd::Kind::kRead:
+        case Cmd::Kind::kWrite:
+        case Cmd::Kind::kFence:
+        case Cmd::Kind::kAtomic:
+          return;  // shared op: scheduling decision needed
+      }
+    }
+  }
+
+  void emit(Machine& m, hist::ThreadId t, ActionKind kind,
+            hist::RegId reg = hist::kNoReg, Value value = 0) {
+    m.actions.push_back({m.next_id++, t, kind, reg, value});
+  }
+
+  /// Execute the body of an atomic block to completion against the current
+  /// registers with buffered writes; returns false if the loop bound fired.
+  bool run_tx_body(Machine& m, hist::ThreadId t, const Cmd& c,
+                   std::vector<Value>& locals, std::vector<Value>& probes,
+                   std::map<RegId, Value>& buffer) {
+    switch (c.kind) {
+      case Cmd::Kind::kAssign:
+        locals[static_cast<std::size_t>(c.dst)] = eval(*c.expr, locals);
+        return true;
+      case Cmd::Kind::kProbe:
+        probes[static_cast<std::size_t>(c.dst)] = eval(*c.expr, locals);
+        return true;
+      case Cmd::Kind::kSeq:
+        for (const CmdPtr& child : c.children) {
+          if (!run_tx_body(m, t, *child, locals, probes, buffer)) return false;
+        }
+        return true;
+      case Cmd::Kind::kIf:
+        return run_tx_body(
+            m, t, eval(*c.cond, locals) ? *c.children[0] : *c.children[1],
+            locals, probes, buffer);
+      case Cmd::Kind::kWhile: {
+        std::uint64_t iters = 0;
+        while (eval(*c.cond, locals)) {
+          if (++iters > options_.max_loop_iterations) {
+            result_.truncated = true;
+            return false;
+          }
+          if (!run_tx_body(m, t, *c.children[0], locals, probes, buffer)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case Cmd::Kind::kRead: {
+        const auto reg = static_cast<RegId>(eval(*c.addr, locals));
+        auto it = buffer.find(reg);
+        const Value v = it != buffer.end()
+                            ? it->second
+                            : m.regs[static_cast<std::size_t>(reg)];
+        emit(m, t, ActionKind::kReadReq, reg);
+        emit(m, t, ActionKind::kReadRet, reg, v);
+        locals[static_cast<std::size_t>(c.dst)] = v;
+        return true;
+      }
+      case Cmd::Kind::kWrite: {
+        const auto reg = static_cast<RegId>(eval(*c.addr, locals));
+        const Value v = eval(*c.expr, locals);
+        emit(m, t, ActionKind::kWriteReq, reg, v);
+        emit(m, t, ActionKind::kWriteRet, reg);
+        buffer[reg] = v;
+        return true;
+      }
+      case Cmd::Kind::kAtomic:
+      case Cmd::Kind::kFence:
+        assert(false && "nested atomic / fence inside a transaction");
+        return true;
+    }
+    return true;
+  }
+
+  void record_outcome(const Machine& m) {
+    if (result_.outcomes.size() >= options_.max_outcomes) {
+      result_.truncated = true;
+      return;
+    }
+    Outcome outcome;
+    outcome.history = hist::History(m.actions);
+    outcome.registers = m.regs;
+    for (const ThreadState& ts : m.threads) {
+      outcome.locals.push_back(ts.locals);
+      outcome.probes.push_back(ts.probes);
+    }
+    result_.outcomes.push_back(std::move(outcome));
+  }
+
+  void dfs(Machine m) {
+    if (result_.outcomes.size() >= options_.max_outcomes) {
+      result_.truncated = true;
+      return;
+    }
+    for (ThreadState& ts : m.threads) settle(ts);
+
+    std::vector<std::size_t> enabled;
+    for (std::size_t t = 0; t < m.threads.size(); ++t) {
+      if (!m.threads[t].stack.empty()) enabled.push_back(t);
+    }
+    if (enabled.empty()) {
+      record_outcome(m);
+      return;
+    }
+
+    for (std::size_t t : enabled) {
+      const Cmd& c = *m.threads[t].stack.back().cmd;
+      const auto tid = static_cast<hist::ThreadId>(t);
+      switch (c.kind) {
+        case Cmd::Kind::kRead: {
+          Machine next = m;
+          ThreadState& ts = next.threads[t];
+          const auto reg = static_cast<RegId>(eval(*c.addr, ts.locals));
+          const Value v = next.regs[static_cast<std::size_t>(reg)];
+          emit(next, tid, ActionKind::kReadReq, reg);
+          emit(next, tid, ActionKind::kReadRet, reg, v);
+          ts.locals[static_cast<std::size_t>(c.dst)] = v;
+          ts.stack.pop_back();
+          dfs(std::move(next));
+          break;
+        }
+        case Cmd::Kind::kWrite: {
+          Machine next = m;
+          ThreadState& ts = next.threads[t];
+          const auto reg = static_cast<RegId>(eval(*c.addr, ts.locals));
+          const Value v = eval(*c.expr, ts.locals);
+          emit(next, tid, ActionKind::kWriteReq, reg, v);
+          emit(next, tid, ActionKind::kWriteRet, reg);
+          next.regs[static_cast<std::size_t>(reg)] = v;
+          ts.stack.pop_back();
+          dfs(std::move(next));
+          break;
+        }
+        case Cmd::Kind::kFence: {
+          Machine next = m;
+          emit(next, tid, ActionKind::kFenceBegin);
+          emit(next, tid, ActionKind::kFenceEnd);
+          next.threads[t].stack.pop_back();
+          dfs(std::move(next));
+          break;
+        }
+        case Cmd::Kind::kAtomic: {
+          const int choices = options_.explore_aborts ? 2 : 1;
+          for (int choice = 0; choice < choices; ++choice) {
+            const bool commit = choice == 0;
+            Machine next = m;
+            ThreadState& ts = next.threads[t];
+            // §A.2 local roll-back: aborted transactions restore locals.
+            const std::vector<Value> saved = ts.locals;
+            emit(next, tid, ActionKind::kTxBegin);
+            emit(next, tid, ActionKind::kOk);
+            std::map<RegId, Value> buffer;
+            const bool body_ok = run_tx_body(next, tid, *c.children[0],
+                                             ts.locals, ts.probes, buffer);
+            emit(next, tid, ActionKind::kTxCommit);
+            if (commit && body_ok) {
+              emit(next, tid, ActionKind::kCommitted);
+              for (const auto& [reg, v] : buffer) {
+                next.regs[static_cast<std::size_t>(reg)] = v;
+              }
+              ts.locals[static_cast<std::size_t>(c.dst)] = kCommitted;
+            } else {
+              emit(next, tid, ActionKind::kAborted);
+              ts.locals = saved;
+              ts.locals[static_cast<std::size_t>(c.dst)] = kAborted;
+            }
+            ts.stack.pop_back();
+            dfs(std::move(next));
+          }
+          break;
+        }
+        default:
+          assert(false && "settle() left a local command on top");
+      }
+    }
+  }
+
+  const Program& program_;
+  const ExploreOptions& options_;
+  ExplorationResult result_;
+};
+
+}  // namespace
+
+ExplorationResult explore_atomic(const Program& program,
+                                 const ExploreOptions& options) {
+  return Explorer(program, options).run();
+}
+
+AtomicDrfReport check_drf_under_atomic(const Program& program,
+                                       const ExploreOptions& options) {
+  AtomicDrfReport report;
+  ExplorationResult exploration = explore_atomic(program, options);
+  report.exhaustive = !exploration.truncated;
+  report.total_outcomes = exploration.outcomes.size();
+  for (Outcome& outcome : exploration.outcomes) {
+    drf::RaceReport races = drf::find_races(outcome.history);
+    if (!races.drf()) {
+      ++report.racy_outcomes;
+      if (!report.racy_example.has_value()) {
+        report.racy_example = std::move(outcome);
+        report.example_races = std::move(races);
+      }
+    }
+  }
+  report.drf = report.racy_outcomes == 0;
+  return report;
+}
+
+}  // namespace privstm::lang

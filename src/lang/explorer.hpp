@@ -1,0 +1,59 @@
+// Strongly-atomic explorer: enumerates the executions of a program under
+// the idealized atomic TM Hatomic (§2.4) and decides DRF(P, s, Hatomic)
+// (Definition 3.3) — the programmer's side of the Fundamental Property.
+//
+// Under strong atomicity the schedulable units are whole transactions,
+// single NT accesses and fences; local computation commutes and is folded
+// into the next shared step. For every atomic block the TM may
+// nondeterministically refuse to commit, so each block forks into
+// {committed, aborted-at-commit} outcomes (earlier abort points produce
+// prefix histories whose races are subsumed; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "drf/race.hpp"
+#include "history/history.hpp"
+#include "lang/ast.hpp"
+
+namespace privstm::lang {
+
+struct ExploreOptions {
+  std::uint64_t max_loop_iterations = 64;
+  std::size_t max_outcomes = 200000;
+  /// Explore TM-chosen aborts at commit (fork per atomic block).
+  bool explore_aborts = true;
+};
+
+struct Outcome {
+  hist::History history;
+  std::vector<std::vector<Value>> locals;
+  std::vector<std::vector<Value>> probes;
+  std::vector<Value> registers;
+};
+
+struct ExplorationResult {
+  std::vector<Outcome> outcomes;
+  bool truncated = false;  ///< outcome cap or loop bound hit somewhere
+};
+
+ExplorationResult explore_atomic(const Program& program,
+                                 const ExploreOptions& options = {});
+
+/// DRF(P, s, Hatomic): every strongly-atomic history of the program is
+/// data-race free.
+struct AtomicDrfReport {
+  bool drf = true;
+  bool exhaustive = true;  ///< false if exploration truncated
+  std::size_t total_outcomes = 0;
+  std::size_t racy_outcomes = 0;
+  std::optional<Outcome> racy_example;
+  std::optional<drf::RaceReport> example_races;
+};
+
+AtomicDrfReport check_drf_under_atomic(const Program& program,
+                                       const ExploreOptions& options = {});
+
+}  // namespace privstm::lang

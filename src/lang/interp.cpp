@@ -1,0 +1,189 @@
+#include "lang/interp.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+#include "runtime/backoff.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/rng.hpp"
+
+namespace privstm::lang {
+
+namespace {
+
+enum class Status : std::uint8_t { kOk, kTxAborted, kLoopBound };
+
+class ThreadInterp {
+ public:
+  ThreadInterp(tm::TmThread& session, std::vector<Value>& locals,
+               std::vector<Value>& probes, const ExecOptions& options,
+               std::uint64_t seed)
+      : session_(session),
+        locals_(locals),
+        probes_(probes),
+        options_(options),
+        rng_(seed) {}
+
+  bool loop_bound_hit() const noexcept { return loop_bound_hit_; }
+
+  void run(const Cmd& body) {
+    const Status status = exec(body, /*in_tx=*/false);
+    (void)status;  // a top-level loop bound simply ends the thread
+  }
+
+ private:
+  void jitter() {
+    if (options_.jitter_max_spins == 0) return;
+    const std::uint64_t spins = rng_.below(options_.jitter_max_spins);
+    for (std::uint64_t i = 0; i < spins; ++i) rt::cpu_relax();
+  }
+
+  RegId reg_of(const Expr& addr) const {
+    return static_cast<RegId>(eval(addr, locals_));
+  }
+
+  Status exec(const Cmd& c, bool in_tx) {
+    switch (c.kind) {
+      case Cmd::Kind::kAssign:
+        locals_[static_cast<std::size_t>(c.dst)] = eval(*c.expr, locals_);
+        return Status::kOk;
+
+      case Cmd::Kind::kSeq:
+        for (const CmdPtr& child : c.children) {
+          const Status s = exec(*child, in_tx);
+          if (s != Status::kOk) return s;
+        }
+        return Status::kOk;
+
+      case Cmd::Kind::kIf:
+        return exec(eval(*c.cond, locals_) ? *c.children[0] : *c.children[1],
+                    in_tx);
+
+      case Cmd::Kind::kWhile: {
+        std::uint64_t iterations = 0;
+        while (eval(*c.cond, locals_)) {
+          if (++iterations > options_.max_loop_iterations) {
+            loop_bound_hit_ = true;
+            return Status::kLoopBound;
+          }
+          const Status s = exec(*c.children[0], in_tx);
+          if (s != Status::kOk) return s;
+        }
+        return Status::kOk;
+      }
+
+      case Cmd::Kind::kAtomic: {
+        assert(!in_tx && "nested atomic block");
+        jitter();
+        // §A.2: aborted transactions roll back local-variable effects
+        // (evaluation ignores actions inside aborted transactions).
+        const std::vector<Value> saved_locals = locals_;
+        Value result = kAborted;
+        if (session_.tx_begin()) {
+          const Status body = exec(*c.children[0], /*in_tx=*/true);
+          if (body == Status::kOk || body == Status::kLoopBound) {
+            // A loop bound inside a transaction still finishes it cleanly
+            // via the commit protocol (which may abort it).
+            result = session_.tx_commit() == tm::TxResult::kCommitted
+                         ? kCommitted
+                         : kAborted;
+          }
+          // On kTxAborted the TM already completed the transaction.
+        }
+        if (result == kAborted) locals_ = saved_locals;
+        locals_[static_cast<std::size_t>(c.dst)] = result;
+        return Status::kOk;
+      }
+
+      case Cmd::Kind::kRead: {
+        jitter();
+        const RegId reg = reg_of(*c.addr);
+        if (in_tx) {
+          Value v = 0;
+          if (!session_.tx_read(reg, v)) return Status::kTxAborted;
+          locals_[static_cast<std::size_t>(c.dst)] = v;
+        } else {
+          locals_[static_cast<std::size_t>(c.dst)] = session_.nt_read(reg);
+        }
+        return Status::kOk;
+      }
+
+      case Cmd::Kind::kWrite: {
+        jitter();
+        const RegId reg = reg_of(*c.addr);
+        const Value value = eval(*c.expr, locals_);
+        if (in_tx) {
+          if (!session_.tx_write(reg, value)) return Status::kTxAborted;
+        } else {
+          session_.nt_write(reg, value);
+        }
+        return Status::kOk;
+      }
+
+      case Cmd::Kind::kFence:
+        assert(!in_tx && "fence inside a transaction");
+        jitter();
+        session_.fence();
+        return Status::kOk;
+
+      case Cmd::Kind::kProbe:
+        probes_[static_cast<std::size_t>(c.dst)] = eval(*c.expr, locals_);
+        return Status::kOk;
+    }
+    return Status::kOk;
+  }
+
+  tm::TmThread& session_;
+  std::vector<Value>& locals_;
+  std::vector<Value>& probes_;
+  const ExecOptions& options_;
+  rt::Xoshiro256 rng_;
+  bool loop_bound_hit_ = false;
+};
+
+}  // namespace
+
+ExecResult execute(const Program& program, tm::TransactionalMemory& tm,
+                   const ExecOptions& options) {
+  const std::size_t n = program.threads.size();
+  ExecResult result;
+  result.locals.resize(n);
+  result.probes.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    result.locals[t].assign(program.threads[t].num_vars, 0);
+    result.probes[t].assign(kMaxProbes, 0);
+  }
+
+  hist::Recorder recorder;
+  hist::Recorder* rec = options.record ? &recorder : nullptr;
+
+  std::atomic<bool> any_loop_bound{false};
+  rt::SpinBarrier barrier(n);
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = tm.make_thread(static_cast<hist::ThreadId>(t), rec);
+      std::uint64_t seed_state = options.seed + 0x9e3779b97f4a7c15ULL * (t + 1);
+      ThreadInterp interp(*session, result.locals[t], result.probes[t],
+                          options, rt::splitmix64(seed_state));
+      barrier.arrive_and_wait();  // maximize overlap between threads
+      interp.run(*program.threads[t].body);
+      if (interp.loop_bound_hit()) {
+        any_loop_bound.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  result.loop_bound_hit = any_loop_bound.load(std::memory_order_relaxed);
+
+  result.registers.resize(program.num_registers);
+  for (std::size_t r = 0; r < program.num_registers; ++r) {
+    result.registers[r] = tm.peek(static_cast<RegId>(r));
+  }
+  if (options.record) result.recorded = recorder.collect();
+  return result;
+}
+
+}  // namespace privstm::lang

@@ -1,0 +1,46 @@
+// Interpreter: runs a mini-language program on real threads against a real
+// TM implementation — the concrete semantics ⟦P, H⟧(s) of §2.3, where H is
+// whatever the chosen TM produces.
+//
+// Each program thread runs on its own std::thread with a TM session.
+// Optional schedule jitter (random busy-waits before TM operations)
+// diversifies interleavings so litmus harnesses can hit narrow windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "history/recorder.hpp"
+#include "lang/ast.hpp"
+#include "tm/tm.hpp"
+
+namespace privstm::lang {
+
+struct ExecOptions {
+  bool record = true;
+  /// Safety net per while-loop; programs should bound their own loops.
+  std::uint64_t max_loop_iterations = 1u << 20;
+  std::uint64_t seed = 1;
+  /// Max busy-wait spins injected before each TM operation (0 = none).
+  std::uint32_t jitter_max_spins = 0;
+};
+
+struct ExecResult {
+  /// Final local-variable values per thread.
+  std::vector<std::vector<Value>> locals;
+  /// Probe slots per thread (survive abort roll-back; see Cmd::Kind::kProbe).
+  std::vector<std::vector<Value>> probes;
+  /// Final register values (read via TransactionalMemory::peek).
+  std::vector<Value> registers;
+  /// The recorded execution (empty when !options.record).
+  hist::RecordedExecution recorded;
+  /// True if the interpreter loop bound fired anywhere.
+  bool loop_bound_hit = false;
+};
+
+/// Execute `program` against `tm`. The TM must be freshly reset (registers
+/// at vinit).
+ExecResult execute(const Program& program, tm::TransactionalMemory& tm,
+                   const ExecOptions& options = {});
+
+}  // namespace privstm::lang

@@ -1,0 +1,307 @@
+#include "lang/litmus.hpp"
+
+#include "opacity/strong_opacity.hpp"
+
+namespace privstm::lang {
+
+namespace {
+
+// Value tags: globally unique, never vinit (see header).
+constexpr Value kFlagSet1a = 101;   // Fig 1a x_is_private := true
+constexpr Value kNu1a = 111;        // Fig 1a ν: x := 1
+constexpr Value kT2Write1a = 142;   // Fig 1a T2: x := 42
+constexpr Value kFlagSet1b = 201;   // Fig 1b x_is_private := true
+constexpr Value kNu1b = 211;        // Fig 1b ν: x := 1
+constexpr Value kPub2 = 301;        // Fig 2 x_is_public := true
+constexpr Value kNu2 = 342;         // Fig 2 ν: x := 42
+constexpr Value kX3 = 401;          // Fig 3 x := 1
+constexpr Value kY3 = 402;          // Fig 3 y := 2
+constexpr Value kReady6 = 601;      // Fig 6 x_is_ready := true
+constexpr Value kT6 = 642;          // Fig 6 T: x := 42
+constexpr Value kDoneRo = 901;      // RO bug: DONE := true
+constexpr Value kARo = 911;         // RO bug: A's NT write
+constexpr Value kCRo = 942;         // RO bug: C's delayed write
+
+constexpr RegId kFlag = 0;  // privatization flag (Fig 1/2/6: first register)
+constexpr RegId kX = 1;
+constexpr RegId kY = 1;  // Fig 3 uses registers {0, 1} as {x, y}
+
+}  // namespace
+
+LitmusSpec make_fig1a(bool with_fence) {
+  LitmusSpec spec;
+  spec.name = with_fence ? "fig1a_fenced" : "fig1a_unfenced";
+  spec.description =
+      "Privatization / delayed commit: l := atomic { flag := true }; "
+      "if committed { [fence;] x := 1 }  ||  atomic { if (!flag) x := 42 }";
+
+  // Thread 0: T1 then ν.
+  ThreadBuilder b0;
+  const VarId l = b0.local("l");
+  std::vector<CmdPtr> after{};
+  if (with_fence) after.push_back(fence_cmd());
+  after.push_back(write(kX, kNu1a));
+  CmdPtr t0 = seq({atomic(l, write(kFlag, kFlagSet1a)),
+                   ifthen(eq(var(l), constant(kCommitted)), seq(after))});
+
+  // Thread 1: T2.
+  ThreadBuilder b1;
+  const VarId l2 = b1.local("l2");
+  const VarId f = b1.local("f");
+  CmdPtr t1 = atomic(
+      l2, seq({read(f, kFlag),
+               ifthen(eq(var(f), constant(0)), write(kX, kT2Write1a))}));
+
+  spec.program.threads = {std::move(b0).finish(t0), std::move(b1).finish(t1)};
+  spec.program.num_registers = 2;
+  spec.postcondition = [](const LitmusState& st) {
+    // { l = committed ⇒ x = 1 }
+    return st.locals[0][0] != kCommitted || st.regs[kX] == kNu1a;
+  };
+  return spec;
+}
+
+LitmusSpec make_fig1b(bool with_fence) {
+  LitmusSpec spec;
+  spec.name = with_fence ? "fig1b_fenced" : "fig1b_unfenced";
+  spec.description =
+      "Privatization / doomed transaction: the doomed T2 must never observe "
+      "the uninstrumented post-privatization write ν";
+
+  ThreadBuilder b0;
+  const VarId l = b0.local("l");
+  std::vector<CmdPtr> after{};
+  if (with_fence) after.push_back(fence_cmd());
+  after.push_back(write(kX, kNu1b));
+  CmdPtr t0 = seq({atomic(l, write(kFlag, kFlagSet1b)),
+                   ifthen(eq(var(l), constant(kCommitted)), seq(after))});
+
+  // Thread 1: T2 with the bounded doomed loop. `saw` records whether the
+  // transaction ever observed ν's value — impossible under strong atomicity.
+  // Probe slot 0 records "T2 observed ν's value" — the transaction always
+  // aborts afterwards (its read of the flag fails commit validation), and
+  // abort roll-back would erase an ordinary local.
+  ThreadBuilder b1;
+  const VarId l2 = b1.local("l2");
+  const VarId f = b1.local("f");
+  const VarId v = b1.local("v");
+  const VarId cnt = b1.local("cnt");
+  CmdPtr loop_body =
+      seq({read(v, kX),
+           ifthen(eq(var(v), constant(kNu1b)), probe(0, constant(1))),
+           assign(cnt, add(var(cnt), constant(1)))});
+  CmdPtr doomed_loop = seq(
+      {read(v, kX),
+       ifthen(eq(var(v), constant(kNu1b)), probe(0, constant(1))),
+       assign(cnt, constant(0)),
+       whileloop(band(eq(var(v), constant(kNu1b)),
+                      lt(var(cnt), constant(8))),
+                 loop_body)});
+  CmdPtr t1 = atomic(
+      l2, seq({read(f, kFlag),
+               ifthen(eq(var(f), constant(0)), doomed_loop)}));
+
+  spec.program.threads = {std::move(b0).finish(t0), std::move(b1).finish(t1)};
+  spec.program.num_registers = 2;
+  spec.postcondition = [](const LitmusState& st) {
+    // Under strong atomicity the doomed transaction can never observe ν's
+    // write (probe slot 0 of thread 1 stays 0).
+    return st.probes[1][0] == 0;
+  };
+  return spec;
+}
+
+LitmusSpec make_fig2() {
+  LitmusSpec spec;
+  spec.name = "fig2_publication";
+  spec.description =
+      "Publication: x := 42 [NT]; atomic { publish }  ||  "
+      "atomic { if published, l := x }";
+
+  // Register 0: x_is_public (paper's ¬x_is_private, so the initial state
+  // x_is_private=true is vinit=0). Register 1: x.
+  ThreadBuilder b0;
+  const VarId l1 = b0.local("l1");
+  CmdPtr t0 = seq({write(kX, kNu2), atomic(l1, write(kFlag, kPub2))});
+
+  ThreadBuilder b1;
+  const VarId l2 = b1.local("l2");
+  const VarId p = b1.local("p");
+  const VarId lx = b1.local("lx");
+  CmdPtr t1 = atomic(
+      l2, seq({read(p, kFlag),
+               ifthen(ne(var(p), constant(0)), read(lx, kX))}));
+
+  spec.program.threads = {std::move(b0).finish(t0), std::move(b1).finish(t1)};
+  spec.program.num_registers = 2;
+  spec.postcondition = [lx](const LitmusState& st) {
+    // { l2 = committed ∧ l ≠ 0 ⇒ l = 42 }
+    const Value l2v = st.locals[1][0];
+    const Value lxv = st.locals[1][static_cast<std::size_t>(lx)];
+    return l2v != kCommitted || lxv == 0 || lxv == kNu2;
+  };
+  return spec;
+}
+
+LitmusSpec make_fig3() {
+  LitmusSpec spec;
+  spec.name = "fig3_racy";
+  spec.description =
+      "Racy: atomic { x := 1; y := 2 }  ||  l1 := x [NT]; l2 := y [NT]; "
+      "strong atomicity would give x = l1 ⇒ y = l2";
+
+  ThreadBuilder b0;
+  const VarId l = b0.local("l");
+  CmdPtr t0 = atomic(l, seq({write(0, kX3), write(kY, kY3)}));
+
+  ThreadBuilder b1;
+  const VarId l1 = b1.local("l1");
+  const VarId l2 = b1.local("l2");
+  CmdPtr t1 = seq({read(l1, 0), read(l2, kY)});
+
+  spec.program.threads = {std::move(b0).finish(t0), std::move(b1).finish(t1)};
+  spec.program.num_registers = 2;
+  spec.postcondition = [](const LitmusState& st) {
+    // { x = l1 ⇒ y = l2 }: if l1 observed the new x, l2 must observe the
+    // new y.
+    return st.locals[1][0] != kX3 || st.locals[1][1] == kY3;
+  };
+  return spec;
+}
+
+LitmusSpec make_fig6(Value spin_limit) {
+  LitmusSpec spec;
+  spec.name = "fig6_agreement";
+  spec.description =
+      "Privatization by agreement outside transactions (client order): "
+      "no fence needed";
+
+  // Register 0: x_is_ready; register 1: x.
+  ThreadBuilder b0;
+  const VarId l1 = b0.local("l1");
+  CmdPtr t0 = seq({atomic(l1, write(kX, kT6)), write(kFlag, kReady6)});
+
+  ThreadBuilder b1;
+  const VarId r = b1.local("r");
+  const VarId l3 = b1.local("l3");
+  const VarId cnt = b1.local("cnt");
+  CmdPtr t1 = seq(
+      {read(r, kFlag), assign(cnt, constant(0)),
+       whileloop(band(eq(var(r), constant(0)),
+                      lt(var(cnt), constant(spin_limit))),
+                 seq({read(r, kFlag), assign(cnt, add(var(cnt), constant(1)))})),
+       ifthen(ne(var(r), constant(0)), read(l3, kX))});
+
+  spec.program.threads = {std::move(b0).finish(t0), std::move(b1).finish(t1)};
+  spec.program.num_registers = 2;
+  spec.postcondition = [l3, r](const LitmusState& st) {
+    // { l1 = committed ⇒ l3 = 42 }, guarded by the loop having observed
+    // the ready flag (the paper's do-while is unbounded).
+    const Value l1v = st.locals[0][0];
+    const Value rv = st.locals[1][static_cast<std::size_t>(r)];
+    const Value l3v = st.locals[1][static_cast<std::size_t>(l3)];
+    return l1v != kCommitted || rv == 0 || l3v == kT6;
+  };
+  return spec;
+}
+
+LitmusSpec make_fig_ro(bool with_fence) {
+  LitmusSpec spec;
+  spec.name = with_fence ? "figro_fenced" : "figro_unfenced";
+  spec.description =
+      "GCC RO-fence bug [43]: privatizing observation in a READ-ONLY "
+      "transaction; a delayed-commit writer C must be quiesced before the "
+      "NT access";
+
+  // Register 0: DONE; register 1: X.
+  // Thread 0 (B): hand-off.
+  ThreadBuilder b0;
+  const VarId lb = b0.local("lb");
+  CmdPtr t0 = atomic(lb, write(kFlag, kDoneRo));
+
+  // Thread 1 (A): read-only polling transaction, then NT write. The
+  // explicit fence models the quiescence GCC omitted; under the
+  // kSkipAfterReadOnly policy an *implicit* post-commit fence is what gets
+  // (unsoundly) skipped, so the unfenced program + kAlways vs
+  // kSkipAfterReadOnly policies reproduce the bug.
+  ThreadBuilder b1;
+  const VarId la = b1.local("la");
+  const VarId d = b1.local("d");
+  std::vector<CmdPtr> after{};
+  if (with_fence) after.push_back(fence_cmd());
+  after.push_back(write(kX, kARo));
+  CmdPtr t1 = seq({atomic(la, read(d, kFlag)),
+                   ifthen(band(eq(var(la), constant(kCommitted)),
+                               ne(var(d), constant(0))),
+                          seq(after))});
+
+  // Thread 2 (C): the doomed/delayed writer.
+  ThreadBuilder b2;
+  const VarId lc = b2.local("lc");
+  const VarId d2 = b2.local("d2");
+  CmdPtr t2 = atomic(
+      lc, seq({read(d2, kFlag),
+               ifthen(eq(var(d2), constant(0)), write(kX, kCRo))}));
+
+  spec.program.threads = {std::move(b0).finish(t0), std::move(b1).finish(t1),
+                          std::move(b2).finish(t2)};
+  spec.program.num_registers = 2;
+  spec.postcondition = [d](const LitmusState& st) {
+    // If A committed its observation of the hand-off and wrote X, no
+    // delayed transactional write may overwrite it.
+    const Value lav = st.locals[1][0];
+    const Value dv = st.locals[1][static_cast<std::size_t>(d)];
+    if (lav != kCommitted || dv == 0) return true;
+    return st.regs[kX] == kARo;
+  };
+  return spec;
+}
+
+std::vector<LitmusSpec> all_litmus() {
+  return {make_fig1a(true), make_fig1b(true), make_fig2(),
+          make_fig3(),      make_fig6(2000),  make_fig_ro(true)};
+}
+
+LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
+                          tm::FencePolicy policy,
+                          const LitmusRunOptions& options) {
+  LitmusRunStats stats;
+  tm::TmConfig config;
+  config.num_registers = spec.program.num_registers;
+  config.fence_policy = policy;
+  config.commit_pause_spins = options.commit_pause_spins;
+
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    auto tmi = tm::make_tm(kind, config);
+    ExecOptions exec_options;
+    exec_options.record = options.check_strong_opacity;
+    exec_options.seed = options.seed + run;
+    exec_options.jitter_max_spins = options.jitter_max_spins;
+    ExecResult result = execute(spec.program, *tmi, exec_options);
+
+    ++stats.runs;
+    const LitmusState state{result.locals, result.probes, result.registers};
+    if (!spec.postcondition(state)) {
+      ++stats.postcondition_violations;
+    }
+    stats.committed_txns += tmi->stats().total(rt::Counter::kTxCommit);
+    stats.aborted_txns += tmi->stats().total(rt::Counter::kTxAbort);
+    stats.fences += tmi->stats().total(rt::Counter::kFence);
+
+    if (options.check_strong_opacity) {
+      ++stats.histories_checked;
+      opacity::StrongOpacityVerdict verdict =
+          opacity::check_strong_opacity(result.recorded);
+      if (verdict.racy) ++stats.racy_histories;
+      if (!verdict.ok()) {
+        ++stats.opacity_violations;
+        if (stats.first_violation_detail.empty()) {
+          stats.first_violation_detail = verdict.to_string();
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace privstm::lang

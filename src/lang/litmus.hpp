@@ -1,0 +1,99 @@
+// The paper's example programs (Figures 1a, 1b, 2, 3 and 6) plus the
+// read-only-fence-omission program modelled on the GCC libitm bug [43],
+// together with a harness that runs them repeatedly against real TMs under
+// different fence policies and counts strong-atomicity violations.
+//
+// Register/value conventions (see DESIGN.md §5):
+//  * Boolean flags are encoded so that the initial state is vinit = 0
+//    (e.g. Fig 2's x_is_private=true becomes x_is_public=0).
+//  * Every program constant carries a distinct tag so the unique-writes
+//    assumption of §2.2 holds (e.g. Fig 1a's x=1 is the value 111).
+//  * Unbounded paper loops are bounded with an iteration counter; the
+//    postconditions are guarded accordingly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "lang/interp.hpp"
+#include "tm/factory.hpp"
+
+namespace privstm::lang {
+
+/// Final state a postcondition judges: locals, probe slots (which survive
+/// abort roll-back) and register values.
+struct LitmusState {
+  const std::vector<std::vector<Value>>& locals;
+  const std::vector<std::vector<Value>>& probes;
+  const std::vector<Value>& regs;
+};
+
+struct LitmusSpec {
+  std::string name;
+  std::string description;
+  Program program;
+  /// Paper postcondition; false = violation of strongly-atomic semantics.
+  std::function<bool(const LitmusState&)> postcondition;
+};
+
+/// Figure 1(a): privatization, delayed-commit problem. `with_fence` places
+/// the transactional fence between T1 and ν as §3 prescribes.
+LitmusSpec make_fig1a(bool with_fence);
+
+/// Figure 1(b): privatization, doomed-transaction problem (bounded loop;
+/// the postcondition is "the doomed transaction never observes ν's write").
+LitmusSpec make_fig1b(bool with_fence);
+
+/// Figure 2: publication (DRF without any fence).
+LitmusSpec make_fig2();
+
+/// Figure 3: the racy program (no fence placement makes it DRF).
+LitmusSpec make_fig3();
+
+/// Figure 6: privatization by agreement outside transactions (DRF without
+/// fences thanks to client order). `spin_limit` bounds the paper's
+/// unbounded do-while; keep it small for exhaustive exploration.
+LitmusSpec make_fig6(Value spin_limit = 100000);
+
+/// The read-only privatizing transaction of the GCC bug [43]: thread A
+/// observes the hand-off in a *read-only* transaction, then accesses data
+/// non-transactionally; a delayed-commit writer C must be quiesced by a
+/// fence after A's RO transaction.
+LitmusSpec make_fig_ro(bool with_fence);
+
+/// The canonical (fenced where applicable) suite.
+std::vector<LitmusSpec> all_litmus();
+
+// ---------------------------------------------------------------------------
+// Repeated-run harness.
+// ---------------------------------------------------------------------------
+
+struct LitmusRunOptions {
+  std::size_t runs = 2000;
+  std::uint32_t jitter_max_spins = 256;
+  std::uint32_t commit_pause_spins = 0;  ///< TL2 delayed-commit window
+  std::uint64_t seed = 42;
+  /// Record each run and check strong opacity of the recorded history.
+  bool check_strong_opacity = false;
+};
+
+struct LitmusRunStats {
+  std::size_t runs = 0;
+  std::size_t postcondition_violations = 0;
+  std::size_t committed_txns = 0;
+  std::size_t aborted_txns = 0;
+  std::size_t fences = 0;
+  // Populated when check_strong_opacity:
+  std::size_t histories_checked = 0;
+  std::size_t racy_histories = 0;   ///< outside H|DRF — vacuous for the TM
+  std::size_t opacity_violations = 0;
+  std::string first_violation_detail;
+};
+
+LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
+                          tm::FencePolicy policy,
+                          const LitmusRunOptions& options = {});
+
+}  // namespace privstm::lang

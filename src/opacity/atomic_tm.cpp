@@ -1,0 +1,126 @@
+#include "opacity/atomic_tm.hpp"
+
+#include <sstream>
+
+namespace privstm::opacity {
+
+using hist::ActionKind;
+using hist::History;
+
+std::string AtomicTmReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):\n";
+  for (const auto& v : violations) out << "  - " << v << '\n';
+  return out.str();
+}
+
+AtomicTmReport check_non_interleaved(const History& h) {
+  AtomicTmReport report;
+  for (std::size_t t = 0; t < h.txns().size(); ++t) {
+    const hist::TxnInfo& txn = h.txns()[t];
+    const std::size_t lo = txn.begin_index();
+    const std::size_t hi = txn.end_index();
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const auto& owner = h.owner(i);
+      const bool foreign =
+          (owner.kind == hist::ActionOwner::Kind::kTxn && owner.index != t) ||
+          owner.kind == hist::ActionOwner::Kind::kNtAccess;
+      if (foreign) {
+        std::ostringstream out;
+        out << "action " << i << ' ' << hist::to_string(h[i])
+            << " interleaves with transaction T" << t << " [" << lo << ", "
+            << hi << ']';
+        report.violations.push_back(out.str());
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Effective status of a transaction after applying the completion choice.
+hist::TxnStatus completed_status(
+    const History& h, std::size_t txn,
+    const std::map<std::size_t, bool>& commit_pending_vis) {
+  const hist::TxnStatus s = h.txns()[txn].status;
+  if (s != hist::TxnStatus::kCommitPending) return s;
+  auto it = commit_pending_vis.find(txn);
+  const bool committed = it != commit_pending_vis.end() && it->second;
+  return committed ? hist::TxnStatus::kCommitted : hist::TxnStatus::kAborted;
+}
+
+}  // namespace
+
+AtomicTmReport check_legal_reads(
+    const History& h,
+    const std::map<std::size_t, bool>& commit_pending_vis) {
+  AtomicTmReport report;
+  const auto match = hist::match_actions(h);
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind != ActionKind::kReadRet) continue;
+    const std::size_t req = match[i];
+    if (req == hist::kNoMatch) continue;
+    const hist::RegId reg = h[req].reg;
+    const auto reader_txn = h.txn_of(req);
+
+    // Last preceding write to reg not located in an aborted or live
+    // transaction different from the reader's.
+    hist::Value expected = hist::kVInit;
+    for (std::size_t k = req; k-- > 0;) {
+      if (h[k].kind != ActionKind::kWriteReq || h[k].reg != reg) continue;
+      const auto wtxn = h.txn_of(k);
+      if (wtxn.has_value() && wtxn != reader_txn) {
+        const hist::TxnStatus s = completed_status(h, *wtxn,
+                                                   commit_pending_vis);
+        if (s == hist::TxnStatus::kAborted || s == hist::TxnStatus::kLive) {
+          continue;  // invisible write: keep scanning
+        }
+      }
+      expected = h[k].value;
+      break;
+    }
+    if (h[i].value != expected) {
+      std::ostringstream out;
+      out << "read response " << i << ' ' << hist::to_string(h[i])
+          << " of register x" << reg << " should have returned " << expected
+          << " (Definition B.7)";
+      report.violations.push_back(out.str());
+    }
+  }
+  return report;
+}
+
+AtomicTmReport check_atomic_membership(
+    const History& h,
+    const std::map<std::size_t, bool>& commit_pending_vis) {
+  AtomicTmReport report = check_non_interleaved(h);
+  AtomicTmReport legal = check_legal_reads(h, commit_pending_vis);
+  report.violations.insert(report.violations.end(), legal.violations.begin(),
+                           legal.violations.end());
+  return report;
+}
+
+bool in_atomic_tm(const History& h, std::size_t max_pending) {
+  if (!check_non_interleaved(h).ok()) return false;
+  std::vector<std::size_t> pending;
+  for (std::size_t t = 0; t < h.txns().size(); ++t) {
+    if (h.txns()[t].status == hist::TxnStatus::kCommitPending) {
+      pending.push_back(t);
+    }
+  }
+  if (pending.size() > max_pending) return false;  // refuse to enumerate
+  const std::size_t combos = std::size_t{1} << pending.size();
+  for (std::size_t mask = 0; mask < combos; ++mask) {
+    std::map<std::size_t, bool> choice;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      choice[pending[k]] = (mask >> k) & 1;
+    }
+    if (check_legal_reads(h, choice).ok()) return true;
+  }
+  return false;
+}
+
+}  // namespace privstm::opacity

@@ -1,0 +1,47 @@
+// The idealized atomic TM — Hatomic of §2.4 (strong atomicity /
+// transactional sequential consistency).
+//
+// H ∈ Hatomic iff H is non-interleaved and has a completion H^c (every
+// commit-pending transaction resolved to committed or aborted) in which
+// every read is *legal* (Definition B.7): it returns the value of the last
+// preceding write not located in an aborted or live transaction different
+// from the reader's own, or vinit when no such write precedes it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace privstm::opacity {
+
+struct AtomicTmReport {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Non-interleaved (§2.4): no action of another transaction or of an NT
+/// access occurs strictly between two actions of a transaction. Fence
+/// actions may overlap transactions (a fence can be blocked while a live
+/// transaction is stuck).
+AtomicTmReport check_non_interleaved(const hist::History& h);
+
+/// Legality of all reads under the completion choosing `commit_pending_vis`
+/// for commit-pending transactions (absent entries complete to aborted).
+AtomicTmReport check_legal_reads(
+    const hist::History& h,
+    const std::map<std::size_t, bool>& commit_pending_vis);
+
+/// H ∈ Hatomic with a *given* completion choice.
+AtomicTmReport check_atomic_membership(
+    const hist::History& h,
+    const std::map<std::size_t, bool>& commit_pending_vis);
+
+/// H ∈ Hatomic, searching over all completions. The number of
+/// commit-pending transactions must not exceed `max_pending` (enumeration
+/// is 2^pending). Intended for tests on small histories.
+bool in_atomic_tm(const hist::History& h, std::size_t max_pending = 16);
+
+}  // namespace privstm::opacity

@@ -1,0 +1,162 @@
+#include "opacity/bruteforce.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "drf/hb_graph.hpp"
+#include "drf/race.hpp"
+
+namespace privstm::opacity {
+
+using hist::History;
+
+namespace {
+
+/// Writers of each register for a given visibility assignment, as NodeRefs.
+std::map<hist::RegId, std::vector<NodeRef>> visible_writers(
+    const History& h, const std::vector<bool>& vis, const NodeTable& table) {
+  std::map<hist::RegId, std::vector<NodeRef>> out;
+  auto add = [&](std::size_t node_id, NodeRef ref, hist::RegId reg) {
+    if (!vis[node_id]) return;
+    auto& list = out[reg];
+    if (std::find(list.begin(), list.end(), ref) == list.end()) {
+      list.push_back(ref);
+    }
+  };
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind != hist::ActionKind::kWriteReq) continue;
+    const auto& owner = h.owner(i);
+    if (owner.kind == hist::ActionOwner::Kind::kTxn) {
+      add(table.id_of_txn(owner.index), {NodeRef::Type::kTxn, owner.index},
+          h[i].reg);
+    } else if (owner.kind == hist::ActionOwner::Kind::kNtAccess) {
+      add(table.id_of_nt(owner.index), {NodeRef::Type::kNt, owner.index},
+          h[i].reg);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BruteForceResult bruteforce_strong_opacity(const History& h,
+                                           const BruteForceLimits& limits) {
+  BruteForceResult result;
+
+  if (!drf::is_drf(h)) {
+    result.verdict = BruteVerdict::kRacy;
+    return result;
+  }
+  if (!check_consistency(h).ok()) {
+    // cons(H) is necessary for every graph (Lemma 6.4 premise).
+    result.verdict = BruteVerdict::kNotOpaque;
+    return result;
+  }
+
+  const NodeTable table(h);
+  std::vector<std::size_t> pending;
+  for (std::size_t t = 0; t < h.txns().size(); ++t) {
+    if (h.txns()[t].status == hist::TxnStatus::kCommitPending) {
+      pending.push_back(t);
+    }
+  }
+  if (pending.size() > 16) {
+    result.verdict = BruteVerdict::kTooLarge;
+    return result;
+  }
+
+  const CheckOptions opts{.verify_relation = true};
+  const std::size_t vis_combos = std::size_t{1} << pending.size();
+  for (std::size_t mask = 0; mask < vis_combos; ++mask) {
+    GraphWitness base;
+    std::vector<bool> vis(table.size(), false);
+    for (std::size_t t = 0; t < h.txns().size(); ++t) {
+      vis[table.id_of_txn(t)] =
+          h.txns()[t].status == hist::TxnStatus::kCommitted;
+    }
+    for (std::size_t n = 0; n < h.nt_accesses().size(); ++n) {
+      vis[table.id_of_nt(n)] = true;
+    }
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const bool committed = (mask >> k) & 1;
+      base.commit_pending_vis[pending[k]] = committed;
+      vis[table.id_of_txn(pending[k])] = committed;
+    }
+
+    auto writers = visible_writers(h, vis, table);
+    for (auto& [reg, list] : writers) {
+      if (list.size() > limits.max_writers_per_reg) {
+        result.verdict = BruteVerdict::kTooLarge;
+        return result;
+      }
+      // Canonical starting permutation for std::next_permutation: order by
+      // (type, index).
+      std::sort(list.begin(), list.end(), [](const NodeRef& a,
+                                             const NodeRef& b) {
+        return std::tie(a.type, a.index) < std::tie(b.type, b.index);
+      });
+    }
+
+    // Enumerate the cross product of per-register permutations.
+    std::vector<hist::RegId> regs;
+    for (const auto& [reg, list] : writers) {
+      (void)list;
+      regs.push_back(reg);
+    }
+    std::vector<std::vector<NodeRef>> perms;
+    for (hist::RegId reg : regs) perms.push_back(writers[reg]);
+
+    auto try_config = [&]() -> bool {
+      if (++result.configurations_tried > limits.max_configurations) {
+        return false;
+      }
+      GraphWitness witness = base;
+      for (std::size_t k = 0; k < regs.size(); ++k) {
+        witness.ww_order[regs[k]] = perms[k];
+      }
+      StrongOpacityVerdict verdict = check_strong_opacity(h, witness, opts);
+      if (verdict.ok() && !verdict.racy) {
+        result.verdict = BruteVerdict::kOpaque;
+        result.witness = witness;
+        result.sequential = verdict.serialization.witness;
+        return true;
+      }
+      return false;
+    };
+
+    // Odometer over permutations of each register's writer list.
+    std::vector<std::vector<NodeRef>> initial = perms;
+    bool done = false;
+    auto recurse = [&](auto&& self, std::size_t level) -> void {
+      if (done) return;
+      if (result.configurations_tried > limits.max_configurations) return;
+      if (level == perms.size()) {
+        if (try_config()) done = true;
+        return;
+      }
+      auto& list = perms[level];
+      std::sort(list.begin(), list.end(), [](const NodeRef& a,
+                                             const NodeRef& b) {
+        return std::tie(a.type, a.index) < std::tie(b.type, b.index);
+      });
+      do {
+        self(self, level + 1);
+        if (done) return;
+      } while (std::next_permutation(
+          list.begin(), list.end(), [](const NodeRef& a, const NodeRef& b) {
+            return std::tie(a.type, a.index) < std::tie(b.type, b.index);
+          }));
+    };
+    recurse(recurse, 0);
+    if (done) return result;
+    if (result.configurations_tried > limits.max_configurations) {
+      result.verdict = BruteVerdict::kTooLarge;
+      return result;
+    }
+  }
+  result.verdict = BruteVerdict::kNotOpaque;
+  return result;
+}
+
+}  // namespace privstm::opacity

@@ -1,0 +1,47 @@
+// Brute-force strong-opacity decision for tiny histories.
+//
+// Lemma 6.4 reduces strong opacity of a history to the existence of an
+// acyclic opacity graph. The only free components of a graph are the
+// visibility of commit-pending transactions and the per-register WW order;
+// everything else is determined by H. This module enumerates both spaces
+// exhaustively and reports whether *some* choice yields a valid acyclic
+// graph whose serialization lands in Hatomic.
+//
+// Used as a ground-truth oracle in unit tests (cross-validating the
+// witness-from-publish-log path) and to demonstrate that racy histories may
+// genuinely have no justification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "history/history.hpp"
+#include "opacity/strong_opacity.hpp"
+
+namespace privstm::opacity {
+
+enum class BruteVerdict : std::uint8_t {
+  kOpaque,     ///< a witnessing acyclic graph exists
+  kNotOpaque,  ///< exhaustively refuted
+  kRacy,       ///< H ∉ H|DRF: strong opacity is vacuous
+  kTooLarge,   ///< enumeration budget exceeded; undecided
+};
+
+struct BruteForceResult {
+  BruteVerdict verdict = BruteVerdict::kTooLarge;
+  /// The successful witness configuration (set iff kOpaque).
+  std::optional<GraphWitness> witness;
+  /// The witnessing sequential history (set iff kOpaque).
+  std::optional<hist::History> sequential;
+  std::uint64_t configurations_tried = 0;
+};
+
+struct BruteForceLimits {
+  std::size_t max_writers_per_reg = 6;  ///< permutations ≤ 720
+  std::uint64_t max_configurations = 200000;
+};
+
+BruteForceResult bruteforce_strong_opacity(const hist::History& h,
+                                           const BruteForceLimits& limits = {});
+
+}  // namespace privstm::opacity

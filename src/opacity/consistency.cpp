@@ -1,0 +1,124 @@
+#include "opacity/consistency.hpp"
+
+#include <sstream>
+
+#include "drf/hb_graph.hpp"
+
+namespace privstm::opacity {
+
+using hist::ActionKind;
+using hist::History;
+
+bool is_local(const History& h, std::size_t request_index) {
+  const hist::Action& req = h[request_index];
+  const auto txn_idx = h.txn_of(request_index);
+  if (!txn_idx.has_value()) return false;
+  const hist::TxnInfo& txn = h.txns()[*txn_idx];
+
+  if (req.kind == ActionKind::kReadReq) {
+    // Local read: some write to the same register precedes it in T.
+    for (std::size_t i : txn.actions) {
+      if (i >= request_index) break;
+      if (h[i].kind == ActionKind::kWriteReq && h[i].reg == req.reg) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (req.kind == ActionKind::kWriteReq) {
+    // Local write: some write to the same register follows it in T.
+    for (std::size_t i : txn.actions) {
+      if (i <= request_index) continue;
+      if (h[i].kind == ActionKind::kWriteReq && h[i].reg == req.reg) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+ConsistencyReport check_consistency(const History& h) {
+  ConsistencyReport report;
+  const auto match = hist::match_actions(h);
+  const drf::WriteIndex writes(h);
+
+  auto fail = [&](std::size_t i, const std::string& what) {
+    std::ostringstream out;
+    out << "read response " << i << ' ' << hist::to_string(h[i]) << ": "
+        << what;
+    report.violations.push_back(out.str());
+  };
+
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind != ActionKind::kReadRet) continue;
+    const std::size_t req = match[i];
+    if (req == hist::kNoMatch) continue;  // ill-formed; WF checker reports
+    const hist::Value v = h[i].value;
+    const hist::RegId reg = h[req].reg;
+
+    if (is_local(h, req)) {
+      // Most recent write to reg in the same transaction before the read.
+      const auto txn_idx = h.txn_of(req);
+      const hist::TxnInfo& txn = h.txns()[*txn_idx];
+      hist::Value expected = hist::kVInit;
+      bool found = false;
+      for (std::size_t k : txn.actions) {
+        if (k >= req) break;
+        if (h[k].kind == ActionKind::kWriteReq && h[k].reg == reg) {
+          expected = h[k].value;
+          found = true;
+        }
+      }
+      if (!found || v != expected) {
+        std::ostringstream out;
+        out << "local read returned " << v << " but the most recent own write"
+            << (found ? " wrote " + std::to_string(expected)
+                      : " does not exist");
+        fail(i, out.str());
+      }
+      continue;
+    }
+
+    // Non-local read.
+    if (v == hist::kVInit) continue;  // reading the initial value is allowed
+    const std::size_t w = writes.writer_of(v);
+    if (w == drf::WriteIndex::npos) {
+      fail(i, "returned a value never written");
+      continue;
+    }
+    if (h[w].reg != reg) {
+      fail(i, "returned a value written to a different register");
+      continue;
+    }
+    if (is_local(h, w)) {
+      fail(i, "read from a local (overwritten) write");
+      continue;
+    }
+    const auto wtxn = h.txn_of(w);
+    if (wtxn.has_value()) {
+      const hist::TxnInfo& txn = h.txns()[*wtxn];
+      const bool same_txn = h.txn_of(req) == wtxn;
+      if (!same_txn && (txn.status == hist::TxnStatus::kAborted ||
+                        txn.status == hist::TxnStatus::kLive)) {
+        std::ostringstream out;
+        out << "read from a write of " << hist::txn_status_name(txn.status)
+            << " transaction T" << *wtxn;
+        fail(i, out.str());
+      }
+      // Same-txn but non-local cannot happen: a preceding same-txn write
+      // would make the read local; a following one cannot be read from.
+    }
+  }
+  return report;
+}
+
+std::string ConsistencyReport::to_string() const {
+  if (ok()) return "consistent";
+  std::ostringstream out;
+  out << violations.size() << " violation(s):\n";
+  for (const auto& v : violations) out << "  - " << v << '\n';
+  return out.str();
+}
+
+}  // namespace privstm::opacity

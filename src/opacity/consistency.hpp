@@ -1,0 +1,35 @@
+// History consistency — Definitions 6.1 and 6.2 of the paper.
+//
+// A read is *local* to a transaction T when T wrote the register earlier; a
+// write is local when T overwrites it later. Consistency, cons(H):
+//   * a local read returns the most recent preceding write of its own
+//     transaction;
+//   * a non-local read either returns the value of a *non-local* write not
+//     located in an aborted or live transaction (commit-pending is allowed),
+//     or returns vinit when no such write exists for its value.
+//
+// Thanks to the unique-writes assumption the witnessing write β of a
+// non-local read is determined by the value read.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace privstm::opacity {
+
+struct ConsistencyReport {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// cons(H) — check every matching read request/response pair.
+ConsistencyReport check_consistency(const hist::History& h);
+
+/// Definition 6.1: is the access whose *request* is action i local to its
+/// transaction? (Always false for non-transactional accesses.)
+bool is_local(const hist::History& h, std::size_t request_index);
+
+}  // namespace privstm::opacity

@@ -1,0 +1,75 @@
+#include "opacity/online_checker.hpp"
+
+#include <algorithm>
+
+namespace privstm::opacity {
+
+void OnlineChecker::on_action(const hist::Action& action) {
+  hist::Action a = action;
+  if (a.id == 0) a.id = next_id_;  // convenience for hand-fed streams
+  next_id_ = std::max(next_id_, a.id) + 1;
+  history_.push_back(a);
+  ++events_;
+  if (options_.check_each_step) step_check();
+}
+
+void OnlineChecker::on_publish(hist::RegId reg, hist::Value value) {
+  publish_order_[reg].push_back(value);
+  ++events_;
+  if (options_.check_each_step) step_check();
+}
+
+void OnlineChecker::step_check() {
+  if (first_failure_.has_value()) return;
+  // Prefix mode: a writer whose writeback event is still in flight is not
+  // a violation yet.
+  CheckOptions opts;
+  opts.allow_pending_ww = true;
+  if (!check(opts).ok()) first_failure_ = events_;
+}
+
+StrongOpacityVerdict OnlineChecker::check(const CheckOptions& opts) const {
+  hist::RecordedExecution exec;
+  exec.history = history_;
+  exec.publish_order = publish_order_;
+  return check_strong_opacity(exec, opts);
+}
+
+void OnlineChecker::replay(const hist::RecordedExecution& exec) {
+  // A publish becomes deliverable once its writer has reached the point
+  // where the paper performs the corresponding graph update: line 27/51 of
+  // Fig 9 for transactions — i.e. after the txcommit request — and the
+  // access itself for NT writes. Delivering earlier would make a *live*
+  // transaction visible, which Definition 6.3 forbids.
+  std::map<hist::Value, std::size_t> deliverable_at;
+  for (std::size_t i = 0; i < exec.history.size(); ++i) {
+    if (exec.history[i].kind != hist::ActionKind::kWriteReq) continue;
+    std::size_t at = i + 1;  // NT write: after its (adjacent) response
+    const auto txn = exec.history.txn_of(i);
+    if (txn.has_value()) {
+      at = exec.history.size();  // until we find its txcommit
+      for (std::size_t k : exec.history.txns()[*txn].actions) {
+        if (exec.history[k].kind == hist::ActionKind::kTxCommit) {
+          at = k;
+          break;
+        }
+      }
+    }
+    deliverable_at[exec.history[i].value] = at;
+  }
+  std::map<hist::RegId, std::size_t> next_publish;
+  for (std::size_t i = 0; i < exec.history.size(); ++i) {
+    on_action(exec.history[i]);
+    for (const auto& [reg, values] : exec.publish_order) {
+      std::size_t& cursor = next_publish[reg];
+      while (cursor < values.size()) {
+        auto it = deliverable_at.find(values[cursor]);
+        if (it == deliverable_at.end() || it->second > i) break;
+        on_publish(reg, values[cursor]);
+        ++cursor;
+      }
+    }
+  }
+}
+
+}  // namespace privstm::opacity

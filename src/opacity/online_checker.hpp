@@ -1,0 +1,85 @@
+// Online strong-opacity monitoring — the incremental construction of §7 /
+// Fig 10, as a runtime monitor.
+//
+// The paper's proof builds the opacity graph *inductively over the
+// execution*: TXBEGIN adds an invisible node, TXREAD adds WR/RW/HB edges,
+// TXVIS (the guaranteed-commit point, line 27/51 of Fig 9) makes a
+// transaction visible and appends it to each WW_x, NTXREAD / NTXWRITE add
+// visible NT nodes. This class consumes the same event stream — interface
+// actions plus publish (writeback) events — and maintains exactly the
+// inputs of Definition 6.3 that are free (vis of commit-pending
+// transactions and the WW orders); the edge sets are recomputed from the
+// accumulated prefix on demand, which matches Fig 10's *semantics* (its
+// updates are cumulative) without replicating its data structures.
+//
+// `check()` runs the full pipeline (DRF → cons → graph → acyclicity →
+// serialization → Hatomic) on the current prefix; `step_check` mode does
+// so after every event, giving the earliest action at which a violation
+// became observable.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "history/history.hpp"
+#include "opacity/strong_opacity.hpp"
+
+namespace privstm::opacity {
+
+class OnlineChecker {
+ public:
+  struct Options {
+    /// Re-run the pipeline after every event (tests / debugging; the
+    /// pipeline itself is O(n²), so this is O(n³) overall).
+    bool check_each_step = false;
+  };
+
+  OnlineChecker() = default;
+  explicit OnlineChecker(Options options) : options_(options) {}
+
+  /// Feed the next interface action (in linearization order).
+  void on_action(const hist::Action& action);
+
+  /// Feed a writeback event: `value` of `reg` became visible in memory —
+  /// the TXVIS / NTXWRITE moments of Fig 10. Must follow the
+  /// corresponding write request action.
+  void on_publish(hist::RegId reg, hist::Value value);
+
+  /// Convenience: replay a whole recorded execution. Publish events are
+  /// interleaved at their writers' positions (a publish is fed right
+  /// after the last action of the writing node currently in the prefix —
+  /// sufficient because WW order per register is what matters).
+  void replay(const hist::RecordedExecution& exec);
+
+  /// Run the pipeline on the current prefix.
+  StrongOpacityVerdict check(const CheckOptions& opts = {}) const;
+
+  /// True while no per-step check has failed (always true unless
+  /// check_each_step).
+  bool healthy() const noexcept { return !first_failure_.has_value(); }
+
+  /// Index of the first event whose prefix failed (if any).
+  std::optional<std::size_t> first_failure() const noexcept {
+    return first_failure_;
+  }
+
+  const hist::History& history() const noexcept { return history_; }
+  const std::map<hist::RegId, std::vector<hist::Value>>& publish_order()
+      const noexcept {
+    return publish_order_;
+  }
+
+  std::size_t events_consumed() const noexcept { return events_; }
+
+ private:
+  void step_check();
+
+  Options options_{};
+  hist::ActionId next_id_ = 1;
+  hist::History history_;
+  std::map<hist::RegId, std::vector<hist::Value>> publish_order_;
+  std::size_t events_ = 0;
+  std::optional<std::size_t> first_failure_;
+};
+
+}  // namespace privstm::opacity

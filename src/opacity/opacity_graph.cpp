@@ -1,0 +1,455 @@
+#include "opacity/opacity_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace privstm::opacity {
+
+using hist::ActionKind;
+using hist::History;
+
+const char* edge_kind_name(EdgeKind k) noexcept {
+  switch (k) {
+    case EdgeKind::kHB:
+      return "HB";
+    case EdgeKind::kWR:
+      return "WR";
+    case EdgeKind::kWW:
+      return "WW";
+    case EdgeKind::kRW:
+      return "RW";
+    case EdgeKind::kRT:
+      return "RT";
+  }
+  return "?";
+}
+
+OpacityGraph::OpacityGraph(const History& h, const drf::HbGraph& hb,
+                           GraphWitness witness)
+    : h_(h), hb_(hb), table_(h) {
+  compute_vis(witness);
+
+  // Gather per-node access summaries.
+  accesses_.resize(table_.size());
+  const auto match = hist::match_actions(h_);
+  for (std::size_t i = 0; i < h_.size(); ++i) {
+    const std::size_t node = table_.node_of_action(h_, i);
+    if (node == NodeTable::npos) continue;
+    if (h_[i].kind == ActionKind::kWriteReq) {
+      accesses_[node].writes.push_back(h_[i].reg);
+    } else if (h_[i].kind == ActionKind::kReadRet &&
+               h_[i].value == hist::kVInit && match[i] != hist::kNoMatch) {
+      accesses_[node].vinit_reads.push_back(h_[match[i]].reg);
+    }
+  }
+  for (auto& acc : accesses_) {
+    auto dedupe = [](std::vector<hist::RegId>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedupe(acc.writes);
+    dedupe(acc.vinit_reads);
+  }
+
+  compute_hb_edges();
+  compute_wr_edges();
+  adopt_ww(witness);
+  compute_rw_edges();
+  validate_structure(witness);
+
+  std::sort(edges_.begin(), edges_.end(),
+            [](const GraphEdge& a, const GraphEdge& b) {
+              return std::tie(a.from, a.to, a.kind, a.reg) <
+                     std::tie(b.from, b.to, b.kind, b.reg);
+            });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void OpacityGraph::compute_vis(const GraphWitness& witness) {
+  vis_.assign(table_.size(), false);
+  for (std::size_t t = 0; t < h_.txns().size(); ++t) {
+    switch (h_.txns()[t].status) {
+      case hist::TxnStatus::kCommitted:
+        vis_[table_.id_of_txn(t)] = true;
+        break;
+      case hist::TxnStatus::kCommitPending: {
+        auto it = witness.commit_pending_vis.find(t);
+        vis_[table_.id_of_txn(t)] =
+            it != witness.commit_pending_vis.end() && it->second;
+        break;
+      }
+      case hist::TxnStatus::kAborted:
+      case hist::TxnStatus::kLive:
+        break;
+    }
+  }
+  for (std::size_t n = 0; n < h_.nt_accesses().size(); ++n) {
+    vis_[table_.id_of_nt(n)] = true;
+  }
+}
+
+void OpacityGraph::compute_hb_edges() {
+  // Per node: ascending action indices.
+  std::vector<std::vector<std::size_t>> node_actions(table_.size());
+  for (std::size_t i = 0; i < h_.size(); ++i) {
+    const std::size_t node = table_.node_of_action(h_, i);
+    if (node != NodeTable::npos) node_actions[node].push_back(i);
+  }
+  const std::size_t count = table_.size();
+  for (std::size_t n = 0; n < count; ++n) {
+    if (node_actions[n].empty()) continue;
+    for (std::size_t m = 0; m < count; ++m) {
+      if (m == n || node_actions[m].empty()) continue;
+      // hb respects execution order, so the earliest action of n must
+      // precede the latest action of m for an edge to be possible.
+      if (node_actions[n].front() >= node_actions[m].back()) continue;
+      bool found = false;
+      for (std::size_t a : node_actions[n]) {
+        for (std::size_t b : node_actions[m]) {
+          if (hb_.ordered(a, b)) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (found) edges_.push_back({n, m, EdgeKind::kHB, hist::kNoReg});
+    }
+  }
+}
+
+void OpacityGraph::compute_wr_edges() {
+  const drf::WriteIndex writes(h_);
+  const auto match = hist::match_actions(h_);
+  for (std::size_t i = 0; i < h_.size(); ++i) {
+    if (h_[i].kind != ActionKind::kReadRet) continue;
+    if (h_[i].value == hist::kVInit) continue;
+    if (match[i] == hist::kNoMatch) continue;
+    const std::size_t w = writes.writer_of(h_[i].value);
+    if (w == drf::WriteIndex::npos) continue;
+    const std::size_t from = table_.node_of_action(h_, w);
+    const std::size_t to = table_.node_of_action(h_, i);
+    if (from == NodeTable::npos || to == NodeTable::npos || from == to) {
+      continue;
+    }
+    edges_.push_back({from, to, EdgeKind::kWR, h_[w].reg});
+    if (!vis_[from]) {
+      std::ostringstream out;
+      out << "node " << table_.name(from)
+          << " is read from but not visible (Def 6.3 WR side condition)";
+      structural_violations_.push_back(out.str());
+    }
+  }
+}
+
+void OpacityGraph::adopt_ww(const GraphWitness& witness) {
+  for (const auto& [reg, order] : witness.ww_order) {
+    std::vector<std::size_t>& ids = ww_by_reg_[reg];
+    for (const NodeRef& ref : order) ids.push_back(table_.id_of(ref));
+    // Emit all ordered pairs so that the Theorem 6.6 irreflexivity check
+    // sees the full relation; cycle detection only needs the consecutive
+    // ones, and the quadratic blow-up is bounded for checker workloads.
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < ids.size(); ++b) {
+        if (ids[a] != ids[b]) {
+          edges_.push_back({ids[a], ids[b], EdgeKind::kWW, reg});
+        }
+      }
+    }
+  }
+}
+
+void OpacityGraph::compute_rw_edges() {
+  // Snapshot the read-dependencies first: the loop below appends RW edges
+  // to edges_, which would invalidate iterators into it.
+  std::vector<GraphEdge> wr_edges;
+  for (const GraphEdge& e : edges_) {
+    if (e.kind == EdgeKind::kWR) wr_edges.push_back(e);
+  }
+  for (const auto& [reg, order] : ww_by_reg_) {
+    // Position of each node in WW_reg.
+    std::map<std::size_t, std::size_t> pos;
+    for (std::size_t k = 0; k < order.size(); ++k) pos[order[k]] = k;
+
+    // Disjunct 1: n'' --WW--> n' and n'' --WR--> n  ⇒  n --RW--> n'.
+    for (const GraphEdge& e : wr_edges) {
+      if (e.reg != reg) continue;
+      auto it = pos.find(e.from);
+      if (it == pos.end()) continue;
+      for (std::size_t k = it->second + 1; k < order.size(); ++k) {
+        if (order[k] != e.to) {
+          edges_.push_back({e.to, order[k], EdgeKind::kRW, reg});
+        }
+      }
+    }
+    // Disjunct 2: n read vinit from reg ⇒ n --RW--> every visible writer.
+    for (std::size_t n = 0; n < table_.size(); ++n) {
+      const auto& vr = accesses_[n].vinit_reads;
+      if (!std::binary_search(vr.begin(), vr.end(), reg)) continue;
+      for (std::size_t writer : order) {
+        if (writer != n) edges_.push_back({n, writer, EdgeKind::kRW, reg});
+      }
+    }
+  }
+}
+
+void OpacityGraph::validate_structure(const GraphWitness& witness) {
+  // vis must hold of NT accesses and committed txns, and fail for
+  // aborted/live — enforced by construction in compute_vis.
+  // Each WW_x must cover exactly the visible writers of x.
+  std::map<hist::RegId, std::vector<std::size_t>> expected;
+  for (std::size_t n = 0; n < table_.size(); ++n) {
+    if (!vis_[n]) continue;
+    for (hist::RegId reg : accesses_[n].writes) {
+      expected[reg].push_back(n);
+    }
+  }
+  for (auto& [reg, nodes] : expected) {
+    std::vector<std::size_t> claimed;
+    auto it = ww_by_reg_.find(reg);
+    if (it != ww_by_reg_.end()) claimed = it->second;
+    std::sort(nodes.begin(), nodes.end());
+    std::vector<std::size_t> claimed_sorted = claimed;
+    std::sort(claimed_sorted.begin(), claimed_sorted.end());
+    if (claimed_sorted.end() !=
+        std::unique(claimed_sorted.begin(), claimed_sorted.end())) {
+      structural_violations_.push_back(
+          "WW order for x" + std::to_string(reg) + " repeats a node");
+      claimed_sorted.erase(
+          std::unique(claimed_sorted.begin(), claimed_sorted.end()),
+          claimed_sorted.end());
+    }
+    const bool covered =
+        witness.allow_pending_writers
+            ? std::includes(nodes.begin(), nodes.end(),
+                            claimed_sorted.begin(), claimed_sorted.end())
+            : claimed_sorted == nodes;
+    if (!covered) {
+      std::ostringstream out;
+      out << "WW order for x" << reg << " covers " << claimed_sorted.size()
+          << " node(s) but the visible writers are " << nodes.size()
+          << " (Def 6.3 WW side condition)";
+      structural_violations_.push_back(out.str());
+    }
+  }
+  for (const auto& [reg, claimed] : ww_by_reg_) {
+    if (expected.find(reg) == expected.end() && !claimed.empty()) {
+      structural_violations_.push_back("WW order for x" + std::to_string(reg) +
+                                       " names nodes that never wrote it");
+    }
+  }
+}
+
+bool OpacityGraph::find_cycle(const std::vector<std::vector<std::size_t>>& adj,
+                              std::vector<std::size_t>* cycle) const {
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  const std::size_t count = adj.size();
+  std::vector<std::uint8_t> color(count, kWhite);
+  std::vector<std::size_t> stack;
+  std::vector<std::pair<std::size_t, std::size_t>> frames;  // node, edge pos
+
+  for (std::size_t root = 0; root < count; ++root) {
+    if (color[root] != kWhite) continue;
+    frames.emplace_back(root, 0);
+    color[root] = kGrey;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      auto& [node, pos] = frames.back();
+      if (pos < adj[node].size()) {
+        const std::size_t next = adj[node][pos++];
+        if (color[next] == kGrey) {
+          if (cycle) {
+            auto it = std::find(stack.begin(), stack.end(), next);
+            cycle->assign(it, stack.end());
+          }
+          return true;
+        }
+        if (color[next] == kWhite) {
+          color[next] = kGrey;
+          stack.push_back(next);
+          frames.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool OpacityGraph::acyclic(std::vector<std::size_t>* cycle) const {
+  std::vector<std::vector<std::size_t>> adj(table_.size());
+  for (const GraphEdge& e : edges_) adj[e.from].push_back(e.to);
+  return !find_cycle(adj, cycle);
+}
+
+std::vector<std::size_t> OpacityGraph::topo_order() const {
+  const std::size_t count = table_.size();
+  std::vector<std::size_t> indeg(count, 0);
+  std::vector<std::vector<std::size_t>> adj(count);
+  for (const GraphEdge& e : edges_) {
+    adj[e.from].push_back(e.to);
+    ++indeg[e.to];
+  }
+  // Deterministic Kahn: prefer the node whose first action is earliest, so
+  // the witness history stays close to the original execution order.
+  std::vector<std::size_t> first_action(count, h_.size());
+  for (std::size_t i = h_.size(); i-- > 0;) {
+    const std::size_t node = table_.node_of_action(h_, i);
+    if (node != NodeTable::npos) first_action[node] = i;
+  }
+  auto better = [&](std::size_t a, std::size_t b) {
+    return first_action[a] < first_action[b];
+  };
+  std::vector<std::size_t> ready;
+  for (std::size_t n = 0; n < count; ++n) {
+    if (indeg[n] == 0) ready.push_back(n);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(count);
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end(), better);
+    const std::size_t n = *it;
+    ready.erase(it);
+    order.push_back(n);
+    for (std::size_t m : adj[n]) {
+      if (--indeg[m] == 0) ready.push_back(m);
+    }
+  }
+  return order;  // shorter than count iff cyclic
+}
+
+bool OpacityGraph::hb_dep_irreflexive(std::string* counterexample) const {
+  // Collect HB pairs for O(log) membership.
+  std::vector<std::pair<std::size_t, std::size_t>> hb_pairs;
+  for (const GraphEdge& e : edges_) {
+    if (e.kind == EdgeKind::kHB) hb_pairs.emplace_back(e.from, e.to);
+  }
+  std::sort(hb_pairs.begin(), hb_pairs.end());
+  auto hb_has = [&](std::size_t a, std::size_t b) {
+    return std::binary_search(hb_pairs.begin(), hb_pairs.end(),
+                              std::make_pair(a, b));
+  };
+  for (const GraphEdge& e : edges_) {
+    if (e.kind == EdgeKind::kHB) continue;
+    if (hb_has(e.to, e.from)) {
+      if (counterexample) {
+        std::ostringstream out;
+        out << table_.name(e.from) << " --" << edge_kind_name(e.kind) << "--> "
+            << table_.name(e.to) << " but " << table_.name(e.to) << " --HB--> "
+            << table_.name(e.from);
+        *counterexample = out.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool OpacityGraph::txn_projection_acyclic(
+    std::vector<std::size_t>* cycle) const {
+  // Nodes: transactions 0..T-1, then one virtual node per timeline position
+  // encoding RT = {(T,T') | end(T) < begin(T')} with O(T) edges.
+  const std::size_t txn_count = table_.txn_count();
+  std::vector<std::size_t> marks;  // action indices of txn begins/ends
+  for (const hist::TxnInfo& t : h_.txns()) {
+    marks.push_back(t.begin_index());
+    if (t.is_complete()) marks.push_back(t.end_index());
+  }
+  std::sort(marks.begin(), marks.end());
+  marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+  auto mark_pos = [&](std::size_t action) {
+    return static_cast<std::size_t>(
+        std::lower_bound(marks.begin(), marks.end(), action) - marks.begin());
+  };
+
+  const std::size_t total = txn_count + marks.size();
+  std::vector<std::vector<std::size_t>> adj(total);
+  for (std::size_t k = 1; k < marks.size(); ++k) {
+    adj[txn_count + k - 1].push_back(txn_count + k);
+  }
+  for (std::size_t t = 0; t < txn_count; ++t) {
+    const hist::TxnInfo& txn = h_.txns()[t];
+    adj[txn_count + mark_pos(txn.begin_index())].push_back(t);
+    if (txn.is_complete()) {
+      adj[t].push_back(txn_count + mark_pos(txn.end_index()));
+    }
+  }
+  // Wire the virtual chain so that T --RT--> T' iff end(T) < begin(T'):
+  // T -> chain(end) -> ... -> chain(begin) -> T'. A transaction's own
+  // begin precedes its end, so no self edge arises.
+  for (const GraphEdge& e : edges_) {
+    if (e.kind == EdgeKind::kHB) continue;  // projection drops HB (Thm 6.6)
+    if (!table_.is_txn(e.from) || !table_.is_txn(e.to)) continue;
+    adj[e.from].push_back(e.to);
+  }
+  std::vector<std::size_t> raw;
+  const bool cyclic = find_cycle(adj, cycle ? &raw : nullptr);
+  if (cyclic && cycle) {
+    cycle->clear();
+    for (std::size_t n : raw) {
+      if (n < txn_count) cycle->push_back(n);
+    }
+  }
+  return !cyclic;
+}
+
+std::string OpacityGraph::to_string() const {
+  std::ostringstream out;
+  out << table_.size() << " node(s):";
+  for (std::size_t n = 0; n < table_.size(); ++n) {
+    out << ' ' << table_.name(n) << (vis_[n] ? "(vis)" : "");
+  }
+  out << '\n';
+  for (const GraphEdge& e : edges_) {
+    out << "  " << table_.name(e.from) << " --" << edge_kind_name(e.kind);
+    if (e.reg != hist::kNoReg) out << "[x" << e.reg << ']';
+    out << "--> " << table_.name(e.to) << '\n';
+  }
+  return out.str();
+}
+
+std::optional<GraphWitness> witness_from_publishes(
+    const History& h,
+    const std::map<hist::RegId, std::vector<hist::Value>>& publish_order) {
+  const drf::WriteIndex writes(h);
+  const NodeTable table(h);
+  GraphWitness witness;
+  for (const auto& [reg, values] : publish_order) {
+    std::vector<NodeRef>& order = witness.ww_order[reg];
+    auto append = [&order](NodeRef ref) {
+      // In-place TMs publish once per write, so a node that writes a
+      // register several times appears several times; its WW position is
+      // that of its final write (nothing else can interleave between a
+      // node's own writes in a DRF history): move it to the back.
+      auto it = std::find(order.begin(), order.end(), ref);
+      if (it != order.end()) order.erase(it);
+      order.push_back(ref);
+    };
+    for (hist::Value v : values) {
+      const std::size_t w = writes.writer_of(v);
+      if (w == drf::WriteIndex::npos) return std::nullopt;
+      const auto& owner = h.owner(w);
+      switch (owner.kind) {
+        case hist::ActionOwner::Kind::kTxn: {
+          append({NodeRef::Type::kTxn, owner.index});
+          if (h.txns()[owner.index].status == hist::TxnStatus::kCommitPending) {
+            witness.commit_pending_vis[owner.index] = true;
+          }
+          break;
+        }
+        case hist::ActionOwner::Kind::kNtAccess:
+          append({NodeRef::Type::kNt, owner.index});
+          break;
+        default:
+          return std::nullopt;
+      }
+    }
+  }
+  return witness;
+}
+
+}  // namespace privstm::opacity

@@ -1,0 +1,130 @@
+// Opacity graphs — Definition 6.3 of the paper.
+//
+// G = (N, vis, HB, WR, WW, RW) where
+//   N   = txns(H) ∪ nontxn(H);
+//   vis — visibility: true for all NT accesses and committed transactions,
+//         false for aborted and live ones, free choice for commit-pending;
+//   HB  — lifting of hb(H) to nodes;
+//   WR  — read-dependencies (reader gets a value written by another node);
+//   WW  — per register, an irreflexive total order over visible writers
+//         (an *input*: the checker supplies a witness, e.g. the recorded
+//         writeback order);
+//   RW  — anti-dependencies, *computed* from WR and WW per Definition 6.3.
+//
+// The class also implements the acyclicity checks used by Lemma 6.4 and the
+// two modular checks of Theorem 6.6: irreflexivity of HB;(WR∪WW∪RW) and
+// acyclicity of RT ∪ txWR ∪ txWW ∪ txRW over transactions only.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drf/hb_graph.hpp"
+#include "history/history.hpp"
+#include "opacity/node.hpp"
+
+namespace privstm::opacity {
+
+enum class EdgeKind : std::uint8_t { kHB, kWR, kWW, kRW, kRT };
+
+const char* edge_kind_name(EdgeKind k) noexcept;
+
+struct GraphEdge {
+  std::size_t from;  ///< dense node id
+  std::size_t to;
+  EdgeKind kind;
+  hist::RegId reg;  ///< register for WR/WW/RW, kNoReg for HB/RT
+
+  friend bool operator==(const GraphEdge&, const GraphEdge&) = default;
+};
+
+/// Inputs the checker must choose (everything else is determined by H):
+/// visibility of commit-pending transactions and the per-register WW order.
+struct GraphWitness {
+  /// Visibility override for commit-pending transactions, by txn index.
+  /// Absent entries default to false (treated as aborted).
+  std::map<std::size_t, bool> commit_pending_vis;
+  /// Per register: the claimed WW total order, as node refs, first-to-last.
+  /// Must contain exactly the visible writers of the register.
+  std::map<hist::RegId, std::vector<NodeRef>> ww_order;
+  /// Online prefix mode: tolerate visible writers missing from ww_order
+  /// (their writeback event has not been consumed yet). The orders must
+  /// still be duplicate-free subsets of the visible writers.
+  bool allow_pending_writers = false;
+};
+
+class OpacityGraph {
+ public:
+  OpacityGraph(const hist::History& h, const drf::HbGraph& hb,
+               GraphWitness witness);
+
+  const NodeTable& nodes() const noexcept { return table_; }
+  bool vis(std::size_t node_id) const noexcept { return vis_[node_id]; }
+  const std::vector<GraphEdge>& edges() const noexcept { return edges_; }
+
+  /// Definition 6.3 side conditions: every read-from node is visible; each
+  /// WW_x is a total order over exactly the visible writers of x; vis holds
+  /// of NT accesses and committed txns and not of aborted/live ones.
+  const std::vector<std::string>& structural_violations() const noexcept {
+    return structural_violations_;
+  }
+
+  /// acyclic(G): no cycle over HB ∪ WR ∪ WW ∪ RW. If cyclic and `cycle` is
+  /// non-null, stores one offending node sequence.
+  bool acyclic(std::vector<std::size_t>* cycle = nullptr) const;
+
+  /// A topological order of the nodes (valid only when acyclic()).
+  std::vector<std::size_t> topo_order() const;
+
+  // ---- Theorem 6.6 modular checks ---------------------------------------
+
+  /// Irreflexivity of HB ; (WR ∪ WW ∪ RW): no dependency edge n -> n' with
+  /// an HB edge n' -> n.
+  bool hb_dep_irreflexive(std::string* counterexample = nullptr) const;
+
+  /// Acyclicity of RT ∪ txWR ∪ txWW ∪ txRW over transactions only — the
+  /// classical graph characterization of opacity [20].
+  bool txn_projection_acyclic(std::vector<std::size_t>* cycle = nullptr) const;
+
+  /// Render edges for diagnostics.
+  std::string to_string() const;
+
+ private:
+  void compute_vis(const GraphWitness& witness);
+  void compute_hb_edges();
+  void compute_wr_edges();
+  void adopt_ww(const GraphWitness& witness);
+  void compute_rw_edges();
+  void validate_structure(const GraphWitness& witness);
+  bool find_cycle(const std::vector<std::vector<std::size_t>>& adj,
+                  std::vector<std::size_t>* cycle) const;
+
+  const hist::History& h_;
+  const drf::HbGraph& hb_;
+  NodeTable table_;
+  std::vector<bool> vis_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::string> structural_violations_;
+
+  // Per node bookkeeping used while building edges.
+  struct NodeAccesses {
+    // Registers this node wrote (non-locally or not — any write).
+    std::vector<hist::RegId> writes;
+    // Registers this node read vinit from (for the RW second disjunct).
+    std::vector<hist::RegId> vinit_reads;
+  };
+  std::vector<NodeAccesses> accesses_;
+  std::map<hist::RegId, std::vector<std::size_t>> ww_by_reg_;  ///< node ids
+};
+
+/// The canonical witness for a recorded execution: commit-pending
+/// transactions are visible iff they appear in the publish order, and WW_x
+/// is the recorded writeback order (values mapped to their writer nodes).
+/// Returns nullopt if a published value has no writer node (corrupt log).
+std::optional<GraphWitness> witness_from_publishes(
+    const hist::History& h,
+    const std::map<hist::RegId, std::vector<hist::Value>>& publish_order);
+
+}  // namespace privstm::opacity

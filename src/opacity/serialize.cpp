@@ -1,0 +1,205 @@
+#include "opacity/serialize.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace privstm::opacity {
+
+using hist::History;
+
+SerializationResult serialize(const History& h, const drf::HbGraph& hb,
+                              const OpacityGraph& graph) {
+  SerializationResult result;
+  const NodeTable& table = graph.nodes();
+
+  // Fenced-graph nodes: opacity nodes, then one singleton node per fence
+  // ACTION — Definition B.5 adds fact(H), i.e. fbegin and fend are
+  // *separate* nodes; merging them would manufacture node-level
+  // transitivity (T --bf--> fend, fbegin --af--> T') that does not exist
+  // at the action level and can create spurious cycles — plus one
+  // singleton node per unowned action (e.g. a pending NT request at the
+  // end of a history prefix).
+  const std::size_t base = table.size();
+  std::vector<std::size_t> extra_actions;  // fence actions and unowned
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const auto kind = h.owner(i).kind;
+    if (kind == hist::ActionOwner::Kind::kFence ||
+        kind == hist::ActionOwner::Kind::kNone) {
+      extra_actions.push_back(i);
+    }
+  }
+  const std::size_t total = base + extra_actions.size();
+
+  // Action list per fenced-graph node.
+  std::vector<std::vector<std::size_t>> node_actions(total);
+  for (std::size_t i = 0, extra = 0; i < h.size(); ++i) {
+    const auto& owner = h.owner(i);
+    std::size_t node = NodeTable::npos;
+    switch (owner.kind) {
+      case hist::ActionOwner::Kind::kTxn:
+        node = table.id_of_txn(owner.index);
+        break;
+      case hist::ActionOwner::Kind::kNtAccess:
+        node = table.id_of_nt(owner.index);
+        break;
+      case hist::ActionOwner::Kind::kFence:
+      case hist::ActionOwner::Kind::kNone:
+        node = base + extra++;
+        break;
+    }
+    node_actions[node].push_back(i);
+  }
+
+  // Edges: all opacity-graph edges plus HB edges involving fence nodes
+  // (Definition B.5).
+  std::vector<std::vector<std::size_t>> adj(total);
+  std::vector<std::size_t> indeg(total, 0);
+  auto add_edge = [&](std::size_t from, std::size_t to) {
+    adj[from].push_back(to);
+    ++indeg[to];
+  };
+  for (const GraphEdge& e : graph.edges()) add_edge(e.from, e.to);
+  // HB edges touching the extra nodes (fences and unowned singletons) —
+  // Definition B.5's lifting.
+  for (std::size_t extra = base; extra < total; ++extra) {
+    for (std::size_t other = 0; other < total; ++other) {
+      if (other == extra || (other >= base && other > extra)) continue;
+      bool fwd = false;
+      bool bwd = false;
+      for (std::size_t a : node_actions[extra]) {
+        for (std::size_t b : node_actions[other]) {
+          if (hb.ordered(a, b)) fwd = true;
+          if (hb.ordered(b, a)) bwd = true;
+        }
+      }
+      if (fwd) add_edge(extra, other);
+      if (bwd) add_edge(other, extra);
+    }
+  }
+
+  // Deterministic Kahn sort preferring earliest first action.
+  std::vector<std::size_t> first_action(total, h.size());
+  for (std::size_t n = 0; n < total; ++n) {
+    if (!node_actions[n].empty()) first_action[n] = node_actions[n].front();
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t n = 0; n < total; ++n) {
+    if (indeg[n] == 0) ready.push_back(n);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(total);
+  while (!ready.empty()) {
+    auto it = std::min_element(
+        ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+          return first_action[a] < first_action[b];
+        });
+    const std::size_t n = *it;
+    ready.erase(it);
+    order.push_back(n);
+    for (std::size_t m : adj[n]) {
+      if (--indeg[m] == 0) ready.push_back(m);
+    }
+  }
+  if (order.size() != total) {
+    result.error = "fenced opacity graph is cyclic (Proposition B.6)";
+    return result;
+  }
+
+  // Emit S and θ.
+  result.permutation.assign(h.size(), 0);
+  std::vector<hist::Action> actions;
+  actions.reserve(h.size());
+  for (std::size_t n : order) {
+    for (std::size_t i : node_actions[n]) {
+      result.permutation[i] = actions.size();
+      actions.push_back(h[i]);
+    }
+  }
+  result.witness = History(std::move(actions));
+
+  // Transport commit-pending visibility: thread-ordinal matching (S and H
+  // have identical per-thread projections, so the k-th transaction of a
+  // thread is the same transaction in both).
+  std::map<std::pair<hist::ThreadId, std::size_t>, std::size_t> h_ordinal;
+  {
+    std::map<hist::ThreadId, std::size_t> counter;
+    for (std::size_t t = 0; t < h.txns().size(); ++t) {
+      const hist::ThreadId thr = h.txns()[t].thread;
+      h_ordinal[{thr, counter[thr]++}] = t;
+    }
+  }
+  {
+    std::map<hist::ThreadId, std::size_t> counter;
+    for (std::size_t s = 0; s < result.witness.txns().size(); ++s) {
+      const hist::ThreadId thr = result.witness.txns()[s].thread;
+      const std::size_t ordinal = counter[thr]++;
+      auto it = h_ordinal.find({thr, ordinal});
+      if (it == h_ordinal.end()) continue;
+      const std::size_t ht = it->second;
+      if (h.txns()[ht].status == hist::TxnStatus::kCommitPending) {
+        result.witness_commit_pending_vis[s] =
+            graph.vis(table.id_of_txn(ht));
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+bool verify_strong_opacity_relation(const History& h, const drf::HbGraph& hb,
+                                    const History& s,
+                                    const std::vector<std::size_t>& theta,
+                                    std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error) *error = what;
+    return false;
+  };
+  if (h.size() != s.size() || theta.size() != h.size()) {
+    return fail("size mismatch");
+  }
+  std::vector<bool> hit(s.size(), false);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (theta[i] >= s.size() || hit[theta[i]]) return fail("θ not bijective");
+    hit[theta[i]] = true;
+    if (!(h[i] == s[theta[i]])) {
+      return fail("action mismatch at H position " + std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    for (std::size_t j = i + 1; j < h.size(); ++j) {
+      if (hb.ordered(i, j) && theta[i] >= theta[j]) {
+        std::ostringstream out;
+        out << "hb pair (" << i << ", " << j << ") inverted: θ maps to ("
+            << theta[i] << ", " << theta[j] << ')';
+        return fail(out.str());
+      }
+    }
+  }
+  return true;
+}
+
+bool observationally_equivalent(const History& a, const History& b) {
+  for (hist::ThreadId t : a.threads()) {
+    const auto ia = a.thread_actions(t);
+    const auto ib = b.thread_actions(t);
+    if (ia.size() != ib.size()) return false;
+    for (std::size_t k = 0; k < ia.size(); ++k) {
+      if (!(a[ia[k]] == b[ib[k]])) return false;
+    }
+  }
+  if (a.threads() != b.threads()) return false;
+  // NT-access subsequences (τ|nontx): request/response actions of NT
+  // accesses, in order.
+  auto nontx = [](const History& h) {
+    std::vector<hist::Action> out;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      if (h.owner(i).kind == hist::ActionOwner::Kind::kNtAccess) {
+        out.push_back(h[i]);
+      }
+    }
+    return out;
+  };
+  return nontx(a) == nontx(b);
+}
+
+}  // namespace privstm::opacity

@@ -1,0 +1,58 @@
+// Serialization witness — Lemma 6.4 made executable.
+//
+// Given a consistent history H with an acyclic opacity graph G, build the
+// matching *fenced* graph (Definition B.5: G plus one node per fence
+// execution, with lifted happens-before edges), topologically sort it, and
+// emit the non-interleaved history S obtained by laying out each node's
+// actions contiguously in sort order. By construction H ⊑ S (Definition
+// 4.1): S is a permutation of H that preserves hb(H). S's membership in
+// Hatomic is then verified by the atomic-TM checker, closing the loop of
+// the paper's proof as an end-to-end runtime check.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "drf/hb_graph.hpp"
+#include "history/history.hpp"
+#include "opacity/opacity_graph.hpp"
+
+namespace privstm::opacity {
+
+struct SerializationResult {
+  bool ok = false;
+  std::string error;
+
+  /// The witness S (valid iff ok).
+  hist::History witness;
+
+  /// θ: position in H → position in S.
+  std::vector<std::size_t> permutation;
+
+  /// Completion choice transported to S's transaction numbering, for the
+  /// atomic-TM legality check.
+  std::map<std::size_t, bool> witness_commit_pending_vis;
+};
+
+/// Build the witness. Fails (ok=false) if the fenced graph is cyclic —
+/// which, by Proposition B.6, indicates the opacity graph itself was cyclic
+/// or malformed — or if H contains actions belonging to no node.
+SerializationResult serialize(const hist::History& h, const drf::HbGraph& hb,
+                              const OpacityGraph& graph);
+
+/// Independent verification of H ⊑ S for a claimed permutation θ:
+/// actions match pointwise and every hb(H)-ordered pair maps to increasing
+/// positions. Quadratic; intended for tests.
+bool verify_strong_opacity_relation(const hist::History& h,
+                                    const drf::HbGraph& hb,
+                                    const hist::History& s,
+                                    const std::vector<std::size_t>& theta,
+                                    std::string* error = nullptr);
+
+/// Observational-equivalence check (Definition 5.1) between two histories:
+/// equal per-thread projections and equal NT-access subsequences.
+bool observationally_equivalent(const hist::History& a,
+                                const hist::History& b);
+
+}  // namespace privstm::opacity

@@ -1,0 +1,96 @@
+#include "opacity/strong_opacity.hpp"
+
+#include <sstream>
+
+namespace privstm::opacity {
+
+using hist::History;
+
+StrongOpacityVerdict check_strong_opacity(const History& h,
+                                          const GraphWitness& witness,
+                                          const CheckOptions& opts) {
+  StrongOpacityVerdict verdict;
+  verdict.wf = hist::check_wellformed(h);
+
+  drf::HbGraph hb(h);
+  verdict.races = drf::find_races(h, hb);
+  verdict.racy = !verdict.races.drf();
+  if (verdict.racy) return verdict;  // H ∉ H|DRF: vacuously fine
+
+  verdict.consistency = check_consistency(h);
+
+  GraphWitness effective = witness;
+  if (opts.allow_pending_ww) effective.allow_pending_writers = true;
+  OpacityGraph graph(h, hb, effective);
+  verdict.graph_violations = graph.structural_violations();
+  verdict.graph_acyclic = graph.acyclic(&verdict.cycle);
+  verdict.hb_dep_irreflexive =
+      graph.hb_dep_irreflexive(&verdict.hb_dep_counterexample);
+  verdict.txn_projection_acyclic = graph.txn_projection_acyclic();
+
+  if (!verdict.graph_acyclic) return verdict;
+
+  verdict.serialization = serialize(h, hb, graph);
+  if (!verdict.serialization.ok) return verdict;
+
+  verdict.atomic = check_atomic_membership(
+      verdict.serialization.witness,
+      verdict.serialization.witness_commit_pending_vis);
+
+  if (opts.verify_relation) {
+    std::string error;
+    verdict.relation_verified = verify_strong_opacity_relation(
+        h, hb, verdict.serialization.witness,
+        verdict.serialization.permutation, &error);
+    if (!verdict.relation_verified) {
+      verdict.atomic.violations.push_back("H ⊑ S verification failed: " +
+                                          error);
+    }
+  }
+  return verdict;
+}
+
+StrongOpacityVerdict check_strong_opacity(const hist::RecordedExecution& exec,
+                                          const CheckOptions& opts) {
+  auto witness = witness_from_publishes(exec.history, exec.publish_order);
+  if (!witness.has_value()) {
+    StrongOpacityVerdict verdict;
+    verdict.wf.violations.push_back(
+        "publish log names a value with no writer action");
+    return verdict;
+  }
+  return check_strong_opacity(exec.history, *witness, opts);
+}
+
+std::string StrongOpacityVerdict::to_string() const {
+  std::ostringstream out;
+  out << "well-formed: " << (wf.ok() ? "yes" : "NO") << '\n';
+  if (!wf.ok()) out << wf.to_string();
+  out << "DRF: " << (racy ? "NO (vacuously strongly opaque)" : "yes") << '\n';
+  if (racy) return out.str();
+  out << "consistent: " << (consistency.ok() ? "yes" : "NO") << '\n';
+  if (!consistency.ok()) out << consistency.to_string();
+  out << "graph structure: "
+      << (graph_violations.empty() ? "ok"
+                                   : std::to_string(graph_violations.size()) +
+                                         " violation(s)")
+      << '\n';
+  for (const auto& v : graph_violations) out << "  - " << v << '\n';
+  out << "graph acyclic: " << (graph_acyclic ? "yes" : "NO") << '\n';
+  out << "HB;DEP irreflexive: " << (hb_dep_irreflexive ? "yes" : "NO");
+  if (!hb_dep_irreflexive) out << "  (" << hb_dep_counterexample << ')';
+  out << '\n';
+  out << "txn projection acyclic: " << (txn_projection_acyclic ? "yes" : "NO")
+      << '\n';
+  out << "serialization: "
+      << (serialization.ok ? "ok" : "FAILED: " + serialization.error) << '\n';
+  if (serialization.ok) {
+    out << "witness ∈ Hatomic: " << (atomic.ok() ? "yes" : "NO") << '\n';
+    if (!atomic.ok()) out << atomic.to_string();
+  }
+  out << "verdict: " << (ok() ? "STRONGLY OPAQUE (this history)" : "VIOLATION")
+      << '\n';
+  return out.str();
+}
+
+}  // namespace privstm::opacity

@@ -1,0 +1,74 @@
+// End-to-end strong-opacity checking — the full pipeline of §4–§6 over a
+// recorded execution:
+//
+//   1. well-formedness of H              (Definition 2.1 / A.1)
+//   2. DRF(H)                            (Definition 3.2; racy histories are
+//                                         outside H|DRF, hence vacuously OK)
+//   3. cons(H)                           (Definition 6.2)
+//   4. opacity graph structure+acyclicity (Definition 6.3, Lemma 6.4)
+//   5. Theorem 6.6 modular checks        (diagnostics)
+//   6. serialization witness S, H ⊑ S    (Definition 4.1, Lemma 6.4)
+//   7. S ∈ Hatomic                        (§2.4)
+//
+// A TM is strongly opaque (Definition 4.2) iff every DRF history it
+// produces passes 3–7; the property suites sample executions and check each.
+#pragma once
+
+#include <string>
+
+#include "drf/race.hpp"
+#include "history/recorder.hpp"
+#include "history/wellformed.hpp"
+#include "opacity/atomic_tm.hpp"
+#include "opacity/consistency.hpp"
+#include "opacity/opacity_graph.hpp"
+#include "opacity/serialize.hpp"
+
+namespace privstm::opacity {
+
+struct StrongOpacityVerdict {
+  hist::WfReport wf;
+  drf::RaceReport races;
+  bool racy = false;  ///< true ⇒ H ∉ H|DRF ⇒ nothing further is required
+  ConsistencyReport consistency;
+  std::vector<std::string> graph_violations;
+  bool graph_acyclic = false;
+  std::vector<std::size_t> cycle;  ///< one witness cycle when cyclic
+  bool hb_dep_irreflexive = false;
+  std::string hb_dep_counterexample;
+  bool txn_projection_acyclic = false;
+  SerializationResult serialization;
+  AtomicTmReport atomic;
+  bool relation_verified = false;  ///< H ⊑ S re-checked (when requested)
+
+  /// The headline verdict: H is well-formed and either racy (vacuous) or
+  /// passes consistency, acyclicity, serialization and atomicity.
+  bool ok() const noexcept {
+    if (!wf.ok()) return false;
+    if (racy) return true;
+    return consistency.ok() && graph_violations.empty() && graph_acyclic &&
+           serialization.ok && atomic.ok();
+  }
+
+  std::string to_string() const;
+};
+
+struct CheckOptions {
+  /// Re-verify H ⊑ S action-by-action and hb-pair-by-hb-pair (quadratic);
+  /// enable for small histories in tests.
+  bool verify_relation = false;
+  /// Online prefix mode: tolerate visible writers whose writeback events
+  /// have not arrived yet (see GraphWitness::allow_pending_writers).
+  bool allow_pending_ww = false;
+};
+
+/// Check a recorded execution (witness derived from the publish log).
+StrongOpacityVerdict check_strong_opacity(const hist::RecordedExecution& exec,
+                                          const CheckOptions& opts = {});
+
+/// Check a history against an explicitly supplied witness.
+StrongOpacityVerdict check_strong_opacity(const hist::History& h,
+                                          const GraphWitness& witness,
+                                          const CheckOptions& opts = {});
+
+}  // namespace privstm::opacity

@@ -1,0 +1,34 @@
+// Umbrella header: the full public API of privstm.
+//
+//   tm::        TM implementations (TL2 with fences, NOrec, global lock)
+//   adt::       transactional data structures with privatized bulk ops
+//   lang::      the paper's mini-language, interpreter, explorer, litmus
+//   hist::      histories, well-formedness, the execution recorder
+//   drf::       happens-before and data-race detection
+//   opacity::   strong-opacity checking (batch, online, brute-force)
+//   rt::        the concurrency runtime underneath everything
+#pragma once
+
+#include "adt/tx_counter.hpp"
+#include "adt/tx_hashmap.hpp"
+#include "adt/tx_stack.hpp"
+#include "drf/hb_graph.hpp"
+#include "drf/race.hpp"
+#include "history/history.hpp"
+#include "history/recorder.hpp"
+#include "history/wellformed.hpp"
+#include "lang/ast.hpp"
+#include "lang/explorer.hpp"
+#include "lang/interp.hpp"
+#include "lang/litmus.hpp"
+#include "opacity/atomic_tm.hpp"
+#include "opacity/bruteforce.hpp"
+#include "opacity/consistency.hpp"
+#include "opacity/online_checker.hpp"
+#include "opacity/opacity_graph.hpp"
+#include "opacity/serialize.hpp"
+#include "opacity/strong_opacity.hpp"
+#include "tm/factory.hpp"
+#include "tm/glock.hpp"
+#include "tm/norec.hpp"
+#include "tm/tl2.hpp"

@@ -1,0 +1,47 @@
+// Bounded exponential backoff for contended spin loops.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace privstm::rt {
+
+/// Hint to the CPU that we are in a spin-wait loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff: spin with `cpu_relax` for a doubling number of
+/// iterations, falling back to `std::this_thread::yield()` once the budget
+/// exceeds `kYieldThreshold`. Keeps contended commit paths from saturating
+/// the interconnect while staying responsive at low contention.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ >= kYieldThreshold) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+    spins_ <<= 1;
+  }
+
+  void reset() noexcept { spins_ = kInitialSpins; }
+
+ private:
+  static constexpr std::uint32_t kInitialSpins = 4;
+  static constexpr std::uint32_t kYieldThreshold = 1u << 12;
+  std::uint32_t spins_ = kInitialSpins;
+};
+
+}  // namespace privstm::rt

@@ -1,0 +1,41 @@
+// Cache-line geometry and padding helpers shared by all TM substrates.
+//
+// Every hot atomic in the TMs (global clock, per-thread activity words,
+// per-register lock/version metadata) lives on its own cache line to avoid
+// false sharing between writer threads.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace privstm::rt {
+
+// Fixed rather than std::hardware_destructive_interference_size: the
+// constant participates in struct layout (ABI), and GCC warns that the
+// std:: value varies with -mtune. 64 bytes is correct for every x86-64 and
+// most AArch64 parts; 128-byte destructive interference (Apple M-series)
+// only costs a little padding accuracy.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps a value in its own cache line. Used for per-thread slots and
+/// per-register metadata arrays where neighbouring elements are written by
+/// different threads.
+template <typename T>
+struct alignas(kCacheLine) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(CacheAligned<int>) >= 64);
+
+}  // namespace privstm::rt

@@ -1,0 +1,57 @@
+// Sequence lock — the single global lock/timestamp at the heart of NOrec.
+//
+// Even value  = no writer in progress.
+// Odd value   = a committing writer holds the lock.
+// Readers snapshot an even value, do their reads, and re-validate by value
+// if the sequence has moved on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/backoff.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace privstm::rt {
+
+class alignas(kCacheLine) SeqLock {
+ public:
+  using Stamp = std::uint64_t;
+
+  /// Wait until no writer is active and return the (even) snapshot.
+  Stamp read_begin() const noexcept {
+    Backoff backoff;
+    for (;;) {
+      Stamp s = seq_.load(std::memory_order_acquire);
+      if ((s & 1) == 0) return s;
+      backoff.pause();
+    }
+  }
+
+  /// True if the sequence is unchanged since `snapshot` (no intervening
+  /// writer committed and none is in flight).
+  bool read_validate(Stamp snapshot) const noexcept {
+    return seq_.load(std::memory_order_acquire) == snapshot;
+  }
+
+  /// Current raw value (may be odd).
+  Stamp raw() const noexcept { return seq_.load(std::memory_order_acquire); }
+
+  /// Try to move even snapshot -> odd (become the unique writer).
+  bool try_write_lock(Stamp snapshot) noexcept {
+    return (snapshot & 1) == 0 &&
+           seq_.compare_exchange_strong(snapshot, snapshot + 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Writer unlock: odd -> next even value.
+  void write_unlock() noexcept {
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<Stamp> seq_{0};
+};
+
+}  // namespace privstm::rt

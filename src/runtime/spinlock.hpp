@@ -1,0 +1,33 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+#pragma once
+
+#include <atomic>
+
+#include "runtime/backoff.hpp"
+
+namespace privstm::rt {
+
+/// Minimal TTAS spinlock. Satisfies Lockable so it composes with
+/// std::lock_guard / std::scoped_lock.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace privstm::rt

@@ -1,0 +1,48 @@
+#include "runtime/stats.hpp"
+
+#include <sstream>
+
+namespace privstm::rt {
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kTxCommit:
+      return "commits";
+    case Counter::kTxAbort:
+      return "aborts";
+    case Counter::kTxReadValidationFail:
+      return "read_validation_fails";
+    case Counter::kTxLockFail:
+      return "lock_fails";
+    case Counter::kFence:
+      return "fences";
+    case Counter::kNtRead:
+      return "nt_reads";
+    case Counter::kNtWrite:
+      return "nt_writes";
+    case Counter::kDoomedDetected:
+      return "doomed_detected";
+    case Counter::kPostconditionViolation:
+      return "postcondition_violations";
+    case Counter::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string StatsDomain::summary() const {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::uint64_t v = total(c);
+    if (v == 0) continue;
+    if (!first) out << ' ';
+    out << counter_name(c) << '=' << v;
+    first = false;
+  }
+  if (first) out << "(no events)";
+  return out.str();
+}
+
+}  // namespace privstm::rt

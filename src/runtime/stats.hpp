@@ -1,0 +1,70 @@
+// Lightweight per-thread statistics counters for TMs and benchmarks.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "runtime/cacheline.hpp"
+
+namespace privstm::rt {
+
+/// Event classes tallied by the TM implementations. Benchmarks read them to
+/// report abort rates and fence counts alongside throughput.
+enum class Counter : std::size_t {
+  kTxCommit = 0,
+  kTxAbort,
+  kTxReadValidationFail,
+  kTxLockFail,
+  kFence,
+  kNtRead,
+  kNtWrite,
+  kDoomedDetected,
+  kPostconditionViolation,
+  kCount,
+};
+
+constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
+
+/// Name of a counter for report rows.
+const char* counter_name(Counter c) noexcept;
+
+/// Per-thread counter block; aggregate() sums across threads. Each thread's
+/// block is cache-line isolated so counting does not perturb scalability
+/// measurements.
+class StatsDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 64;
+
+  void add(std::size_t thread, Counter c, std::uint64_t n = 1) noexcept {
+    blocks_[thread]->vals[static_cast<std::size_t>(c)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total(Counter c) const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& b : blocks_) {
+      sum += b->vals[static_cast<std::size_t>(c)].load(
+          std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& b : blocks_) {
+      for (auto& v : b->vals) v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Render a one-line summary "commits=... aborts=... fences=..." for logs.
+  std::string summary() const;
+
+ private:
+  struct Block {
+    std::array<std::atomic<std::uint64_t>, kCounterCount> vals{};
+  };
+  std::array<CacheAligned<Block>, kMaxThreads> blocks_{};
+};
+
+}  // namespace privstm::rt

@@ -1,0 +1,51 @@
+// Per-register write lock with owner identity — the `lock[x]` of Fig 9.
+//
+// The paper models Lock = {⊥} ⊎ Transaction: a lock is either free or holds
+// the id of the owning transaction. We encode ⊥ as kUnowned and store the
+// owner's (thread-unique) token otherwise; ownership lets the strong-opacity
+// instrumentation and assertions name the commit-pending writer (INV.8(e)).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace privstm::rt {
+
+/// Owner token type for OwnedLock. Zero is reserved for "unowned" (⊥).
+using OwnerToken = std::uint64_t;
+
+class OwnedLock {
+ public:
+  static constexpr OwnerToken kUnowned = 0;
+
+  /// `lock[x].trylock()` — acquire for `owner`, failing if held.
+  bool try_lock(OwnerToken owner) noexcept {
+    OwnerToken expected = kUnowned;
+    return state_.compare_exchange_strong(expected, owner,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  /// `lock[x].unlock()` — release; caller must be the owner.
+  void unlock() noexcept { state_.store(kUnowned, std::memory_order_release); }
+
+  /// `lock[x].test()` — observe whether the lock is currently held.
+  bool test() const noexcept {
+    return state_.load(std::memory_order_acquire) != kUnowned;
+  }
+
+  /// Current owner (kUnowned if free). Used by invariant checks only.
+  OwnerToken owner() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  /// True if held by `owner`.
+  bool held_by(OwnerToken owner) const noexcept {
+    return state_.load(std::memory_order_acquire) == owner;
+  }
+
+ private:
+  std::atomic<OwnerToken> state_{kUnowned};
+};
+
+}  // namespace privstm::rt

@@ -1,0 +1,61 @@
+#include "tm/factory.hpp"
+
+#include "tm/glock.hpp"
+#include "tm/norec.hpp"
+#include "tm/tl2.hpp"
+
+namespace privstm::tm {
+
+const char* tm_kind_name(TmKind kind) noexcept {
+  switch (kind) {
+    case TmKind::kTl2:
+      return "tl2";
+    case TmKind::kNOrec:
+      return "norec";
+    case TmKind::kGlobalLock:
+      return "glock";
+  }
+  return "?";
+}
+
+const char* fence_policy_name(FencePolicy p) noexcept {
+  switch (p) {
+    case FencePolicy::kNone:
+      return "none";
+    case FencePolicy::kSelective:
+      return "selective";
+    case FencePolicy::kAlways:
+      return "always";
+    case FencePolicy::kSkipAfterReadOnly:
+      return "skip-after-ro";
+  }
+  return "?";
+}
+
+std::vector<TmKind> all_tm_kinds() {
+  return {TmKind::kTl2, TmKind::kNOrec, TmKind::kGlobalLock};
+}
+
+std::unique_ptr<TransactionalMemory> make_tm(TmKind kind, TmConfig config) {
+  switch (kind) {
+    case TmKind::kTl2:
+      return std::make_unique<Tl2>(config);
+    case TmKind::kNOrec:
+      return std::make_unique<NOrec>(config);
+    case TmKind::kGlobalLock:
+      return std::make_unique<GlobalLockTm>(config);
+  }
+  return nullptr;
+}
+
+bool parse_tm_kind(std::string_view name, TmKind& out) noexcept {
+  for (TmKind kind : all_tm_kinds()) {
+    if (name == tm_kind_name(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace privstm::tm

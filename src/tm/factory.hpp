@@ -1,0 +1,25 @@
+// TM construction by name — used by benchmarks, examples and tests to sweep
+// implementations uniformly.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "tm/tm.hpp"
+
+namespace privstm::tm {
+
+enum class TmKind : std::uint8_t { kTl2, kNOrec, kGlobalLock };
+
+const char* tm_kind_name(TmKind kind) noexcept;
+
+/// All implementations, for sweeps.
+std::vector<TmKind> all_tm_kinds();
+
+std::unique_ptr<TransactionalMemory> make_tm(TmKind kind, TmConfig config);
+
+/// Parse "tl2" / "norec" / "glock"; returns nullopt-like failure via bool.
+bool parse_tm_kind(std::string_view name, TmKind& out) noexcept;
+
+}  // namespace privstm::tm

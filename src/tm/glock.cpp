@@ -1,0 +1,90 @@
+#include "tm/glock.hpp"
+
+namespace privstm::tm {
+
+using hist::ActionKind;
+using rt::Counter;
+
+GlobalLockTm::GlobalLockTm(TmConfig config)
+    : TransactionalMemory(config), regs_(config.num_registers) {}
+
+std::unique_ptr<TmThread> GlobalLockTm::make_thread(ThreadId thread,
+                                                    hist::Recorder* recorder) {
+  return std::make_unique<GlobalLockThread>(*this, thread, recorder);
+}
+
+void GlobalLockTm::reset() {
+  for (auto& reg : regs_) {
+    reg->store(hist::kVInit, std::memory_order_relaxed);
+  }
+}
+
+GlobalLockThread::GlobalLockThread(GlobalLockTm& tm, ThreadId thread,
+                                   hist::Recorder* recorder)
+    : TmThread(thread),
+      tm_(tm),
+      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
+      slot_(tm.registry_) {}
+
+GlobalLockThread::~GlobalLockThread() = default;
+
+bool GlobalLockThread::tx_begin() {
+  tm_.registry_.tx_enter(slot_.slot());
+  rec_.request(ActionKind::kTxBegin);
+  tm_.mutex_.lock();
+  rec_.response(ActionKind::kOk);
+  return true;
+}
+
+bool GlobalLockThread::tx_read(RegId reg, Value& out) {
+  rec_.request(ActionKind::kReadReq, reg);
+  out = tm_.regs_[static_cast<std::size_t>(reg)]->load(
+      std::memory_order_seq_cst);
+  rec_.response(ActionKind::kReadRet, reg, out);
+  return true;
+}
+
+bool GlobalLockThread::tx_write(RegId reg, Value value) {
+  rec_.request(ActionKind::kWriteReq, reg, value);
+  tm_.regs_[static_cast<std::size_t>(reg)]->store(value,
+                                                  std::memory_order_seq_cst);
+  rec_.publish(reg, value);  // in-place update: visible immediately
+  rec_.response(ActionKind::kWriteRet, reg);
+  return true;
+}
+
+TxResult GlobalLockThread::tx_commit() {
+  rec_.request(ActionKind::kTxCommit);
+  tm_.mutex_.unlock();
+  rec_.response(ActionKind::kCommitted);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
+  tm_.registry_.tx_exit(slot_.slot());
+  return TxResult::kCommitted;
+}
+
+Value GlobalLockThread::nt_read(RegId reg) {
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtRead);
+  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
+    return cell.load(std::memory_order_seq_cst);
+  });
+}
+
+void GlobalLockThread::nt_write(RegId reg, Value value) {
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtWrite);
+  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  rec_.nt_access(/*is_write=*/true, reg, value, [&] {
+    cell.store(value, std::memory_order_seq_cst);
+    return value;
+  });
+}
+
+void GlobalLockThread::fence() {
+  if (tm_.config().fence_policy == FencePolicy::kNone) return;
+  rec_.request(ActionKind::kFenceBegin);
+  tm_.registry_.quiesce(tm_.config().fence_mode);
+  rec_.response(ActionKind::kFenceEnd);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kFence);
+}
+
+}  // namespace privstm::tm

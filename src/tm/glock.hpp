@@ -1,0 +1,61 @@
+// Global-lock TM: every transaction runs under one global spin lock.
+//
+// Trivially opaque (transactions are literally serialized) and, for DRF
+// programs, strongly atomic. It is the oracle and the zero-concurrency
+// baseline of experiment E8, and the "no instrumentation needed" reference
+// point for fence-overhead measurements (E6).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/spinlock.hpp"
+#include "tm/tm.hpp"
+
+namespace privstm::tm {
+
+class GlobalLockTm;
+
+class GlobalLockThread final : public TmThread {
+ public:
+  GlobalLockThread(GlobalLockTm& tm, ThreadId thread,
+                   hist::Recorder* recorder);
+  ~GlobalLockThread() override;
+
+  bool tx_begin() override;
+  bool tx_read(RegId reg, Value& out) override;
+  bool tx_write(RegId reg, Value value) override;
+  TxResult tx_commit() override;
+  Value nt_read(RegId reg) override;
+  void nt_write(RegId reg, Value value) override;
+  void fence() override;
+
+ private:
+  GlobalLockTm& tm_;
+  hist::Recorder::Handle rec_;
+  rt::ThreadSlotGuard slot_;
+};
+
+class GlobalLockTm final : public TransactionalMemory {
+ public:
+  explicit GlobalLockTm(TmConfig config);
+
+  std::unique_ptr<TmThread> make_thread(ThreadId thread,
+                                        hist::Recorder* recorder) override;
+  const char* name() const noexcept override { return "glock"; }
+  void reset() override;
+  Value peek(RegId reg) const noexcept override {
+    return regs_[static_cast<std::size_t>(reg)]->load(
+        std::memory_order_seq_cst);
+  }
+
+ private:
+  friend class GlobalLockThread;
+
+  rt::SpinLock mutex_;
+  rt::ThreadRegistry registry_;
+  std::vector<rt::CacheAligned<std::atomic<Value>>> regs_;
+};
+
+}  // namespace privstm::tm

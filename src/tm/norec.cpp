@@ -1,0 +1,182 @@
+#include "tm/norec.hpp"
+
+#include <cassert>
+
+namespace privstm::tm {
+
+using hist::ActionKind;
+using rt::Counter;
+
+NOrec::NOrec(TmConfig config)
+    : TransactionalMemory(config), regs_(config.num_registers) {}
+
+std::unique_ptr<TmThread> NOrec::make_thread(ThreadId thread,
+                                             hist::Recorder* recorder) {
+  return std::make_unique<NOrecThread>(*this, thread, recorder);
+}
+
+void NOrec::reset() {
+  for (auto& reg : regs_) {
+    reg->store(hist::kVInit, std::memory_order_relaxed);
+  }
+}
+
+NOrecThread::NOrecThread(NOrec& tm, ThreadId thread, hist::Recorder* recorder)
+    : TmThread(thread),
+      tm_(tm),
+      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
+      slot_(tm.registry_),
+      in_wset_(tm.config().num_registers, 0) {}
+
+NOrecThread::~NOrecThread() = default;
+
+bool NOrecThread::tx_begin() {
+  tm_.registry_.tx_enter(slot_.slot());
+  rec_.request(ActionKind::kTxBegin);
+  snapshot_ = tm_.seqlock_.read_begin();  // wait until no writer in flight
+  rset_.clear();
+  wset_.clear();
+  rec_.response(ActionKind::kOk);
+  return true;
+}
+
+bool NOrecThread::revalidate() {
+  for (;;) {
+    const rt::SeqLock::Stamp fresh = tm_.seqlock_.read_begin();
+    bool valid = true;
+    for (const auto& [reg, seen] : rset_) {
+      if (tm_.regs_[static_cast<std::size_t>(reg)]->load(
+              std::memory_order_acquire) != seen) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) return false;
+    if (tm_.seqlock_.read_validate(fresh)) {
+      snapshot_ = fresh;
+      return true;
+    }
+    // A writer slipped in while we revalidated; try again.
+  }
+}
+
+void NOrecThread::abort_in_flight() {
+  rec_.response(ActionKind::kAborted);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
+  for (const auto& [r, v] : wset_) {
+    (void)v;
+    in_wset_[static_cast<std::size_t>(r)] = 0;
+  }
+  tm_.registry_.tx_exit(slot_.slot());
+}
+
+bool NOrecThread::tx_read(RegId reg, Value& out) {
+  rec_.request(ActionKind::kReadReq, reg);
+  const auto r = static_cast<std::size_t>(reg);
+  if (in_wset_[r]) {
+    for (auto it = wset_.rbegin(); it != wset_.rend(); ++it) {
+      if (it->first == reg) {
+        out = it->second;
+        rec_.response(ActionKind::kReadRet, reg, out);
+        return true;
+      }
+    }
+  }
+  Value v = tm_.regs_[r]->load(std::memory_order_acquire);
+  while (!tm_.seqlock_.read_validate(snapshot_)) {
+    if (!revalidate()) {
+      tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                      Counter::kTxReadValidationFail);
+      abort_in_flight();
+      return false;
+    }
+    v = tm_.regs_[r]->load(std::memory_order_acquire);
+  }
+  rset_.emplace_back(reg, v);
+  out = v;
+  rec_.response(ActionKind::kReadRet, reg, v);
+  return true;
+}
+
+bool NOrecThread::tx_write(RegId reg, Value value) {
+  rec_.request(ActionKind::kWriteReq, reg, value);
+  in_wset_[static_cast<std::size_t>(reg)] = 1;
+  wset_.emplace_back(reg, value);
+  rec_.response(ActionKind::kWriteRet, reg);
+  return true;
+}
+
+TxResult NOrecThread::tx_commit() {
+  rec_.request(ActionKind::kTxCommit);
+
+  if (wset_.empty()) {
+    // Read-only: reads were validated when taken; nothing to publish.
+    rec_.response(ActionKind::kCommitted);
+    tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                    Counter::kTxCommit);
+    tm_.registry_.tx_exit(slot_.slot());
+    return TxResult::kCommitted;
+  }
+
+  while (!tm_.seqlock_.try_write_lock(snapshot_)) {
+    if (!revalidate()) {
+      tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                      Counter::kTxReadValidationFail);
+      abort_in_flight();
+      return TxResult::kAborted;
+    }
+  }
+  // Sole writer: flush the write set in first-write program order, with
+  // the last value per register winning.
+  for (const auto& [reg, value] : wset_) {
+    (void)value;
+    const auto r = static_cast<std::size_t>(reg);
+    if (in_wset_[r] != 1) continue;  // register already flushed
+    Value final_value = value;
+    for (const auto& [reg2, value2] : wset_) {
+      if (reg2 == reg) final_value = value2;
+    }
+    tm_.regs_[r]->store(final_value, std::memory_order_release);
+    rec_.publish(reg, final_value);
+    in_wset_[r] = 2;
+  }
+  tm_.seqlock_.write_unlock();
+
+  for (const auto& [r, v] : wset_) {
+    (void)v;
+    in_wset_[static_cast<std::size_t>(r)] = 0;
+  }
+  rec_.response(ActionKind::kCommitted);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
+  tm_.registry_.tx_exit(slot_.slot());
+  return TxResult::kCommitted;
+}
+
+Value NOrecThread::nt_read(RegId reg) {
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtRead);
+  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
+    return cell.load(std::memory_order_seq_cst);
+  });
+}
+
+void NOrecThread::nt_write(RegId reg, Value value) {
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtWrite);
+  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  rec_.nt_access(/*is_write=*/true, reg, value, [&] {
+    cell.store(value, std::memory_order_seq_cst);
+    return value;
+  });
+}
+
+void NOrecThread::fence() {
+  // NOrec needs no fences for privatization safety; the call is still
+  // honoured (it is a valid program action) unless fences are disabled.
+  if (tm_.config().fence_policy == FencePolicy::kNone) return;
+  rec_.request(ActionKind::kFenceBegin);
+  tm_.registry_.quiesce(tm_.config().fence_mode);
+  rec_.response(ActionKind::kFenceEnd);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kFence);
+}
+
+}  // namespace privstm::tm

@@ -1,0 +1,81 @@
+// NOrec [10] — the fence-free privatization-safe baseline (§8 related work).
+//
+// A single global sequence lock serializes writer commits; transactions
+// validate their read sets *by value* whenever the global sequence moves.
+// Why this privatizes safely without fences:
+//
+//  * Delayed commit (Fig 1a): write-backs happen entirely inside the
+//    sequence-lock critical section, so a privatizing transaction commits
+//    strictly before or strictly after any other writer — no half-flushed
+//    transaction can overwrite a post-privatization NT store.
+//  * Doomed transactions (Fig 1b): once the privatizing transaction bumps
+//    the sequence number, every later transactional read re-validates the
+//    whole read set by value and the doomed transaction aborts before it
+//    can observe NT stores to privatized data.
+//
+// The price is serialized commits and O(|rset|) revalidation — the
+// TL2-vs-NOrec trade-off measured by experiment E8.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/seqlock.hpp"
+#include "tm/tm.hpp"
+
+namespace privstm::tm {
+
+class NOrec;
+
+class NOrecThread final : public TmThread {
+ public:
+  NOrecThread(NOrec& tm, ThreadId thread, hist::Recorder* recorder);
+  ~NOrecThread() override;
+
+  bool tx_begin() override;
+  bool tx_read(RegId reg, Value& out) override;
+  bool tx_write(RegId reg, Value value) override;
+  TxResult tx_commit() override;
+  Value nt_read(RegId reg) override;
+  void nt_write(RegId reg, Value value) override;
+  void fence() override;
+
+ private:
+  /// Re-read the read set and compare values; on success updates snapshot_
+  /// and returns true, else the transaction must abort.
+  bool revalidate();
+  void abort_in_flight();
+
+  NOrec& tm_;
+  hist::Recorder::Handle rec_;
+  rt::ThreadSlotGuard slot_;
+
+  rt::SeqLock::Stamp snapshot_ = 0;
+  std::vector<std::pair<RegId, Value>> rset_;  ///< value-based validation
+  std::vector<std::pair<RegId, Value>> wset_;
+  std::vector<std::uint8_t> in_wset_;
+};
+
+class NOrec final : public TransactionalMemory {
+ public:
+  explicit NOrec(TmConfig config);
+
+  std::unique_ptr<TmThread> make_thread(ThreadId thread,
+                                        hist::Recorder* recorder) override;
+  const char* name() const noexcept override { return "norec"; }
+  void reset() override;
+  Value peek(RegId reg) const noexcept override {
+    return regs_[static_cast<std::size_t>(reg)]->load(
+        std::memory_order_seq_cst);
+  }
+
+ private:
+  friend class NOrecThread;
+
+  rt::SeqLock seqlock_;
+  rt::ThreadRegistry registry_;
+  std::vector<rt::CacheAligned<std::atomic<Value>>> regs_;
+};
+
+}  // namespace privstm::tm

@@ -1,0 +1,290 @@
+#include "tm/tl2.hpp"
+
+#include <cassert>
+
+#include "runtime/backoff.hpp"
+
+namespace privstm::tm {
+
+using hist::ActionKind;
+using rt::Counter;
+
+Tl2::Tl2(TmConfig config)
+    : TransactionalMemory(config), regs_(config.num_registers) {}
+
+std::unique_ptr<TmThread> Tl2::make_thread(ThreadId thread,
+                                           hist::Recorder* recorder) {
+  return std::make_unique<Tl2Thread>(*this, thread, recorder);
+}
+
+void Tl2::reset() {
+  {
+    std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+    stamps_.clear();
+  }
+  clock_.reset();
+  for (auto& reg : regs_) {
+    reg->value.store(hist::kVInit, std::memory_order_relaxed);
+    reg->version.store(0, std::memory_order_relaxed);
+    assert(!reg->lock.test() && "reset with a register lock held");
+  }
+}
+
+Tl2Thread::Tl2Thread(Tl2& tm, ThreadId thread, hist::Recorder* recorder)
+    : TmThread(thread),
+      tm_(tm),
+      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
+      slot_(tm.registry_),
+      token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
+      in_wset_(tm.config().num_registers, 0),
+      in_rset_(tm.config().num_registers, 0) {}
+
+Tl2Thread::~Tl2Thread() = default;
+
+void Tl2::log_stamp(const TxnStamp& stamp) {
+  std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+  stamps_.push_back(stamp);
+}
+
+std::vector<Tl2::TxnStamp> Tl2::timestamp_log() const {
+  std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+  return stamps_;
+}
+
+bool Tl2Thread::tx_begin() {
+  // Set active[t] *before* logging txbegin: a fence whose fbegin is
+  // recorded after our txbegin must then observe us active and wait,
+  // keeping condition 10 of Definition A.1 true in the recorded history.
+  tm_.registry_.tx_enter(slot_.slot());       // active[t] := true
+  rec_.request(ActionKind::kTxBegin);
+  rver_ = tm_.clock_.sample();                // rver[T] := clock
+  wver_minted_ = false;
+  rset_.clear();
+  wset_.clear();
+  rec_.response(ActionKind::kOk);
+  return true;
+}
+
+void Tl2Thread::abort_in_flight() {
+  rec_.response(ActionKind::kAborted);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
+  if (tm_.config().collect_timestamps) {
+    tm_.log_stamp({thread_, txn_ordinal_, rver_, wver_, wver_minted_,
+                   /*committed=*/false});
+  }
+  ++txn_ordinal_;
+  for (RegId r : rset_) in_rset_[static_cast<std::size_t>(r)] = 0;
+  for (const auto& [r, v] : wset_) {
+    (void)v;
+    in_wset_[static_cast<std::size_t>(r)] = 0;
+  }
+  tm_.registry_.tx_exit(slot_.slot());        // abort handler: clear active
+}
+
+bool Tl2Thread::tx_read(RegId reg, Value& out) {
+  rec_.request(ActionKind::kReadReq, reg);
+  const auto r = static_cast<std::size_t>(reg);
+
+  // Write-set hit: return the buffered value (lines 15–16).
+  if (in_wset_[r]) {
+    for (auto it = wset_.rbegin(); it != wset_.rend(); ++it) {
+      if (it->first == reg) {
+        out = it->second;
+        rec_.response(ActionKind::kReadRet, reg, out);
+        return true;
+      }
+    }
+  }
+
+  auto& cell = *tm_.regs_[r];
+  const std::uint64_t ts1 = cell.version.load(std::memory_order_acquire);
+  const Value value = cell.value.load(std::memory_order_acquire);
+  const bool locked = cell.lock.test();
+  const std::uint64_t ts2 = cell.version.load(std::memory_order_acquire);
+  const bool invalid = locked || ts1 != ts2 || rver_ < ts2;  // line 21
+  if (invalid && !tm_.config().unsafe_skip_validation) {
+    tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                    Counter::kTxReadValidationFail);
+    abort_in_flight();
+    return false;
+  }
+  if (!in_rset_[r]) {
+    in_rset_[r] = 1;
+    rset_.push_back(reg);
+  }
+  out = value;
+  rec_.response(ActionKind::kReadRet, reg, value);
+  return true;
+}
+
+bool Tl2Thread::tx_write(RegId reg, Value value) {
+  rec_.request(ActionKind::kWriteReq, reg, value);
+  const auto r = static_cast<std::size_t>(reg);
+  in_wset_[r] = 1;
+  wset_.emplace_back(reg, value);
+  rec_.response(ActionKind::kWriteRet, reg);
+  return true;
+}
+
+void Tl2Thread::release_locks(std::size_t n) {
+  // Unlock the first n distinct registers we locked, in order.
+  std::size_t released = 0;
+  for (const auto& [reg, value] : wset_) {
+    (void)value;
+    const auto r = static_cast<std::size_t>(reg);
+    if (in_wset_[r] != 2) continue;  // not (or no longer) marked locked
+    if (released == n) break;
+    tm_.regs_[r]->lock.unlock();
+    in_wset_[r] = 1;
+    ++released;
+  }
+}
+
+TxResult Tl2Thread::tx_commit() {
+  rec_.request(ActionKind::kTxCommit);
+
+  // Collapse the write set to one (register, final value) entry in
+  // first-write program order: write-back then flushes in the order the
+  // program issued its (first) writes, which is the order the paper's
+  // examples observe.
+  std::vector<std::pair<RegId, Value>> writeback;
+  writeback.reserve(wset_.size());
+  for (const auto& [reg, value] : wset_) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (in_wset_[r] != 1) continue;  // later occurrence of a duplicate
+    in_wset_[r] = 3;                 // collapsed
+    Value final_value = value;
+    for (const auto& [reg2, value2] : wset_) {
+      if (reg2 == reg) final_value = value2;
+    }
+    writeback.emplace_back(reg, final_value);
+  }
+
+  // Acquire locks for the write set (lines 31–39). in_wset_ doubles as the
+  // "locked" mark (2 = locked by this commit).
+  std::size_t locked_count = 0;
+  bool lock_failed = false;
+  for (const auto& [reg, value] : writeback) {
+    (void)value;
+    const auto r = static_cast<std::size_t>(reg);
+    if (tm_.regs_[r]->lock.try_lock(token_)) {
+      in_wset_[r] = 2;
+      ++locked_count;
+    } else {
+      lock_failed = true;
+      break;
+    }
+  }
+  if (lock_failed) {
+    release_locks(locked_count);
+    tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                    Counter::kTxLockFail);
+    abort_in_flight();
+    auto_fence(false);
+    return TxResult::kAborted;
+  }
+
+  // Mint the write timestamp (line 40).
+  wver_ = tm_.clock_.advance();
+  wver_minted_ = true;
+
+  // Validate the read set (lines 41–50). A lock held by this very commit
+  // counts as free (original TL2; see header comment).
+  for (RegId reg : rset_) {
+    const auto r = static_cast<std::size_t>(reg);
+    auto& cell = *tm_.regs_[r];
+    const rt::OwnerToken owner = cell.lock.owner();
+    const bool locked_by_other =
+        owner != rt::OwnedLock::kUnowned && owner != token_;
+    const std::uint64_t ts = cell.version.load(std::memory_order_acquire);
+    if ((locked_by_other || rver_ < ts) &&
+        !tm_.config().unsafe_skip_validation) {
+      release_locks(locked_count);
+      tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                      Counter::kTxReadValidationFail);
+      abort_in_flight();
+      auto_fence(false);
+      return TxResult::kAborted;
+    }
+  }
+
+  // Write back and release (lines 51–54), pausing before each store when
+  // the harness asks: this is exactly the "commit-pending with locks held"
+  // window in which the delayed-commit problem of Fig 1(a) lives.
+  for (const auto& [reg, value] : writeback) {
+    for (std::uint32_t i = 0; i < tm_.config().commit_pause_spins; ++i) {
+      rt::cpu_relax();
+    }
+    const auto r = static_cast<std::size_t>(reg);
+    auto& cell = *tm_.regs_[r];
+    cell.value.store(value, std::memory_order_release);
+    rec_.publish(reg, value);  // TXVIS point (Fig 10)
+    cell.version.store(wver_, std::memory_order_release);
+    cell.lock.unlock();
+    in_wset_[r] = 1;
+  }
+
+  const bool wrote = !wset_.empty();
+  for (RegId r : rset_) in_rset_[static_cast<std::size_t>(r)] = 0;
+  for (const auto& [r, v] : wset_) {
+    (void)v;
+    in_wset_[static_cast<std::size_t>(r)] = 0;
+  }
+
+  rec_.response(ActionKind::kCommitted);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
+  if (tm_.config().collect_timestamps) {
+    tm_.log_stamp({thread_, txn_ordinal_, rver_, wver_, wver_minted_,
+                   /*committed=*/true});
+  }
+  ++txn_ordinal_;
+  tm_.registry_.tx_exit(slot_.slot());  // commit handler: clear active
+  auto_fence(wrote);
+  return TxResult::kCommitted;
+}
+
+Value Tl2Thread::nt_read(RegId reg) {
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtRead);
+  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
+    return cell.value.load(std::memory_order_seq_cst);
+  });
+}
+
+void Tl2Thread::nt_write(RegId reg, Value value) {
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtWrite);
+  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  rec_.nt_access(/*is_write=*/true, reg, value, [&] {
+    // Uninstrumented: no version bump, no lock — deliberately.
+    cell.value.store(value, std::memory_order_seq_cst);
+    return value;
+  });
+}
+
+void Tl2Thread::do_fence() {
+  rec_.request(ActionKind::kFenceBegin);
+  tm_.registry_.quiesce(tm_.config().fence_mode);
+  rec_.response(ActionKind::kFenceEnd);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kFence);
+}
+
+void Tl2Thread::fence() {
+  if (tm_.config().fence_policy == FencePolicy::kNone) return;
+  do_fence();
+}
+
+void Tl2Thread::auto_fence(bool wrote) {
+  switch (tm_.config().fence_policy) {
+    case FencePolicy::kAlways:
+      do_fence();
+      break;
+    case FencePolicy::kSkipAfterReadOnly:
+      if (wrote) do_fence();  // the unsound optimization of [43]
+      break;
+    case FencePolicy::kNone:
+    case FencePolicy::kSelective:
+      break;
+  }
+}
+
+}  // namespace privstm::tm

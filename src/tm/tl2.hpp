@@ -1,0 +1,121 @@
+// TL2 [12] with transactional fences — the case-study TM of §7 (Fig 9).
+//
+// Per register x: value reg[x], version ver[x], write-lock lock[x]
+// (separate fields, faithful to Fig 9; fusing version and lock into one
+// word is the classic optimization we deliberately do not take — see
+// DESIGN.md §6). A global clock mints write timestamps. Per thread t an
+// activity word active[t] (via rt::ThreadRegistry) supports fences.
+//
+//   txbegin:  active[t] := true; rver := clock                  (lines 9–12)
+//   read:     write-set hit, else ver/value/lock/ver double     (lines 14–24)
+//             check against rver
+//   write:    buffer into the write set                         (lines 26–28)
+//   txcommit: lock write set → wver := ++clock → validate read  (lines 30–55)
+//             set → write back (value, version, unlock) → commit
+//   fence:    two-pass scan of active flags                     (lines 30–36)
+//
+// Divergence from Fig 9 (documented, tested): commit-time validation treats
+// a lock held by the *committing transaction itself* as free, as in the
+// original TL2 paper — the figure's `lock[x].test()` would spuriously abort
+// every transaction that both reads and writes the same register.
+//
+// Non-transactional accesses are uninstrumented single atomic operations:
+// they touch neither versions nor locks. This is exactly what makes the
+// delayed-commit and doomed-transaction problems of Fig 1 reproducible when
+// fences are disabled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/global_clock.hpp"
+#include "runtime/spinlock.hpp"
+#include "runtime/versioned_lock.hpp"
+#include "tm/tm.hpp"
+
+namespace privstm::tm {
+
+class Tl2;
+
+class Tl2Thread final : public TmThread {
+ public:
+  Tl2Thread(Tl2& tm, ThreadId thread, hist::Recorder* recorder);
+  ~Tl2Thread() override;
+
+  bool tx_begin() override;
+  bool tx_read(RegId reg, Value& out) override;
+  bool tx_write(RegId reg, Value value) override;
+  TxResult tx_commit() override;
+  Value nt_read(RegId reg) override;
+  void nt_write(RegId reg, Value value) override;
+  void fence() override;
+
+ private:
+  void abort_in_flight();            ///< record aborted + clear active flag
+  void release_locks(std::size_t n); ///< unlock the first n locked entries
+  void auto_fence(bool wrote);       ///< FencePolicy::kAlways / kSkipAfterRO
+  void do_fence();
+
+  Tl2& tm_;
+  hist::Recorder::Handle rec_;
+  rt::ThreadSlotGuard slot_;
+  rt::OwnerToken token_;
+
+  // Transaction-local state (Fig 9 lines 4–7).
+  std::uint64_t rver_ = 0;
+  std::uint64_t wver_ = 0;
+  bool wver_minted_ = false;
+  std::uint64_t txn_ordinal_ = 0;  ///< count of finished transactions
+  std::vector<RegId> rset_;
+  std::vector<std::pair<RegId, Value>> wset_;  ///< insertion order; last wins
+  std::vector<std::uint8_t> in_wset_;          ///< per-register membership
+  std::vector<std::uint8_t> in_rset_;
+};
+
+class Tl2 final : public TransactionalMemory {
+ public:
+  explicit Tl2(TmConfig config);
+
+  std::unique_ptr<TmThread> make_thread(ThreadId thread,
+                                        hist::Recorder* recorder) override;
+  const char* name() const noexcept override { return "tl2"; }
+  void reset() override;
+
+  /// One entry per finished transaction when config.collect_timestamps:
+  /// the rver/wver pair that the §7 invariants (Fig 11, INV.5) reason
+  /// about. `ordinal` is the per-thread transaction count, which matches
+  /// the per-thread order of transactions in any recorded history.
+  struct TxnStamp {
+    ThreadId thread = 0;
+    std::uint64_t ordinal = 0;
+    std::uint64_t rver = 0;
+    std::uint64_t wver = 0;  ///< 0 = never minted (the paper's ⊤ stays 0)
+    bool has_wver = false;
+    bool committed = false;
+  };
+  std::vector<TxnStamp> timestamp_log() const;
+  Value peek(RegId reg) const noexcept override {
+    return regs_[static_cast<std::size_t>(reg)]->value.load(
+        std::memory_order_seq_cst);
+  }
+
+ private:
+  friend class Tl2Thread;
+
+  struct Register {
+    std::atomic<Value> value{hist::kVInit};
+    std::atomic<std::uint64_t> version{0};
+    rt::OwnedLock lock;
+  };
+
+  void log_stamp(const TxnStamp& stamp);
+
+  rt::GlobalClock clock_;
+  rt::ThreadRegistry registry_;
+  std::vector<rt::CacheAligned<Register>> regs_;
+  mutable rt::SpinLock stamp_lock_;
+  std::vector<TxnStamp> stamps_;
+};
+
+}  // namespace privstm::tm

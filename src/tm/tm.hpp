@@ -1,0 +1,175 @@
+// The TM interface — the programming model of §2.1.
+//
+// Threads obtain a per-thread session (`TmThread`) from a TM instance and
+// issue:
+//   * transactional accesses between tx_begin() and tx_commit()/abort,
+//   * non-transactional accesses nt_read()/nt_write() outside transactions
+//     (uninstrumented on the fast path, per the paper's motivation),
+//   * transactional fences fence() outside transactions.
+//
+// All implementations optionally log their interface actions to a
+// hist::Recorder so executions can be checked for DRF and strong opacity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "history/action.hpp"
+#include "history/recorder.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace privstm::tm {
+
+using hist::RegId;
+using hist::ThreadId;
+using hist::Value;
+
+enum class TxResult : std::uint8_t { kCommitted, kAborted };
+
+/// Where transactional fences come from (experiments E5/E6/E10):
+enum class FencePolicy : std::uint8_t {
+  kNone,               ///< fences are no-ops — the *unsafe* configuration
+  kSelective,          ///< programmer-placed fence() calls quiesce
+  kAlways,             ///< additionally auto-fence after every commit
+  kSkipAfterReadOnly,  ///< auto-fence after writing commits only — the GCC
+                       ///< libitm bug [43]: read-only commits skip quiescence
+};
+
+const char* fence_policy_name(FencePolicy p) noexcept;
+
+struct TmConfig {
+  std::size_t num_registers = 64;
+  FencePolicy fence_policy = FencePolicy::kSelective;
+  rt::FenceMode fence_mode = rt::FenceMode::kEpochCounter;
+  /// Busy-wait spins injected between commit-time validation and write-back
+  /// (TL2 only). Zero in production; litmus harnesses widen the
+  /// delayed-commit window (Fig 1a) with it to make the race observable in
+  /// reasonable run counts.
+  std::uint32_t commit_pause_spins = 0;
+  /// Collect per-transaction read/write timestamps (TL2 only) so tests can
+  /// validate the §7 / Fig 11 INV.5 invariants on recorded executions.
+  bool collect_timestamps = false;
+  /// TEST-ONLY (TL2): skip read-time version checks and commit-time
+  /// read-set validation, yielding a deliberately *unsound* TM. Used to
+  /// demonstrate that the strong-opacity checker detects real bugs
+  /// (tests/checker_detection_test.cpp). Never enable outside tests.
+  bool unsafe_skip_validation = false;
+};
+
+/// Per-thread TM session. Not thread-safe; owned by exactly one thread.
+class TmThread {
+ public:
+  virtual ~TmThread() = default;
+
+  /// Begin a transaction. Returns false if the TM aborted it immediately
+  /// (none of our TMs do, but the interface of Fig 4 allows it).
+  virtual bool tx_begin() = 0;
+
+  /// Transactional read. On success stores the value and returns true; on
+  /// false the transaction has been aborted (do not call tx_commit()).
+  virtual bool tx_read(RegId reg, Value& out) = 0;
+
+  /// Transactional write; false means the transaction aborted.
+  virtual bool tx_write(RegId reg, Value value) = 0;
+
+  /// Attempt to commit. Either way the transaction is finished.
+  virtual TxResult tx_commit() = 0;
+
+  /// Uninstrumented non-transactional accesses (must be outside txns).
+  virtual Value nt_read(RegId reg) = 0;
+  virtual void nt_write(RegId reg, Value value) = 0;
+
+  /// Transactional fence (must be outside txns). Under FencePolicy::kNone
+  /// this is a no-op — deliberately so, to run the paper's examples in
+  /// their unsafe configuration without editing the programs.
+  virtual void fence() = 0;
+
+  ThreadId thread_id() const noexcept { return thread_; }
+
+ protected:
+  explicit TmThread(ThreadId thread) noexcept : thread_(thread) {}
+  ThreadId thread_;
+};
+
+/// A TM instance: shared state plus a session factory.
+class TransactionalMemory {
+ public:
+  virtual ~TransactionalMemory() = default;
+
+  /// Create the session for logical thread `thread`. `recorder` may be
+  /// nullptr (no logging — the benchmark configuration).
+  virtual std::unique_ptr<TmThread> make_thread(
+      ThreadId thread, hist::Recorder* recorder) = 0;
+
+  virtual const char* name() const noexcept = 0;
+
+  /// Restore every register to vinit and reset TM metadata. All sessions
+  /// must be destroyed / quiescent.
+  virtual void reset() = 0;
+
+  /// Read a register's committed value outside any execution — a harness
+  /// utility for evaluating litmus postconditions after threads joined.
+  /// Not part of the paper's interface.
+  virtual Value peek(RegId reg) const noexcept = 0;
+
+  const TmConfig& config() const noexcept { return config_; }
+  rt::StatsDomain& stats() noexcept { return stats_; }
+
+ protected:
+  explicit TransactionalMemory(TmConfig config) : config_(config) {}
+  TmConfig config_;
+  rt::StatsDomain stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Structured transaction helpers.
+// ---------------------------------------------------------------------------
+
+/// Body-scoped view of a running transaction that remembers whether the TM
+/// aborted it; all accesses after an abort become no-ops so bodies can be
+/// written straight-line.
+class TxScope {
+ public:
+  explicit TxScope(TmThread& thread) noexcept : thread_(thread) {}
+
+  Value read(RegId reg) noexcept {
+    if (aborted_) return 0;
+    Value v = 0;
+    if (!thread_.tx_read(reg, v)) aborted_ = true;
+    return v;
+  }
+
+  void write(RegId reg, Value value) noexcept {
+    if (aborted_) return;
+    if (!thread_.tx_write(reg, value)) aborted_ = true;
+  }
+
+  bool aborted() const noexcept { return aborted_; }
+
+ private:
+  TmThread& thread_;
+  bool aborted_ = false;
+};
+
+/// Run `body(TxScope&)` as one transaction attempt; returns the outcome.
+/// This is `l := atomic { C }` of §2.1.
+template <typename F>
+TxResult run_tx(TmThread& thread, F&& body) {
+  if (!thread.tx_begin()) return TxResult::kAborted;
+  TxScope scope(thread);
+  std::forward<F>(body)(scope);
+  if (scope.aborted()) return TxResult::kAborted;
+  return thread.tx_commit();
+}
+
+/// Retry until commit; returns the number of attempts.
+template <typename F>
+std::size_t run_tx_retry(TmThread& thread, F&& body) {
+  std::size_t attempts = 1;
+  while (run_tx(thread, body) != TxResult::kCommitted) ++attempts;
+  return attempts;
+}
+
+}  // namespace privstm::tm

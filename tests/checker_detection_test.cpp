@@ -1,0 +1,116 @@
+// The checker-detects-bugs test: run a deliberately broken TL2 (validation
+// disabled) through a deterministic anomaly and confirm the strong-opacity
+// pipeline rejects the recorded history — the counterpart to the all-green
+// property suite, showing green actually means something for real TMs.
+#include <gtest/gtest.h>
+
+#include "history/recorder.hpp"
+#include "opacity/strong_opacity.hpp"
+#include "tm/tl2.hpp"
+
+namespace privstm {
+namespace {
+
+using tm::Tl2;
+using tm::TmConfig;
+using tm::TxResult;
+
+TEST(CheckerDetection, BrokenTl2InconsistentSnapshotCaught) {
+  TmConfig config;
+  config.num_registers = 4;
+  config.unsafe_skip_validation = true;  // the injected bug
+  Tl2 tmi(config);
+  hist::Recorder recorder;
+  auto t0 = tmi.make_thread(0, &recorder);
+  auto t1 = tmi.make_thread(1, &recorder);
+
+  // T0 reads x before T1's commit and y after it: an inconsistent snapshot
+  // a correct TL2 would abort at the y read.
+  ASSERT_TRUE(t0->tx_begin());
+  hist::Value x = 0;
+  ASSERT_TRUE(t0->tx_read(0, x));
+  EXPECT_EQ(x, hist::kVInit);
+
+  ASSERT_EQ(tm::run_tx(*t1,
+                       [](tm::TxScope& tx) {
+                         tx.write(0, 5);
+                         tx.write(1, 6);
+                       }),
+            TxResult::kCommitted);
+
+  hist::Value y = 0;
+  ASSERT_TRUE(t0->tx_read(1, y));  // the bug lets this succeed
+  EXPECT_EQ(y, 6u);
+  ASSERT_TRUE(t0->tx_write(2, 99));
+  EXPECT_EQ(t0->tx_commit(), TxResult::kCommitted);  // bug again
+
+  const auto exec = recorder.collect();
+  const auto verdict = opacity::check_strong_opacity(exec);
+  EXPECT_FALSE(verdict.racy);  // purely transactional: no races possible
+  EXPECT_FALSE(verdict.ok()) << verdict.to_string();
+  // The anomaly shows up as a cycle: WR(T1 → T0 on y) plus RW(T0 → T1 on
+  // x, vinit read overwritten by T1).
+  EXPECT_FALSE(verdict.graph_acyclic);
+  EXPECT_FALSE(verdict.txn_projection_acyclic);
+}
+
+TEST(CheckerDetection, BrokenTl2DoomedCommitCaught) {
+  // The doomed-commit variant: T0's entire read set is stale at commit;
+  // skipping validation publishes writes based on overwritten data.
+  TmConfig config;
+  config.num_registers = 4;
+  config.unsafe_skip_validation = true;
+  Tl2 tmi(config);
+  hist::Recorder recorder;
+  auto t0 = tmi.make_thread(0, &recorder);
+  auto t1 = tmi.make_thread(1, &recorder);
+
+  ASSERT_TRUE(t0->tx_begin());
+  hist::Value x = 0;
+  ASSERT_TRUE(t0->tx_read(0, x));
+  ASSERT_TRUE(t0->tx_write(1, x + 100));  // derived from the stale read
+
+  ASSERT_EQ(tm::run_tx(*t1,
+                       [](tm::TxScope& tx) {
+                         tx.write(0, 7);
+                         tx.write(1, 8);
+                       }),
+            TxResult::kCommitted);
+
+  // T0 now overwrites T1's y with a value derived from pre-T1 state.
+  EXPECT_EQ(t0->tx_commit(), TxResult::kCommitted);
+
+  const auto exec = recorder.collect();
+  const auto verdict = opacity::check_strong_opacity(exec);
+  EXPECT_FALSE(verdict.ok()) << verdict.to_string();
+}
+
+TEST(CheckerDetection, CorrectTl2SameScheduleIsFine) {
+  // Identical schedule on the sound TL2: the second read aborts and the
+  // recorded history passes.
+  TmConfig config;
+  config.num_registers = 4;
+  Tl2 tmi(config);
+  hist::Recorder recorder;
+  auto t0 = tmi.make_thread(0, &recorder);
+  auto t1 = tmi.make_thread(1, &recorder);
+
+  ASSERT_TRUE(t0->tx_begin());
+  hist::Value x = 0;
+  ASSERT_TRUE(t0->tx_read(0, x));
+  ASSERT_EQ(tm::run_tx(*t1,
+                       [](tm::TxScope& tx) {
+                         tx.write(0, 5);
+                         tx.write(1, 6);
+                       }),
+            TxResult::kCommitted);
+  hist::Value y = 0;
+  EXPECT_FALSE(t0->tx_read(1, y));  // sound TL2 aborts here
+
+  const auto exec = recorder.collect();
+  const auto verdict = opacity::check_strong_opacity(exec);
+  EXPECT_TRUE(verdict.ok()) << verdict.to_string();
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,146 @@
+// Tests for cons(H) — Definitions 6.1 and 6.2.
+#include <gtest/gtest.h>
+
+#include "opacity/consistency.hpp"
+#include "test_helpers.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using hist::History;
+using opacity::check_consistency;
+using opacity::is_local;
+
+TEST(Local, ReadAfterOwnWriteIsLocal) {
+  std::vector<hist::Action> a = {txbegin(0), ok(0),       wreq(0, 0, 5),
+                                 wret(0, 0), rreq(0, 0), rret(0, 0, 5),
+                                 txcommit(0), committed(0)};
+  History h = hist::make_history(a);
+  EXPECT_TRUE(is_local(h, 4));   // the read request
+  EXPECT_FALSE(is_local(h, 2));  // the write: nothing follows it
+}
+
+TEST(Local, WriteFollowedByWriteIsLocal) {
+  std::vector<hist::Action> a = {txbegin(0),    ok(0),      wreq(0, 0, 5),
+                                 wret(0, 0),    wreq(0, 0, 6), wret(0, 0),
+                                 txcommit(0),   committed(0)};
+  History h = hist::make_history(a);
+  EXPECT_TRUE(is_local(h, 2));
+  EXPECT_FALSE(is_local(h, 4));
+}
+
+TEST(Local, NtAccessNeverLocal) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 5));
+  append(a, nt_read(0, 0, 5));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(is_local(h, 0));
+  EXPECT_FALSE(is_local(h, 2));
+}
+
+TEST(Consistency, LocalReadSeesMostRecentOwnWrite) {
+  std::vector<hist::Action> a = {txbegin(0),    ok(0),      wreq(0, 0, 5),
+                                 wret(0, 0),    wreq(0, 0, 6), wret(0, 0),
+                                 rreq(0, 0),    rret(0, 0, 6), txcommit(0),
+                                 committed(0)};
+  EXPECT_TRUE(check_consistency(hist::make_history(a)).ok());
+}
+
+TEST(Consistency, LocalReadOfStaleOwnWriteFails) {
+  std::vector<hist::Action> a = {txbegin(0),    ok(0),      wreq(0, 0, 5),
+                                 wret(0, 0),    wreq(0, 0, 6), wret(0, 0),
+                                 rreq(0, 0),    rret(0, 0, 5), txcommit(0),
+                                 committed(0)};
+  const auto report = check_consistency(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("most recent own write"),
+            std::string::npos);
+}
+
+TEST(Consistency, NonLocalReadFromCommittedTxn) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, txn_read(1, 0, 5));
+  EXPECT_TRUE(check_consistency(hist::make_history(a)).ok());
+}
+
+TEST(Consistency, NonLocalReadFromNtWrite) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 5));
+  append(a, txn_read(1, 0, 5));
+  EXPECT_TRUE(check_consistency(hist::make_history(a)).ok());
+}
+
+TEST(Consistency, NonLocalReadFromCommitPendingAllowed) {
+  std::vector<hist::Action> a = {txbegin(0),  ok(0), wreq(0, 0, 5),
+                                 wret(0, 0), txcommit(0)};
+  append(a, txn_read(1, 0, 5));
+  EXPECT_TRUE(check_consistency(hist::make_history(a)).ok());
+}
+
+TEST(Consistency, ReadFromAbortedTxnFails) {
+  std::vector<hist::Action> a = {txbegin(0),  ok(0),      wreq(0, 0, 5),
+                                 wret(0, 0), txcommit(0), aborted(0)};
+  append(a, txn_read(1, 0, 5));
+  const auto report = check_consistency(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("aborted"), std::string::npos);
+}
+
+TEST(Consistency, ReadFromLiveTxnFails) {
+  std::vector<hist::Action> a = {txbegin(0), ok(0), wreq(0, 0, 5),
+                                 wret(0, 0)};
+  append(a, nt_read(1, 0, 5));
+  const auto report = check_consistency(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("live"), std::string::npos);
+}
+
+TEST(Consistency, ReadOfVInitAlwaysConsistent) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, txn_read(1, 1, hist::kVInit));
+  EXPECT_TRUE(check_consistency(hist::make_history(a)).ok());
+}
+
+TEST(Consistency, ReadOfUnwrittenValueFails) {
+  std::vector<hist::Action> a;
+  append(a, txn_read(0, 0, 99));
+  const auto report = check_consistency(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("never written"), std::string::npos);
+}
+
+TEST(Consistency, ReadOfValueFromWrongRegisterFails) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, txn_read(1, 1, 5));  // value 5 was written to x0, not x1
+  const auto report = check_consistency(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("different register"),
+            std::string::npos);
+}
+
+TEST(Consistency, ReadFromOverwrittenLocalWriteFails) {
+  // Writer txn writes 5 then 6 to x; the 5-write is local. Another
+  // transaction reading 5 is inconsistent.
+  std::vector<hist::Action> a = {txbegin(0),    ok(0),      wreq(0, 0, 5),
+                                 wret(0, 0),    wreq(0, 0, 6), wret(0, 0),
+                                 txcommit(0),   committed(0)};
+  append(a, txn_read(1, 0, 5));
+  const auto report = check_consistency(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("local (overwritten)"),
+            std::string::npos);
+}
+
+TEST(Consistency, NtReadFromNtWriteOk) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 5));
+  append(a, nt_read(1, 0, 5));
+  EXPECT_TRUE(check_consistency(hist::make_history(a)).ok());
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,197 @@
+// Explorer tests: the §3 DRF analyses of the paper's example programs,
+// reproduced mechanically — Fig 1 with a fence is DRF, without is racy;
+// Fig 2 and Fig 6 are DRF; Fig 3 is racy and no fence fixes it. Every
+// explored history must itself be a member of Hatomic, and the paper
+// postconditions must hold in all strongly-atomic outcomes.
+#include <gtest/gtest.h>
+
+#include "lang/explorer.hpp"
+#include "lang/litmus.hpp"
+#include "opacity/atomic_tm.hpp"
+#include "opacity/bruteforce.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::lang;
+
+LitmusSpec explorer_variant(LitmusSpec spec) {
+  // Use the small-spin fig6 for exploration.
+  if (spec.name == "fig6_agreement") return make_fig6(3);
+  return spec;
+}
+
+void expect_outcomes_atomic_and_postcondition(const LitmusSpec& raw) {
+  const LitmusSpec spec = explorer_variant(raw);
+  const auto exploration = explore_atomic(spec.program);
+  ASSERT_FALSE(exploration.outcomes.empty());
+  for (const auto& outcome : exploration.outcomes) {
+    EXPECT_TRUE(opacity::in_atomic_tm(outcome.history))
+        << outcome.history.to_string();
+    const LitmusState state{outcome.locals, outcome.probes,
+                            outcome.registers};
+    EXPECT_TRUE(spec.postcondition(state))
+        << spec.name << " violated under strong atomicity:\n"
+        << outcome.history.to_string();
+  }
+}
+
+TEST(Explorer, EnumeratesInterleavings) {
+  // Two single-transaction threads: schedules = 2 orders × 2 abort choices
+  // each = 8 outcomes.
+  LitmusSpec spec = make_fig3();
+  const auto exploration = explore_atomic(spec.program);
+  EXPECT_FALSE(exploration.truncated);
+  // Thread 1 has two NT accesses: units are {T}, {ν1, ν2}; interleavings
+  // of 1 txn (2 abort choices) among 2 NT steps: C(3,1)=3 positions × 2 =
+  // 6 outcomes.
+  EXPECT_EQ(exploration.outcomes.size(), 6u);
+}
+
+TEST(Explorer, Fig1aFencedIsDrf) {
+  const auto report = check_drf_under_atomic(make_fig1a(true).program);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.drf) << "racy example:\n"
+                          << (report.racy_example
+                                  ? report.racy_example->history.to_string()
+                                  : "");
+}
+
+TEST(Explorer, Fig1aUnfencedIsRacy) {
+  const auto report = check_drf_under_atomic(make_fig1a(false).program);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_FALSE(report.drf);
+  ASSERT_TRUE(report.racy_example.has_value());
+  ASSERT_TRUE(report.example_races.has_value());
+  EXPECT_FALSE(report.example_races->races.empty());
+}
+
+TEST(Explorer, Fig1bFencedIsDrf) {
+  EXPECT_TRUE(check_drf_under_atomic(make_fig1b(true).program).drf);
+}
+
+TEST(Explorer, Fig1bUnfencedIsRacy) {
+  EXPECT_FALSE(check_drf_under_atomic(make_fig1b(false).program).drf);
+}
+
+TEST(Explorer, Fig2PublicationIsDrfWithoutFences) {
+  const auto report = check_drf_under_atomic(make_fig2().program);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.drf);
+}
+
+TEST(Explorer, Fig3IsRacy) {
+  const auto report = check_drf_under_atomic(make_fig3().program);
+  EXPECT_FALSE(report.drf);
+  // Both registers race.
+  EXPECT_GE(report.racy_outcomes, 1u);
+}
+
+TEST(Explorer, Fig6AgreementIsDrfWithoutFences) {
+  // Small spin bound: the unbounded do-while would blow up exploration.
+  const auto report = check_drf_under_atomic(make_fig6(3).program);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.drf);
+}
+
+TEST(Explorer, FigRoFencedIsDrf) {
+  const auto report = check_drf_under_atomic(make_fig_ro(true).program);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.drf);
+}
+
+TEST(Explorer, FigRoUnfencedIsRacy) {
+  EXPECT_FALSE(check_drf_under_atomic(make_fig_ro(false).program).drf);
+}
+
+TEST(Explorer, AllLitmusPostconditionsHoldUnderStrongAtomicity) {
+  for (const LitmusSpec& spec : all_litmus()) {
+    SCOPED_TRACE(spec.name);
+    expect_outcomes_atomic_and_postcondition(spec);
+  }
+}
+
+TEST(Explorer, UnfencedVariantsAlsoSatisfyPostconditionsAtomically) {
+  // Strong atomicity makes even the unfenced programs correct — the whole
+  // point of the Fundamental Property is when this transfers to real TMs.
+  for (LitmusSpec spec : {make_fig1a(false), make_fig1b(false),
+                          make_fig_ro(false)}) {
+    SCOPED_TRACE(spec.name);
+    expect_outcomes_atomic_and_postcondition(spec);
+  }
+}
+
+TEST(Explorer, AbortedTransactionRollsBackLocals) {
+  // thread: l := atomic { v := 7 }; the aborted branch must restore v = 0.
+  ThreadBuilder b;
+  const VarId l = b.local("l");
+  const VarId v = b.local("v");
+  Program p;
+  p.num_registers = 1;
+  p.threads.push_back(
+      std::move(b).finish(atomic(l, assign(v, constant(7)))));
+  const auto exploration = explore_atomic(p);
+  ASSERT_EQ(exploration.outcomes.size(), 2u);
+  bool saw_abort = false;
+  for (const auto& outcome : exploration.outcomes) {
+    if (outcome.locals[0][0] == kAborted) {
+      saw_abort = true;
+      EXPECT_EQ(outcome.locals[0][1], 0u);  // rolled back
+    } else {
+      EXPECT_EQ(outcome.locals[0][1], 7u);
+    }
+  }
+  EXPECT_TRUE(saw_abort);
+}
+
+TEST(Explorer, AbortedWritesInvisible) {
+  ThreadBuilder b;
+  const VarId l = b.local("l");
+  Program p;
+  p.num_registers = 1;
+  p.threads.push_back(std::move(b).finish(atomic(l, write(0, 5))));
+  const auto exploration = explore_atomic(p);
+  for (const auto& outcome : exploration.outcomes) {
+    if (outcome.locals[0][0] == kAborted) {
+      EXPECT_EQ(outcome.registers[0], hist::kVInit);
+    } else {
+      EXPECT_EQ(outcome.registers[0], 5u);
+    }
+  }
+}
+
+TEST(Explorer, OutcomesAgreeWithBruteForceOracle) {
+  // Every strongly-atomic outcome is trivially strongly opaque (it IS a
+  // non-interleaved history); the brute-force oracle must agree — or call
+  // the history racy, which the fenced litmus programs never are.
+  for (const LitmusSpec& spec :
+       {make_fig1a(true), make_fig2(), make_fig6(3)}) {
+    SCOPED_TRACE(spec.name);
+    const auto exploration = explore_atomic(spec.program);
+    std::size_t checked = 0;
+    for (const auto& outcome : exploration.outcomes) {
+      const auto result =
+          opacity::bruteforce_strong_opacity(outcome.history);
+      EXPECT_EQ(result.verdict, opacity::BruteVerdict::kOpaque)
+          << outcome.history.to_string();
+      if (++checked >= 12) break;  // bounded: the oracle is exponential
+    }
+    EXPECT_GT(checked, 0u);
+  }
+}
+
+TEST(Explorer, NoAbortExplorationHalvesOutcomes) {
+  ThreadBuilder b;
+  const VarId l = b.local("l");
+  Program p;
+  p.num_registers = 1;
+  p.threads.push_back(std::move(b).finish(atomic(l, write(0, 5))));
+  ExploreOptions options;
+  options.explore_aborts = false;
+  const auto exploration = explore_atomic(p, options);
+  EXPECT_EQ(exploration.outcomes.size(), 1u);
+  EXPECT_EQ(exploration.outcomes[0].locals[0][0], kCommitted);
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,142 @@
+// Transactional fence tests on the real TL2: grace-period semantics
+// (Definition 2.1 condition 10), fence policies, and recorded fence actions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "history/recorder.hpp"
+#include "history/wellformed.hpp"
+#include "tm/tl2.hpp"
+
+namespace privstm {
+namespace {
+
+using tm::FencePolicy;
+using tm::Tl2;
+using tm::TmConfig;
+
+TEST(Fence, WaitsForActiveTransaction) {
+  TmConfig config;
+  config.num_registers = 4;
+  Tl2 tmi(config);
+  auto worker = tmi.make_thread(0, nullptr);
+  auto fencer = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(worker->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(worker->tx_read(0, v));
+
+  std::atomic<bool> fence_done{false};
+  std::thread fence_thread([&] {
+    fencer->fence();
+    fence_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(fence_done.load());  // must wait for the live transaction
+  EXPECT_EQ(worker->tx_commit(), tm::TxResult::kCommitted);
+  fence_thread.join();
+  EXPECT_TRUE(fence_done.load());
+}
+
+TEST(Fence, DoesNotWaitWhenIdle) {
+  TmConfig config;
+  config.num_registers = 4;
+  Tl2 tmi(config);
+  auto fencer = tmi.make_thread(0, nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  fencer->fence();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));
+}
+
+TEST(Fence, PolicyNoneMakesFenceANoOp) {
+  TmConfig config;
+  config.num_registers = 4;
+  config.fence_policy = FencePolicy::kNone;
+  Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+  session->fence();
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFence), 0u);
+}
+
+TEST(Fence, PolicyAlwaysFencesAfterEveryCommit) {
+  TmConfig config;
+  config.num_registers = 4;
+  config.fence_policy = FencePolicy::kAlways;
+  Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+      tx.write(0, static_cast<hist::Value>(i) + 1);
+    });
+  }
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFence), 3u);
+}
+
+TEST(Fence, PolicySkipAfterReadOnlySkipsRoCommits) {
+  TmConfig config;
+  config.num_registers = 4;
+  config.fence_policy = FencePolicy::kSkipAfterReadOnly;
+  Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+  tm::run_tx_retry(*session,
+                   [](tm::TxScope& tx) { tx.write(0, 1); });  // writer: fence
+  tm::run_tx_retry(*session, [](tm::TxScope& tx) {
+    (void)tx.read(0);  // read-only: no fence — the unsound bit
+  });
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFence), 1u);
+}
+
+TEST(Fence, RecordedHistorySatisfiesCondition10) {
+  // A fence racing two transactional threads still yields a well-formed
+  // history: every txbegin before fbegin has its completion before fend.
+  TmConfig config;
+  config.num_registers = 4;
+  Tl2 tmi(config);
+  hist::Recorder recorder;
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    auto session = tmi.make_thread(0, &recorder);
+    hist::Value i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      tm::run_tx(*session, [&](tm::TxScope& tx) { tx.write(0, ++i); });
+    }
+  });
+  {
+    auto fencer = tmi.make_thread(1, &recorder);
+    for (int k = 0; k < 50; ++k) fencer->fence();
+  }
+  stop.store(true);
+  worker.join();
+
+  const auto exec = recorder.collect();
+  const auto report = hist::check_wellformed(exec.history);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Fence, PaperBooleanModeAlsoQuiesces) {
+  TmConfig config;
+  config.num_registers = 4;
+  config.fence_mode = rt::FenceMode::kPaperBoolean;
+  Tl2 tmi(config);
+  auto worker = tmi.make_thread(0, nullptr);
+  auto fencer = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(worker->tx_begin());
+  std::atomic<bool> fence_done{false};
+  std::thread fence_thread([&] {
+    fencer->fence();
+    fence_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(fence_done.load());
+  EXPECT_EQ(worker->tx_commit(), tm::TxResult::kCommitted);
+  fence_thread.join();
+  EXPECT_TRUE(fence_done.load());
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,217 @@
+// Tests for happens-before (Definition 3.4) — each component relation and
+// the closure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "drf/hb_graph.hpp"
+#include "test_helpers.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using drf::HbEdge;
+using drf::HbEdgeKind;
+using drf::HbGraph;
+using hist::History;
+
+bool has_edge(const HbGraph& g, std::size_t from, std::size_t to,
+              HbEdgeKind kind) {
+  return std::any_of(g.edges().begin(), g.edges().end(),
+                     [&](const HbEdge& e) {
+                       return e.from == from && e.to == to && e.kind == kind;
+                     });
+}
+
+TEST(WriteIndex, FindsUniqueWriters) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 10));
+  append(a, nt_write(1, 1, 20));
+  History h = hist::make_history(a);
+  drf::WriteIndex idx(h);
+  EXPECT_EQ(idx.writer_of(10), 2u);  // the write request inside the txn
+  EXPECT_EQ(idx.writer_of(20), 6u);
+  EXPECT_EQ(idx.writer_of(99), drf::WriteIndex::npos);
+}
+
+TEST(Hb, PoChainsSameThread) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, nt_write(0, 1, 2));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_TRUE(g.ordered(0, 1));
+  EXPECT_TRUE(g.ordered(0, 3));
+  EXPECT_TRUE(has_edge(g, 1, 2, HbEdgeKind::kPo));
+}
+
+TEST(Hb, NoOrderAcrossThreadsWithoutSync) {
+  // Two transactions in different threads, no reads-from: unrelated.
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, txn_write(1, 1, 2));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_FALSE(g.ordered(0, 6));   // t0 txbegin vs t1 txbegin
+  EXPECT_FALSE(g.ordered(5, 6));   // t0 committed vs t1 txbegin
+  EXPECT_FALSE(g.related(2, 8));   // the two writes
+}
+
+TEST(Hb, ClOrdersNtAccessesAcrossThreads) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, nt_read(1, 0, 1));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  // Write of t0 happens-before read of t1 purely via client order.
+  EXPECT_TRUE(g.ordered(0, 2));
+  EXPECT_TRUE(g.ordered(1, 3));
+  EXPECT_TRUE(has_edge(g, 1, 2, HbEdgeKind::kCl));
+}
+
+TEST(Hb, ClCoversFenceActions) {
+  // Fence actions are non-transactional actions, hence cl-ordered with NT
+  // accesses of other threads.
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, fence(1));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_TRUE(g.ordered(0, 2));  // write request before fbegin
+  EXPECT_TRUE(g.ordered(1, 3));
+}
+
+TEST(Hb, AfOrdersFenceBeforeLaterTransactions) {
+  std::vector<hist::Action> a;
+  append(a, fence(0));
+  append(a, txn_write(1, 0, 1));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_TRUE(has_edge(g, 0, 2, HbEdgeKind::kAf));  // fbegin -> txbegin
+  EXPECT_TRUE(g.ordered(0, 2));
+  EXPECT_TRUE(g.ordered(0, 7));  // reaches the committed action via po
+}
+
+TEST(Hb, BfOrdersTransactionEndBeforeLaterFenceEnd) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, fence(1));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_TRUE(has_edge(g, 5, 7, HbEdgeKind::kBf));  // committed -> fend
+  EXPECT_TRUE(g.ordered(5, 7));
+  // The whole transaction is ordered before fend via po;bf.
+  EXPECT_TRUE(g.ordered(0, 7));
+  // But fbegin and the transaction are NOT ordered (fence began after).
+  EXPECT_FALSE(g.related(0, 6));
+}
+
+TEST(Hb, XpoTxwrPublicationEdge) {
+  // Publication: t0 writes x NT, then publishes flag in a txn; t1's txn
+  // reads the flag. The NT write must happen-before t1's flag read.
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 1, 42));        // 0,1: ν
+  append(a, txn_write(0, 0, 7));        // 2..7: T1 publishes flag
+  append(a, txn_read(1, 0, 7));         // 8..13: T2 reads flag
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  // Edge from ν's response (last t0 action before T1's txbegin) to T2's
+  // flag read response (index 11).
+  EXPECT_TRUE(has_edge(g, 1, 11, HbEdgeKind::kXpoTxwr));
+  EXPECT_TRUE(g.ordered(0, 11));
+  // T1's own txbegin is NOT hb-before the read response via this edge
+  // (only po within t0).
+  EXPECT_FALSE(g.ordered(2, 8));
+}
+
+TEST(Hb, NoTxwrEdgeFromNtWrite) {
+  // txwr requires both endpoints transactional: a transactional read of an
+  // NT-written value does not synchronize.
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 5));
+  append(a, txn_read(1, 0, 5));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_FALSE(g.ordered(0, 5));  // wreq vs read response
+  EXPECT_FALSE(g.ordered(1, 4));
+}
+
+TEST(Hb, ReadOfVInitCreatesNoEdge) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, txn_read(1, 1, hist::kVInit));  // different register, vinit
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_FALSE(g.ordered(2, 9));
+}
+
+TEST(Hb, TransitiveThroughClAndPo) {
+  // ν0 (t0) -> cl -> ν1 (t1) -> po -> ν2 (t1)
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, nt_read(1, 0, 1));
+  append(a, nt_write(1, 1, 2));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_TRUE(g.ordered(0, 5));
+}
+
+TEST(Hb, ClosureMatchesEdgeCount) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_EQ(g.action_count(), 6u);
+  EXPECT_GT(g.closure_bytes(), 0u);
+  // po chain: 5 edges for 6 actions.
+  EXPECT_EQ(g.edges().size(), 5u);
+}
+
+TEST(Hb, ExplainProducesAChain) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, fence(1));
+  append(a, nt_write(1, 1, 2));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  // committed(5) --bf--> fend(7) --po--> wreq(8).
+  const auto path = g.explain(5, 8);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->size(), 2u);
+  EXPECT_EQ((*path)[0].kind, HbEdgeKind::kBf);
+  EXPECT_EQ((*path)[1].kind, HbEdgeKind::kPo);
+  // Each hop must be a real generating edge, chained from 5 to 8.
+  EXPECT_EQ((*path)[0].from, 5u);
+  EXPECT_EQ((*path)[0].to, (*path)[1].from);
+  EXPECT_EQ((*path)[1].to, 8u);
+  const std::string rendered = g.explain_string(h, 5, 8);
+  EXPECT_NE(rendered.find("--bf-->"), std::string::npos);
+}
+
+TEST(Hb, ExplainUnorderedReturnsNullopt) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, txn_write(1, 1, 2));
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  EXPECT_FALSE(g.explain(0, 6).has_value());
+  EXPECT_NE(g.explain_string(h, 0, 6).find("unordered"), std::string::npos);
+}
+
+TEST(Hb, FenceSeparatedPrivatization) {
+  // Fig 1(a) shape with T2 before the fence: T2 ... T1 fence ν.
+  std::vector<hist::Action> a;
+  append(a, txn_write(1, 1, 42));  // 0..5: T2 writes x
+  append(a, txn_write(0, 0, 7));   // 6..11: T1 privatizes flag
+  append(a, fence(0));             // 12, 13
+  append(a, nt_write(0, 1, 9));    // 14, 15: ν
+  History h = hist::make_history(a);
+  HbGraph g(h);
+  // T2's write request (2) happens-before ν's request (14):
+  // committed(5) -bf-> fend(13) -po-> wreq(14), and 2 -po-> 5.
+  EXPECT_TRUE(g.ordered(2, 14));
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,187 @@
+// Unit tests for the history model (§2.2) — structure extraction.
+#include <gtest/gtest.h>
+
+#include "history/history.hpp"
+#include "test_helpers.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using hist::ActionKind;
+using hist::History;
+using hist::TxnStatus;
+
+TEST(Action, RequestResponseClassification) {
+  EXPECT_TRUE(hist::is_request(ActionKind::kTxBegin));
+  EXPECT_TRUE(hist::is_request(ActionKind::kReadReq));
+  EXPECT_TRUE(hist::is_request(ActionKind::kFenceBegin));
+  EXPECT_TRUE(hist::is_response(ActionKind::kOk));
+  EXPECT_TRUE(hist::is_response(ActionKind::kCommitted));
+  EXPECT_TRUE(hist::is_response(ActionKind::kFenceEnd));
+  EXPECT_TRUE(hist::ends_transaction(ActionKind::kCommitted));
+  EXPECT_TRUE(hist::ends_transaction(ActionKind::kAborted));
+  EXPECT_FALSE(hist::ends_transaction(ActionKind::kTxCommit));
+}
+
+TEST(Action, ResponseMatching) {
+  EXPECT_TRUE(hist::matches_response(ActionKind::kTxBegin, ActionKind::kOk));
+  EXPECT_TRUE(
+      hist::matches_response(ActionKind::kTxBegin, ActionKind::kAborted));
+  EXPECT_TRUE(
+      hist::matches_response(ActionKind::kTxCommit, ActionKind::kCommitted));
+  EXPECT_TRUE(
+      hist::matches_response(ActionKind::kReadReq, ActionKind::kReadRet));
+  EXPECT_TRUE(
+      hist::matches_response(ActionKind::kWriteReq, ActionKind::kWriteRet));
+  EXPECT_TRUE(
+      hist::matches_response(ActionKind::kFenceBegin, ActionKind::kFenceEnd));
+  EXPECT_FALSE(
+      hist::matches_response(ActionKind::kReadReq, ActionKind::kWriteRet));
+  EXPECT_FALSE(
+      hist::matches_response(ActionKind::kFenceBegin, ActionKind::kAborted));
+}
+
+TEST(History, ExtractsCommittedTransaction) {
+  std::vector<hist::Action> a = txn_write(1, 0, 10);
+  History h = hist::make_history(a);
+  ASSERT_EQ(h.txns().size(), 1u);
+  const hist::TxnInfo& txn = h.txns()[0];
+  EXPECT_EQ(txn.thread, 1);
+  EXPECT_EQ(txn.status, TxnStatus::kCommitted);
+  EXPECT_EQ(txn.actions.size(), 6u);
+  EXPECT_TRUE(txn.is_complete());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_TRUE(h.is_transactional(i));
+    EXPECT_EQ(h.txn_of(i), std::size_t{0});
+  }
+}
+
+TEST(History, TransactionStatusTransitions) {
+  // Live transaction: just begun.
+  History live = hist::make_history({txbegin(0), ok(0)});
+  ASSERT_EQ(live.txns().size(), 1u);
+  EXPECT_EQ(live.txns()[0].status, TxnStatus::kLive);
+
+  // Commit-pending: ends with the txcommit request.
+  History pending =
+      hist::make_history({txbegin(0), ok(0), txcommit(0)});
+  EXPECT_EQ(pending.txns()[0].status, TxnStatus::kCommitPending);
+
+  // Aborted mid-flight.
+  History ab = hist::make_history({txbegin(0), ok(0), rreq(0, 1),
+                                   aborted(0)});
+  EXPECT_EQ(ab.txns()[0].status, TxnStatus::kAborted);
+}
+
+TEST(History, ExtractsNtAccesses) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 3, 5));
+  append(a, nt_read(1, 3, 5));
+  History h = hist::make_history(a);
+  EXPECT_TRUE(h.txns().empty());
+  ASSERT_EQ(h.nt_accesses().size(), 2u);
+  EXPECT_TRUE(h.nt_accesses()[0].is_write);
+  EXPECT_EQ(h.nt_accesses()[0].reg, 3);
+  EXPECT_EQ(h.nt_accesses()[0].value, 5u);
+  EXPECT_FALSE(h.nt_accesses()[1].is_write);
+  EXPECT_EQ(h.nt_accesses()[1].value, 5u);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_FALSE(h.is_transactional(i));
+  }
+}
+
+TEST(History, ExtractsFences) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, fence(1));
+  History h = hist::make_history(a);
+  ASSERT_EQ(h.fences().size(), 1u);
+  EXPECT_EQ(h.fences()[0].thread, 1);
+  ASSERT_TRUE(h.fences()[0].end.has_value());
+  EXPECT_EQ(h.owner(6).kind, hist::ActionOwner::Kind::kFence);
+}
+
+TEST(History, OpenFenceHasNoEnd) {
+  History h = hist::make_history({txbegin(0), ok(0), fbegin(1)});
+  ASSERT_EQ(h.fences().size(), 1u);
+  EXPECT_FALSE(h.fences()[0].end.has_value());
+}
+
+TEST(History, InterleavedThreadsSeparated) {
+  // t0 and t1 transactions interleaved.
+  std::vector<hist::Action> a = {
+      txbegin(0), txbegin(1), ok(0),        ok(1),
+      wreq(0, 0, 1), wreq(1, 1, 2), wret(0, 0), wret(1, 1),
+      txcommit(0), txcommit(1), committed(0), committed(1),
+  };
+  History h = hist::make_history(a);
+  ASSERT_EQ(h.txns().size(), 2u);
+  EXPECT_EQ(h.txns()[0].thread, 0);
+  EXPECT_EQ(h.txns()[1].thread, 1);
+  EXPECT_EQ(h.txns()[0].status, TxnStatus::kCommitted);
+  EXPECT_EQ(h.txns()[1].status, TxnStatus::kCommitted);
+  EXPECT_EQ(h.threads(), (std::vector<hist::ThreadId>{0, 1}));
+  EXPECT_EQ(h.thread_actions(0).size(), 6u);
+}
+
+TEST(History, NtAccessBetweenTransactionsOfSameThread) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, nt_read(0, 0, 1));
+  append(a, txn_write(0, 1, 2));
+  History h = hist::make_history(a);
+  EXPECT_EQ(h.txns().size(), 2u);
+  EXPECT_EQ(h.nt_accesses().size(), 1u);
+}
+
+TEST(History, MatchActionsPairsRequestsWithResponses) {
+  std::vector<hist::Action> a;
+  append(a, txn_read(0, 2, 0));
+  append(a, nt_write(1, 2, 9));
+  History h = hist::make_history(a);
+  const auto match = hist::match_actions(h);
+  // txbegin<->ok, read<->ret, txcommit<->committed, wreq<->wret.
+  EXPECT_EQ(match[0], 1u);
+  EXPECT_EQ(match[1], 0u);
+  EXPECT_EQ(match[2], 3u);
+  EXPECT_EQ(match[3], 2u);
+  EXPECT_EQ(match[4], 5u);
+  EXPECT_EQ(match[5], 4u);
+  EXPECT_EQ(match[6], 7u);
+  EXPECT_EQ(match[7], 6u);
+}
+
+TEST(History, MakeHistoryAssignsUniqueIds) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  History h = hist::make_history(a);
+  std::set<hist::ActionId> ids;
+  for (std::size_t i = 0; i < h.size(); ++i) ids.insert(h[i].id);
+  EXPECT_EQ(ids.size(), h.size());
+}
+
+TEST(History, ToStringMentionsStatuses) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, nt_read(1, 0, 1));
+  History h = hist::make_history(a);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("committed"), std::string::npos);
+  EXPECT_NE(s.find("[nt0]"), std::string::npos);
+}
+
+TEST(History, IncrementalPushMatchesBatch) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, nt_read(1, 0, 1));
+  History batch = hist::make_history(a);
+  History incremental;
+  for (const auto& action : batch.actions()) incremental.push_back(action);
+  EXPECT_EQ(incremental.txns().size(), batch.txns().size());
+  EXPECT_EQ(incremental.nt_accesses().size(), batch.nt_accesses().size());
+  EXPECT_EQ(incremental.to_string(), batch.to_string());
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,123 @@
+// NOrec-specific tests: value-based validation, snapshot discipline, and
+// the built-in privatization safety that makes it fence-free (§8 / [10]).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tm/norec.hpp"
+
+namespace privstm {
+namespace {
+
+using tm::NOrec;
+using tm::TmConfig;
+using tm::TxResult;
+
+TmConfig config(std::size_t regs = 8) {
+  TmConfig c;
+  c.num_registers = regs;
+  return c;
+}
+
+TEST(NOrec, ReadAbortsOnValueChange) {
+  NOrec tmi(config());
+  auto s0 = tmi.make_thread(0, nullptr);
+  auto s1 = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(s0->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(s0->tx_read(0, v));
+  EXPECT_EQ(v, hist::kVInit);
+
+  // s1 commits a write to register 0: s0's next read revalidates by value
+  // and must abort.
+  ASSERT_EQ(tm::run_tx(*s1, [](tm::TxScope& tx) { tx.write(0, 5); }),
+            TxResult::kCommitted);
+  EXPECT_FALSE(s0->tx_read(1, v));
+  EXPECT_GE(tmi.stats().total(rt::Counter::kTxReadValidationFail), 1u);
+}
+
+TEST(NOrec, UnrelatedCommitDoesNotAbortWhenValuesMatch) {
+  // Value-based validation: a commit that does not change any value the
+  // reader saw lets the reader continue — NOrec's advantage over TL2.
+  NOrec tmi(config());
+  auto s0 = tmi.make_thread(0, nullptr);
+  auto s1 = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(s0->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(s0->tx_read(0, v));
+
+  // s1 writes a *different* register.
+  ASSERT_EQ(tm::run_tx(*s1, [](tm::TxScope& tx) { tx.write(5, 7); }),
+            TxResult::kCommitted);
+
+  // s0's read set {x0 ↦ vinit} still matches: reads keep succeeding.
+  EXPECT_TRUE(s0->tx_read(1, v));
+  EXPECT_EQ(s0->tx_commit(), TxResult::kCommitted);
+}
+
+TEST(NOrec, ReadOnlyCommitAlwaysSucceeds) {
+  NOrec tmi(config());
+  auto session = tmi.make_thread(0, nullptr);
+  ASSERT_TRUE(session->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(session->tx_read(0, v));
+  EXPECT_EQ(session->tx_commit(), TxResult::kCommitted);
+}
+
+TEST(NOrec, WriterCommitSerializesAndPublishes) {
+  NOrec tmi(config());
+  auto s0 = tmi.make_thread(0, nullptr);
+  ASSERT_EQ(tm::run_tx(*s0, [](tm::TxScope& tx) {
+              tx.write(0, 1);
+              tx.write(1, 2);
+            }),
+            TxResult::kCommitted);
+  EXPECT_EQ(tmi.peek(0), 1u);
+  EXPECT_EQ(tmi.peek(1), 2u);
+}
+
+TEST(NOrec, DoomedTransactionCannotSeeNtWriteAfterPrivatizingCommit) {
+  // The Fig 1(b) scenario on NOrec: T2 reads flag=0; T1 commits flag;
+  // ν writes x NT. T2's subsequent read of x must NOT return ν's value —
+  // the seqlock moved, value validation of the flag fails, T2 aborts.
+  NOrec tmi(config());
+  auto t1 = tmi.make_thread(0, nullptr);
+  auto t2 = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(t2->tx_begin());
+  hist::Value flag = 0;
+  ASSERT_TRUE(t2->tx_read(0, flag));
+  ASSERT_EQ(flag, hist::kVInit);  // T2 is now doomed-to-be
+
+  ASSERT_EQ(tm::run_tx(*t1, [](tm::TxScope& tx) { tx.write(0, 101); }),
+            TxResult::kCommitted);
+  t1->nt_write(1, 111);  // ν, uninstrumented
+
+  hist::Value x = 0;
+  EXPECT_FALSE(t2->tx_read(1, x));  // aborts instead of reading 111
+}
+
+TEST(NOrec, ConcurrentIncrementsConserve) {
+  NOrec tmi(config());
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 300;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = tmi.make_thread(t, nullptr);
+      for (int i = 0; i < kIncrements; ++i) {
+        tm::run_tx_retry(*session, [](tm::TxScope& tx) {
+          tx.write(0, tx.read(0) + 1);
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tmi.peek(0),
+            static_cast<hist::Value>(kThreads) * kIncrements);
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,145 @@
+// Online checker tests — the Fig 10 update discipline replayed event by
+// event, with per-step verdicts on every prefix.
+#include <gtest/gtest.h>
+
+#include "lang/interp.hpp"
+#include "lang/litmus.hpp"
+#include "opacity/online_checker.hpp"
+#include "test_helpers.hpp"
+#include "tm/factory.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using opacity::OnlineChecker;
+
+TEST(OnlineChecker, EmptyIsHealthy) {
+  OnlineChecker checker({.check_each_step = true});
+  EXPECT_TRUE(checker.healthy());
+  EXPECT_TRUE(checker.check().ok());
+  EXPECT_EQ(checker.events_consumed(), 0u);
+}
+
+TEST(OnlineChecker, StreamsACommittedTransaction) {
+  OnlineChecker checker({.check_each_step = true});
+  // TXBEGIN, reads, TXVIS at commit — every prefix must be fine.
+  checker.on_action(txbegin(0));
+  checker.on_action(ok(0));
+  checker.on_action(wreq(0, 0, 5));
+  checker.on_action(wret(0, 0));
+  checker.on_action(txcommit(0));
+  checker.on_publish(0, 5);  // TXVIS: writeback of x0 := 5
+  checker.on_action(committed(0));
+  checker.on_action(rreq(1, 0));
+  checker.on_action(rret(1, 0, 5));  // NTXREAD of the committed value
+  EXPECT_TRUE(checker.healthy()) << checker.check().to_string();
+  EXPECT_TRUE(checker.check().ok());
+  EXPECT_EQ(checker.history().txns().size(), 1u);
+}
+
+TEST(OnlineChecker, PendingNtRequestPrefixIsFine) {
+  OnlineChecker checker({.check_each_step = true});
+  checker.on_action(rreq(0, 0));  // prefix cut before the response
+  EXPECT_TRUE(checker.healthy()) << checker.check().to_string();
+  checker.on_action(rret(0, 0, hist::kVInit));
+  EXPECT_TRUE(checker.healthy());
+}
+
+TEST(OnlineChecker, FlagsInconsistentReadAtItsStep) {
+  OnlineChecker checker({.check_each_step = true});
+  checker.on_action(txbegin(0));
+  checker.on_action(ok(0));
+  EXPECT_TRUE(checker.healthy());
+  checker.on_action(rreq(0, 0));
+  checker.on_action(rret(0, 0, 99));  // value never written
+  EXPECT_FALSE(checker.healthy());
+  ASSERT_TRUE(checker.first_failure().has_value());
+  EXPECT_EQ(*checker.first_failure(), 4u);
+}
+
+TEST(OnlineChecker, FlagsWwContradictingHb) {
+  OnlineChecker checker({.check_each_step = true});
+  // Two NT writes to x in client order 5 then 6, but published 6 then 5:
+  // WW contradicts cl ⊆ hb.
+  checker.on_action(wreq(0, 0, 5));
+  checker.on_action(wret(0, 0));
+  checker.on_action(wreq(1, 0, 6));
+  checker.on_action(wret(1, 0));
+  EXPECT_TRUE(checker.healthy());
+  checker.on_publish(0, 6);
+  checker.on_publish(0, 5);
+  EXPECT_FALSE(checker.healthy());
+  const auto verdict = checker.check();
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_FALSE(verdict.graph_acyclic);
+}
+
+TEST(OnlineChecker, ReplayRecordedTl2Execution) {
+  // Record a fenced privatization run on real TL2 and replay it event by
+  // event: every prefix must be healthy.
+  tm::TmConfig config;
+  config.num_registers = 2;
+  config.fence_policy = tm::FencePolicy::kSelective;
+  auto tmi = tm::make_tm(tm::TmKind::kTl2, config);
+  lang::ExecOptions options;
+  options.record = true;
+  options.seed = 7;
+  const auto result =
+      lang::execute(lang::make_fig1a(true).program, *tmi, options);
+
+  OnlineChecker checker({.check_each_step = true});
+  checker.replay(result.recorded);
+  EXPECT_TRUE(checker.healthy())
+      << "first failure at event "
+      << (checker.first_failure() ? *checker.first_failure() : 0)
+      << "\n"
+      << checker.check().to_string();
+  EXPECT_EQ(checker.history().size(), result.recorded.history.size());
+}
+
+TEST(OnlineChecker, ReplayMatchesBatchVerdict) {
+  tm::TmConfig config;
+  config.num_registers = 4;
+  auto tmi = tm::make_tm(tm::TmKind::kNOrec, config);
+  hist::Recorder recorder;
+  {
+    auto s0 = tmi->make_thread(0, &recorder);
+    auto s1 = tmi->make_thread(1, &recorder);
+    tm::run_tx_retry(*s0, [](tm::TxScope& tx) { tx.write(0, 11); });
+    tm::run_tx_retry(*s1, [](tm::TxScope& tx) {
+      tx.write(1, tx.read(0) + 100);
+    });
+    s0->fence();
+    s0->nt_write(2, 33);
+  }
+  const auto exec = recorder.collect();
+  const auto batch = opacity::check_strong_opacity(exec);
+
+  OnlineChecker checker;
+  checker.replay(exec);
+  const auto online = checker.check();
+  EXPECT_EQ(batch.ok(), online.ok());
+  EXPECT_EQ(batch.racy, online.racy);
+}
+
+TEST(OnlineChecker, RacyPrefixStaysVacuouslyHealthy) {
+  OnlineChecker checker({.check_each_step = true});
+  // Unsynchronized NT write racing a transactional write: racy, hence
+  // vacuously fine for the TM obligations.
+  checker.on_action(txbegin(0));
+  checker.on_action(ok(0));
+  checker.on_action(wreq(0, 0, 5));
+  checker.on_action(wret(0, 0));
+  checker.on_action(wreq(1, 0, 6));  // NT write, different thread
+  checker.on_action(wret(1, 0));
+  checker.on_publish(0, 6);
+  checker.on_action(txcommit(0));
+  checker.on_publish(0, 5);
+  checker.on_action(committed(0));
+  EXPECT_TRUE(checker.healthy());
+  EXPECT_TRUE(checker.check().racy);
+}
+
+}  // namespace
+}  // namespace privstm

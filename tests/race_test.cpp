@@ -1,0 +1,164 @@
+// Tests for conflicts and data races (Definitions 3.1–3.3), mirroring the
+// paper's §3 example analyses.
+#include <gtest/gtest.h>
+
+#include "drf/race.hpp"
+#include "test_helpers.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using hist::History;
+
+TEST(Conflict, RequiresMixedTransactionality) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));   // 0, 1
+  append(a, txn_write(1, 0, 2));  // 2..7 (write request at 4)
+  History h = hist::make_history(a);
+  EXPECT_TRUE(drf::conflicting(h, 0, 4));
+  EXPECT_TRUE(drf::conflicting(h, 4, 0));
+}
+
+TEST(Conflict, NoConflictBetweenTwoNtAccesses) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, nt_write(1, 0, 2));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::conflicting(h, 0, 2));
+}
+
+TEST(Conflict, NoConflictBetweenTwoTransactions) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, txn_write(1, 0, 2));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::conflicting(h, 2, 8));
+}
+
+TEST(Conflict, RequiresSameRegister) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, txn_write(1, 1, 2));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::conflicting(h, 0, 4));
+}
+
+TEST(Conflict, RequiresAtLeastOneWrite) {
+  std::vector<hist::Action> a;
+  append(a, nt_read(0, 0, 0));
+  append(a, txn_read(1, 0, 0));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::conflicting(h, 0, 4));
+}
+
+TEST(Conflict, RequiresDifferentThreads) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, txn_write(0, 0, 2));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::conflicting(h, 0, 4));
+}
+
+TEST(Race, UnorderedConflictIsARace) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, txn_write(1, 0, 2));
+  History h = hist::make_history(a);
+  const auto report = drf::find_races(h);
+  ASSERT_EQ(report.races.size(), 1u);
+  EXPECT_EQ(report.races[0].reg, 0);
+  EXPECT_FALSE(report.drf());
+  EXPECT_FALSE(drf::is_drf(h));
+  EXPECT_NE(report.to_string(h).find("race"), std::string::npos);
+}
+
+TEST(Race, Figure3ShapeIsRacy) {
+  // atomic { x:=1; y:=2 }  ||  l1:=x [NT]; l2:=y [NT]
+  std::vector<hist::Action> a;
+  a.insert(a.end(), {txbegin(0), ok(0), wreq(0, 0, 401), wret(0, 0),
+                     wreq(0, 1, 402), wret(0, 1), txcommit(0), committed(0)});
+  append(a, nt_read(1, 0, 401));
+  append(a, nt_read(1, 1, 402));
+  History h = hist::make_history(a);
+  const auto report = drf::find_races(h);
+  EXPECT_EQ(report.races.size(), 2u);  // x and y
+}
+
+TEST(Race, PublicationIsDrf) {
+  // Fig 2: ν; T1 publishes; T2 reads flag then x.
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 1, 42));  // ν: x := 42
+  append(a, txn_write(0, 0, 7));  // T1: publish flag
+  a.insert(a.end(), {txbegin(1), ok(1), rreq(1, 0), rret(1, 0, 7),
+                     rreq(1, 1), rret(1, 1, 42), txcommit(1), committed(1)});
+  History h = hist::make_history(a);
+  EXPECT_TRUE(drf::is_drf(h)) << drf::find_races(h).to_string(h);
+}
+
+TEST(Race, PublicationWithoutFlagReadIsRacy) {
+  // Like Fig 2 but T2 reads x without having read the flag: no
+  // synchronization edge, hence a race with ν.
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 1, 42));
+  append(a, txn_write(0, 0, 7));
+  append(a, txn_read(1, 1, 42));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::is_drf(h));
+}
+
+TEST(Race, PrivatizationWithFenceIsDrf) {
+  // Fig 1(a), T2 first: T2 writes x; T1 privatizes; fence; ν writes x.
+  std::vector<hist::Action> a;
+  a.insert(a.end(), {txbegin(1), ok(1), rreq(1, 0), rret(1, 0, 0),
+                     wreq(1, 1, 142), wret(1, 1), txcommit(1), committed(1)});
+  append(a, txn_write(0, 0, 101));  // T1 privatizes flag
+  append(a, fence(0));
+  append(a, nt_write(0, 1, 111));  // ν
+  History h = hist::make_history(a);
+  EXPECT_TRUE(drf::is_drf(h)) << drf::find_races(h).to_string(h);
+}
+
+TEST(Race, PrivatizationWithoutFenceIsRacy) {
+  std::vector<hist::Action> a;
+  a.insert(a.end(), {txbegin(1), ok(1), rreq(1, 0), rret(1, 0, 0),
+                     wreq(1, 1, 142), wret(1, 1), txcommit(1), committed(1)});
+  append(a, txn_write(0, 0, 101));
+  append(a, nt_write(0, 1, 111));  // no fence before ν
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::is_drf(h));
+}
+
+TEST(Race, AgreementOutsideTransactionsIsDrf) {
+  // Fig 6: T writes x; same thread sets ready NT; other thread reads ready
+  // then x, all NT.
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 1, 642));
+  append(a, nt_write(0, 0, 601));  // ready := true
+  append(a, nt_read(1, 0, 601));
+  append(a, nt_read(1, 1, 642));
+  History h = hist::make_history(a);
+  EXPECT_TRUE(drf::is_drf(h)) << drf::find_races(h).to_string(h);
+}
+
+TEST(Race, ReadOnlyNtAgainstTxnWriteRaces) {
+  std::vector<hist::Action> a;
+  append(a, nt_read(0, 0, 0));
+  append(a, txn_write(1, 0, 9));
+  History h = hist::make_history(a);
+  EXPECT_FALSE(drf::is_drf(h));
+}
+
+TEST(Race, PrecomputedHbReuse) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, txn_write(1, 0, 2));
+  History h = hist::make_history(a);
+  drf::HbGraph hb(h);
+  const auto r1 = drf::find_races(h, hb);
+  const auto r2 = drf::find_races(h);
+  EXPECT_EQ(r1.races.size(), r2.races.size());
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,123 @@
+// Recorder tests: linearization, NT-access adjacency (condition 7), publish
+// ordering, reset, and multi-threaded merging.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "history/recorder.hpp"
+#include "history/wellformed.hpp"
+
+namespace privstm {
+namespace {
+
+using hist::ActionKind;
+using hist::Recorder;
+
+TEST(Recorder, DisabledHandleIsNoOp) {
+  Recorder::Handle handle;  // default: disabled
+  EXPECT_FALSE(handle.enabled());
+  handle.request(ActionKind::kTxBegin);
+  const hist::Value v =
+      handle.nt_access(false, 0, 0, [] { return hist::Value{42}; });
+  EXPECT_EQ(v, 42u);
+  handle.publish(0, 1);
+}
+
+TEST(Recorder, SingleThreadSequence) {
+  Recorder recorder;
+  auto handle = recorder.for_thread(3);
+  handle.request(ActionKind::kTxBegin);
+  handle.response(ActionKind::kOk);
+  handle.request(ActionKind::kWriteReq, 0, 5);
+  handle.response(ActionKind::kWriteRet, 0);
+  handle.request(ActionKind::kTxCommit);
+  handle.publish(0, 5);
+  handle.response(ActionKind::kCommitted);
+  const auto exec = recorder.collect();
+  ASSERT_EQ(exec.history.size(), 6u);
+  EXPECT_EQ(exec.history[0].thread, 3);
+  EXPECT_EQ(exec.history[0].kind, ActionKind::kTxBegin);
+  EXPECT_EQ(exec.publish_order.at(0), (std::vector<hist::Value>{5}));
+  EXPECT_EQ(exec.history.txns().size(), 1u);
+}
+
+TEST(Recorder, NtAccessIsAdjacent) {
+  // Hammer NT accesses from several threads; condition 7 must hold in the
+  // merged history (requests immediately followed by their responses).
+  Recorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  std::array<std::atomic<hist::Value>, 4> cells{};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = recorder.for_thread(t);
+      for (int i = 0; i < kOps; ++i) {
+        const auto reg = static_cast<hist::RegId>(i % 4);
+        if (i % 2 == 0) {
+          const hist::Value v =
+              (static_cast<hist::Value>(t) << 32) | (i + 1);
+          handle.nt_access(true, reg, v, [&] {
+            cells[static_cast<std::size_t>(reg)].store(v);
+            return v;
+          });
+        } else {
+          handle.nt_access(false, reg, 0, [&] {
+            return cells[static_cast<std::size_t>(reg)].load();
+          });
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto exec = recorder.collect();
+  EXPECT_EQ(exec.history.size(),
+            static_cast<std::size_t>(kThreads) * kOps * 2);
+  const auto report = hist::check_wellformed(exec.history);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(exec.history.nt_accesses().size(),
+            static_cast<std::size_t>(kThreads) * kOps);
+}
+
+TEST(Recorder, TicketsRespectRealTime) {
+  // An action that completes before another starts must be ordered first.
+  Recorder recorder;
+  auto h0 = recorder.for_thread(0);
+  auto h1 = recorder.for_thread(1);
+  h0.request(ActionKind::kTxBegin);   // first
+  h1.request(ActionKind::kFenceBegin);  // strictly later in real time
+  const auto exec = recorder.collect();
+  ASSERT_EQ(exec.history.size(), 2u);
+  EXPECT_EQ(exec.history[0].kind, ActionKind::kTxBegin);
+  EXPECT_EQ(exec.history[1].kind, ActionKind::kFenceBegin);
+  EXPECT_LT(exec.history[0].id, exec.history[1].id);
+}
+
+TEST(Recorder, ResetClearsEverything) {
+  Recorder recorder;
+  auto handle = recorder.for_thread(0);
+  handle.request(ActionKind::kTxBegin);
+  handle.publish(0, 1);
+  recorder.reset();
+  const auto exec = recorder.collect();
+  EXPECT_TRUE(exec.history.empty());
+  EXPECT_TRUE(exec.publish_order.empty());
+  // New handles work after reset.
+  auto handle2 = recorder.for_thread(0);
+  handle2.request(ActionKind::kFenceBegin);
+  EXPECT_EQ(recorder.collect().history.size(), 1u);
+}
+
+TEST(Recorder, PublishOrderPerRegister) {
+  Recorder recorder;
+  auto handle = recorder.for_thread(0);
+  handle.publish(0, 1);
+  handle.publish(1, 2);
+  handle.publish(0, 3);
+  const auto exec = recorder.collect();
+  EXPECT_EQ(exec.publish_order.at(0), (std::vector<hist::Value>{1, 3}));
+  EXPECT_EQ(exec.publish_order.at(1), (std::vector<hist::Value>{2}));
+}
+
+}  // namespace
+}  // namespace privstm

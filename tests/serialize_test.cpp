@@ -1,0 +1,177 @@
+// Tests for the serialization witness (Lemma 6.4 / Definition B.5) and the
+// H ⊑ S relation (Definition 4.1).
+#include <gtest/gtest.h>
+
+#include "drf/hb_graph.hpp"
+#include "opacity/atomic_tm.hpp"
+#include "opacity/opacity_graph.hpp"
+#include "history/wellformed.hpp"
+#include "opacity/serialize.hpp"
+#include "test_helpers.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using hist::History;
+using opacity::GraphWitness;
+using opacity::NodeRef;
+using opacity::OpacityGraph;
+
+NodeRef txn(std::size_t i) { return {NodeRef::Type::kTxn, i}; }
+NodeRef nt(std::size_t i) { return {NodeRef::Type::kNt, i}; }
+
+GraphWitness ww0(std::vector<NodeRef> order) {
+  GraphWitness w;
+  w.ww_order[0] = std::move(order);
+  return w;
+}
+
+TEST(Serialize, InterleavedTransactionsUntangled) {
+  // T0 and T1 interleaved in real time; T1 reads T0's write, so the
+  // witness must order T0 first and is non-interleaved.
+  std::vector<hist::Action> a = {
+      txbegin(0), ok(0), txbegin(1),   ok(1),        wreq(0, 0, 5),
+      wret(0, 0), txcommit(0), committed(0), rreq(1, 0),  rret(1, 0, 5),
+      txcommit(1), committed(1)};
+  History h = hist::make_history(a);
+  drf::HbGraph hb(h);
+  OpacityGraph g(h, hb, ww0({txn(0)}));
+  ASSERT_TRUE(g.acyclic());
+  auto result = opacity::serialize(h, hb, g);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(opacity::check_non_interleaved(result.witness).ok());
+  EXPECT_TRUE(opacity::check_legal_reads(result.witness,
+                                         result.witness_commit_pending_vis)
+                  .ok());
+  std::string error;
+  EXPECT_TRUE(opacity::verify_strong_opacity_relation(
+      h, hb, result.witness, result.permutation, &error))
+      << error;
+  EXPECT_TRUE(opacity::observationally_equivalent(h, result.witness));
+}
+
+TEST(Serialize, FencePlacementRespected) {
+  // T0 commits before a fence of t1 ends: bf forces T0 before the fence
+  // in the witness too.
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, fence(1));
+  append(a, nt_write(1, 0, 6));
+  History h = hist::make_history(a);
+  drf::HbGraph hb(h);
+  OpacityGraph g(h, hb, ww0({txn(0), nt(0)}));
+  ASSERT_TRUE(g.acyclic());
+  auto result = opacity::serialize(h, hb, g);
+  ASSERT_TRUE(result.ok) << result.error;
+  const History& s = result.witness;
+  // committed must precede fend in S.
+  std::size_t committed_pos = 0;
+  std::size_t fend_pos = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i].kind == hist::ActionKind::kCommitted) committed_pos = i;
+    if (s[i].kind == hist::ActionKind::kFenceEnd) fend_pos = i;
+  }
+  EXPECT_LT(committed_pos, fend_pos);
+}
+
+TEST(Serialize, FenceActionsAreSeparateNodes) {
+  // Regression for the Definition B.5 subtlety: a transaction that begins
+  // after fbegin and commits before fend (T2, entirely inside the fence
+  // window) plus one the fence waits for (T). The WW order T2 < T is
+  // legitimate, but a *merged* fence node would manufacture the spurious
+  // cycle T --bf--> F --af--> T2 --WW--> T. With fbegin/fend as separate
+  // nodes (fact(H)), serialization must succeed.
+  std::vector<hist::Action> a = {
+      txbegin(1),    ok(1),                       // T begins
+      fbegin(0),                                  // fence begins
+      txbegin(2),    ok(2),                       // T2 begins (after fbegin)
+      wreq(2, 0, 6), wret(2, 0), txcommit(2), committed(2),  // T2 commits
+      wreq(1, 0, 5), wret(1, 0), txcommit(1), committed(1),  // T commits
+      fend(0),                                    // fence ends last
+  };
+  History h = hist::make_history(a);
+  ASSERT_TRUE(hist::check_wellformed(h).ok())
+      << hist::check_wellformed(h).to_string();
+  drf::HbGraph hb(h);
+  OpacityGraph g(h, hb, ww0({txn(1), txn(0)}));  // WW: T2 (txn 1) before T
+  ASSERT_TRUE(g.structural_violations().empty());
+  ASSERT_TRUE(g.acyclic());
+  auto result = opacity::serialize(h, hb, g);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(opacity::check_non_interleaved(result.witness).ok());
+  std::string error;
+  EXPECT_TRUE(opacity::verify_strong_opacity_relation(
+      h, hb, result.witness, result.permutation, &error))
+      << error;
+}
+
+TEST(Serialize, CyclicGraphFails) {
+  // Two NT writes with a WW order contradicting client order → cycle.
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 5));
+  append(a, nt_write(1, 0, 6));
+  History h = hist::make_history(a);
+  drf::HbGraph hb(h);
+  OpacityGraph g(h, hb, ww0({nt(1), nt(0)}));
+  EXPECT_FALSE(g.acyclic());
+  auto result = opacity::serialize(h, hb, g);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Serialize, PermutationIsIdentityWhenAlreadySequential) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, txn_read(1, 0, 5));
+  History h = hist::make_history(a);
+  drf::HbGraph hb(h);
+  OpacityGraph g(h, hb, ww0({txn(0)}));
+  auto result = opacity::serialize(h, hb, g);
+  ASSERT_TRUE(result.ok);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(result.permutation[i], i);
+  }
+}
+
+TEST(Serialize, CommitPendingVisTransported) {
+  std::vector<hist::Action> a = {txbegin(0), ok(0), wreq(0, 0, 5),
+                                 wret(0, 0), txcommit(0)};
+  append(a, txn_read(1, 0, 5));
+  History h = hist::make_history(a);
+  drf::HbGraph hb(h);
+  GraphWitness w = ww0({txn(0)});
+  w.commit_pending_vis[0] = true;
+  OpacityGraph g(h, hb, w);
+  ASSERT_TRUE(g.acyclic());
+  auto result = opacity::serialize(h, hb, g);
+  ASSERT_TRUE(result.ok);
+  // T0 is commit-pending in S too; its vis choice must carry over.
+  bool found = false;
+  for (const auto& [txn_idx, vis] : result.witness_commit_pending_vis) {
+    if (vis) found = true;
+    EXPECT_EQ(result.witness.txns()[txn_idx].status,
+              hist::TxnStatus::kCommitPending);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(opacity::check_legal_reads(result.witness,
+                                         result.witness_commit_pending_vis)
+                  .ok());
+}
+
+TEST(ObservationalEquivalence, DetectsThreadProjectionChange) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, 1));
+  append(a, nt_write(0, 1, 2));
+  History h1 = hist::make_history(a);
+  // Swap the two accesses (same thread): projection differs.
+  std::vector<hist::Action> b;
+  append(b, nt_write(0, 1, 2));
+  append(b, nt_write(0, 0, 1));
+  // Rebuild with the same ids as h1 would have: make_history assigns
+  // fresh ids, so compare structurally via the helper.
+  History h2 = hist::make_history(b);
+  EXPECT_FALSE(opacity::observationally_equivalent(h1, h2));
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,64 @@
+// Shared helpers for building histories concisely in tests.
+#pragma once
+
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace privstm::testing {
+
+using hist::Action;
+using hist::ActionKind;
+using hist::RegId;
+using hist::ThreadId;
+using hist::Value;
+
+inline Action txbegin(ThreadId t) { return {0, t, ActionKind::kTxBegin}; }
+inline Action ok(ThreadId t) { return {0, t, ActionKind::kOk}; }
+inline Action txcommit(ThreadId t) { return {0, t, ActionKind::kTxCommit}; }
+inline Action committed(ThreadId t) { return {0, t, ActionKind::kCommitted}; }
+inline Action aborted(ThreadId t) { return {0, t, ActionKind::kAborted}; }
+inline Action wreq(ThreadId t, RegId x, Value v) {
+  return {0, t, ActionKind::kWriteReq, x, v};
+}
+inline Action wret(ThreadId t, RegId x = hist::kNoReg) {
+  return {0, t, ActionKind::kWriteRet, x};
+}
+inline Action rreq(ThreadId t, RegId x) {
+  return {0, t, ActionKind::kReadReq, x};
+}
+inline Action rret(ThreadId t, RegId x, Value v) {
+  return {0, t, ActionKind::kReadRet, x, v};
+}
+inline Action fbegin(ThreadId t) { return {0, t, ActionKind::kFenceBegin}; }
+inline Action fend(ThreadId t) { return {0, t, ActionKind::kFenceEnd}; }
+
+/// Append `more` to `dst`.
+inline void append(std::vector<Action>& dst, std::vector<Action> more) {
+  dst.insert(dst.end(), more.begin(), more.end());
+}
+
+/// A whole committed transaction writing (x, v).
+inline std::vector<Action> txn_write(ThreadId t, RegId x, Value v) {
+  return {txbegin(t), ok(t), wreq(t, x, v), wret(t, x), txcommit(t),
+          committed(t)};
+}
+
+/// A whole committed transaction reading x (returning v).
+inline std::vector<Action> txn_read(ThreadId t, RegId x, Value v) {
+  return {txbegin(t), ok(t), rreq(t, x), rret(t, x, v), txcommit(t),
+          committed(t)};
+}
+
+/// A non-transactional write / read access (two adjacent actions).
+inline std::vector<Action> nt_write(ThreadId t, RegId x, Value v) {
+  return {wreq(t, x, v), wret(t, x)};
+}
+inline std::vector<Action> nt_read(ThreadId t, RegId x, Value v) {
+  return {rreq(t, x), rret(t, x, v)};
+}
+
+/// A complete fence execution.
+inline std::vector<Action> fence(ThreadId t) { return {fbegin(t), fend(t)}; }
+
+}  // namespace privstm::testing

@@ -1,0 +1,184 @@
+// Experiment E12 — the §7 timestamp invariants (Fig 11, INV.5) validated
+// on real recorded TL2 executions:
+//
+//   1. T --RT--> T'  ⇒  vis(T) ? wver[T] ≤ rver[T'] : rver[T] ≤ rver[T']
+//   2. T --WR--> T'  ⇒  wver[T] ≤ rver[T']
+//   3. T --RW--> T'  ⇒  rver[T] < wver[T']
+//   4. T --WW--> T'  ⇒  wver[T] < wver[T']
+//
+// The invariants are the inductive core of the paper's strong-opacity
+// proof for TL2; here we sample them: record executions, rebuild the
+// opacity graph, map transactions to their logged (rver, wver) stamps and
+// assert every edge's inequality.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "drf/hb_graph.hpp"
+#include "history/recorder.hpp"
+#include "opacity/opacity_graph.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/rng.hpp"
+#include "tm/tl2.hpp"
+
+namespace privstm {
+namespace {
+
+using opacity::EdgeKind;
+using opacity::OpacityGraph;
+using tm::Tl2;
+
+struct RecordedTl2Run {
+  hist::RecordedExecution exec;
+  /// Graph txn index → stamp.
+  std::map<std::size_t, Tl2::TxnStamp> stamps;
+};
+
+/// Run a random transactional workload on TL2 with stamps and recording;
+/// map history transactions to stamps via per-thread ordinals.
+RecordedTl2Run run_workload(std::size_t threads, std::size_t txns,
+                            std::uint64_t seed) {
+  tm::TmConfig config;
+  config.num_registers = 8;
+  config.collect_timestamps = true;
+  Tl2 tmi(config);
+  hist::Recorder recorder;
+  rt::SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = tmi.make_thread(static_cast<hist::ThreadId>(t),
+                                     &recorder);
+      rt::Xoshiro256 rng(seed * 31337 + t);
+      hist::Value tag = 0;
+      barrier.arrive_and_wait();
+      for (std::size_t i = 0; i < txns; ++i) {
+        tm::run_tx(*session, [&](tm::TxScope& tx) {
+          const auto r1 = static_cast<hist::RegId>(rng.below(8));
+          const auto r2 = static_cast<hist::RegId>(rng.below(8));
+          (void)tx.read(r1);
+          tx.write(r2, ((static_cast<hist::Value>(t) + 1) << 40) | ++tag);
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RecordedTl2Run run;
+  run.exec = recorder.collect();
+  // Stamp lookup by (thread, per-thread ordinal).
+  std::map<std::pair<hist::ThreadId, std::uint64_t>, Tl2::TxnStamp> by_key;
+  for (const auto& stamp : tmi.timestamp_log()) {
+    by_key[{stamp.thread, stamp.ordinal}] = stamp;
+  }
+  std::map<hist::ThreadId, std::uint64_t> ordinal;
+  for (std::size_t t = 0; t < run.exec.history.txns().size(); ++t) {
+    const hist::ThreadId thr = run.exec.history.txns()[t].thread;
+    auto it = by_key.find({thr, ordinal[thr]++});
+    if (it != by_key.end()) run.stamps[t] = it->second;
+  }
+  return run;
+}
+
+class Tl2Invariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Tl2Invariants, Inv5HoldsOnRecordedRun) {
+  const RecordedTl2Run run = run_workload(4, 30, GetParam());
+  ASSERT_EQ(run.stamps.size(), run.exec.history.txns().size());
+
+  auto witness =
+      opacity::witness_from_publishes(run.exec.history,
+                                      run.exec.publish_order);
+  ASSERT_TRUE(witness.has_value());
+  drf::HbGraph hb(run.exec.history);
+  OpacityGraph graph(run.exec.history, hb, *witness);
+  ASSERT_TRUE(graph.structural_violations().empty());
+
+  const auto& table = graph.nodes();
+  std::size_t checked_edges = 0;
+  for (const auto& edge : graph.edges()) {
+    if (!table.is_txn(edge.from) || !table.is_txn(edge.to)) continue;
+    const auto& from = run.stamps.at(edge.from);
+    const auto& to = run.stamps.at(edge.to);
+    switch (edge.kind) {
+      case EdgeKind::kWR:  // Property 2
+        ASSERT_TRUE(from.has_wver);
+        EXPECT_LE(from.wver, to.rver) << "WR edge violates INV.5(2)";
+        ++checked_edges;
+        break;
+      case EdgeKind::kRW:  // Property 3
+        ASSERT_TRUE(to.has_wver);
+        EXPECT_LT(from.rver, to.wver) << "RW edge violates INV.5(3)";
+        ++checked_edges;
+        break;
+      case EdgeKind::kWW:  // Property 4
+        ASSERT_TRUE(from.has_wver && to.has_wver);
+        EXPECT_LT(from.wver, to.wver) << "WW edge violates INV.5(4)";
+        ++checked_edges;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(checked_edges, 0u) << "workload produced no dependencies";
+
+  // Property 1 over the real-time order: T completed before T' began.
+  const auto& txns = run.exec.history.txns();
+  std::size_t rt_pairs = 0;
+  for (std::size_t a = 0; a < txns.size(); ++a) {
+    if (!txns[a].is_complete()) continue;
+    for (std::size_t b = 0; b < txns.size(); ++b) {
+      if (a == b || txns[a].end_index() >= txns[b].begin_index()) continue;
+      const auto& from = run.stamps.at(a);
+      const auto& to = run.stamps.at(b);
+      if (from.committed) {
+        ASSERT_TRUE(from.has_wver);
+        EXPECT_LE(from.wver, to.rver) << "RT edge violates INV.5(1), vis";
+      } else {
+        EXPECT_LE(from.rver, to.rver) << "RT edge violates INV.5(1), ¬vis";
+      }
+      ++rt_pairs;
+    }
+  }
+  EXPECT_GT(rt_pairs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Tl2Invariants,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(Tl2Invariants, StampLogMatchesCommitCounts) {
+  tm::TmConfig config;
+  config.num_registers = 4;
+  config.collect_timestamps = true;
+  Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+      tx.write(0, static_cast<hist::Value>(i) + 1);
+    });
+  }
+  const auto log = tmi.timestamp_log();
+  ASSERT_GE(log.size(), 5u);
+  std::size_t committed = 0;
+  for (const auto& stamp : log) {
+    if (stamp.committed) {
+      ++committed;
+      EXPECT_TRUE(stamp.has_wver);
+      EXPECT_LT(stamp.rver, stamp.wver);  // INV.7(a)
+    }
+  }
+  EXPECT_EQ(committed, 5u);
+}
+
+TEST(Tl2Invariants, DisabledByDefault) {
+  tm::TmConfig config;
+  config.num_registers = 4;
+  Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+  tm::run_tx_retry(*session, [](tm::TxScope& tx) { tx.write(0, 1); });
+  EXPECT_TRUE(tmi.timestamp_log().empty());
+}
+
+}  // namespace
+}  // namespace privstm

@@ -1,0 +1,202 @@
+// Generic TM semantics tests, parameterized over all implementations
+// (TEST_P): single-thread transactional behaviour, NT accesses, and
+// multi-thread invariants (money conservation, lost-update freedom).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/rng.hpp"
+#include "tm/factory.hpp"
+
+namespace privstm {
+namespace {
+
+using tm::TmConfig;
+using tm::TmKind;
+using tm::TxResult;
+
+class TmSemantics : public ::testing::TestWithParam<TmKind> {
+ protected:
+  std::unique_ptr<tm::TransactionalMemory> make(std::size_t regs = 16) {
+    TmConfig config;
+    config.num_registers = regs;
+    return tm::make_tm(GetParam(), config);
+  }
+};
+
+TEST_P(TmSemantics, ReadYourOwnWrites) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  const auto result = tm::run_tx(*session, [](tm::TxScope& tx) {
+    tx.write(3, 77);
+    EXPECT_EQ(tx.read(3), 77u);
+    tx.write(3, 78);
+    EXPECT_EQ(tx.read(3), 78u);
+  });
+  EXPECT_EQ(result, TxResult::kCommitted);
+  EXPECT_EQ(tmi->peek(3), 78u);
+}
+
+TEST_P(TmSemantics, FreshRegisterReadsVInit) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  const auto result = tm::run_tx(*session, [](tm::TxScope& tx) {
+    EXPECT_EQ(tx.read(5), hist::kVInit);
+  });
+  EXPECT_EQ(result, TxResult::kCommitted);
+}
+
+TEST_P(TmSemantics, CommittedWritesVisibleToLaterTransactions) {
+  auto tmi = make();
+  auto s0 = tmi->make_thread(0, nullptr);
+  auto s1 = tmi->make_thread(1, nullptr);
+  ASSERT_EQ(tm::run_tx(*s0, [](tm::TxScope& tx) { tx.write(1, 11); }),
+            TxResult::kCommitted);
+  ASSERT_EQ(tm::run_tx(*s1, [](tm::TxScope& tx) {
+              EXPECT_EQ(tx.read(1), 11u);
+            }),
+            TxResult::kCommitted);
+}
+
+TEST_P(TmSemantics, NtAccessesRoundTrip) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  session->nt_write(2, 99);
+  EXPECT_EQ(session->nt_read(2), 99u);
+  EXPECT_EQ(tmi->peek(2), 99u);
+}
+
+TEST_P(TmSemantics, NtWriteVisibleToTransactions) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  session->nt_write(4, 123);
+  ASSERT_EQ(tm::run_tx(*session, [](tm::TxScope& tx) {
+              EXPECT_EQ(tx.read(4), 123u);
+            }),
+            TxResult::kCommitted);
+}
+
+TEST_P(TmSemantics, TransactionalWriteVisibleToNtAfterCommit) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  ASSERT_EQ(tm::run_tx(*session, [](tm::TxScope& tx) { tx.write(6, 55); }),
+            TxResult::kCommitted);
+  EXPECT_EQ(session->nt_read(6), 55u);
+}
+
+TEST_P(TmSemantics, FenceOutsideTransactionsCompletes) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  session->fence();  // no active transactions: must return promptly
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kFence), 1u);
+}
+
+TEST_P(TmSemantics, ResetRestoresVInit) {
+  auto tmi = make();
+  {
+    auto session = tmi->make_thread(0, nullptr);
+    session->nt_write(0, 7);
+  }
+  tmi->reset();
+  EXPECT_EQ(tmi->peek(0), hist::kVInit);
+}
+
+TEST_P(TmSemantics, RetryHelperEventuallyCommits) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  const std::size_t attempts = tm::run_tx_retry(*session, [](tm::TxScope& tx) {
+    tx.write(0, tx.read(0) + 1);
+  });
+  EXPECT_GE(attempts, 1u);
+  EXPECT_EQ(tmi->peek(0), 1u);
+}
+
+TEST_P(TmSemantics, ConcurrentCountersConserveIncrements) {
+  // N threads × K retried increments of a shared counter: the final value
+  // must be N*K on every TM (atomicity + no lost updates).
+  auto tmi = make(4);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 500;
+  rt::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = tmi->make_thread(t, nullptr);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kIncrements; ++i) {
+        tm::run_tx_retry(*session, [](tm::TxScope& tx) {
+          tx.write(0, tx.read(0) + 1);
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tmi->peek(0),
+            static_cast<hist::Value>(kThreads) * kIncrements);
+}
+
+TEST_P(TmSemantics, BankTransfersConserveTotal) {
+  // Random transfers between 8 accounts; the sum is invariant. Exercises
+  // multi-register transactions under contention.
+  constexpr std::size_t kAccounts = 8;
+  constexpr hist::Value kInitial = 1000;
+  auto tmi = make(kAccounts);
+  {
+    auto setup = tmi->make_thread(0, nullptr);
+    for (std::size_t i = 0; i < kAccounts; ++i) {
+      setup->nt_write(static_cast<hist::RegId>(i), kInitial);
+    }
+  }
+  constexpr int kThreads = 4;
+  constexpr int kTransfers = 400;
+  rt::SpinBarrier barrier(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = tmi->make_thread(t, nullptr);
+      rt::Xoshiro256 rng(static_cast<std::uint64_t>(t) + 7);
+      barrier.arrive_and_wait();
+      for (int i = 0; i < kTransfers; ++i) {
+        const auto from = static_cast<hist::RegId>(rng.below(kAccounts));
+        const auto to = static_cast<hist::RegId>(rng.below(kAccounts));
+        if (from == to) continue;
+        tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+          const hist::Value balance = tx.read(from);
+          if (balance == 0) return;
+          tx.write(from, balance - 1);
+          tx.write(to, tx.read(to) + 1);
+        });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  hist::Value total = 0;
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    total += tmi->peek(static_cast<hist::RegId>(i));
+  }
+  EXPECT_EQ(total, kInitial * kAccounts);
+}
+
+TEST_P(TmSemantics, StatsCountCommits) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+      tx.write(0, static_cast<hist::Value>(i) + 1);
+    });
+  }
+  EXPECT_GE(tmi->stats().total(rt::Counter::kTxCommit), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, TmSemantics,
+                         ::testing::Values(TmKind::kTl2, TmKind::kNOrec,
+                                           TmKind::kGlobalLock),
+                         [](const auto& info) {
+                           return tm::tm_kind_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace privstm

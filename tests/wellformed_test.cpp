@@ -1,0 +1,143 @@
+// Tests for the Definition A.1 well-formedness checker, one per condition.
+#include <gtest/gtest.h>
+
+#include "history/wellformed.hpp"
+#include "test_helpers.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::testing;
+using hist::check_wellformed;
+using hist::History;
+
+TEST(Wellformed, AcceptsEmptyHistory) {
+  EXPECT_TRUE(check_wellformed(History{}).ok());
+}
+
+TEST(Wellformed, AcceptsTypicalHistory) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, fence(0));
+  append(a, nt_write(0, 1, 2));
+  append(a, txn_read(1, 1, 0));
+  EXPECT_TRUE(check_wellformed(hist::make_history(a)).ok())
+      << check_wellformed(hist::make_history(a)).to_string();
+}
+
+TEST(Wellformed, Condition1_DuplicateIds) {
+  std::vector<hist::Action> a = txn_write(0, 0, 1);
+  for (auto& action : a) action.id = 7;  // all the same
+  History h{a};
+  const auto report = check_wellformed(h);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("duplicate action identifier"),
+            std::string::npos);
+}
+
+TEST(Wellformed, Condition3_DuplicateWriteValue) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 5));
+  append(a, txn_write(1, 1, 5));  // same value, different register
+  const auto report = check_wellformed(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("already written"), std::string::npos);
+}
+
+TEST(Wellformed, Condition3_WriteOfVInit) {
+  std::vector<hist::Action> a;
+  append(a, nt_write(0, 0, hist::kVInit));
+  const auto report = check_wellformed(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("initial value"), std::string::npos);
+}
+
+TEST(Wellformed, Condition5_ResponseWithoutRequest) {
+  const auto report =
+      check_wellformed(hist::make_history({committed(0)}));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Wellformed, Condition5_BackToBackRequests) {
+  const auto report = check_wellformed(
+      hist::make_history({txbegin(0), ok(0), rreq(0, 0), rreq(0, 0)}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("unanswered"), std::string::npos);
+}
+
+TEST(Wellformed, Condition5_MismatchedResponseKind) {
+  const auto report = check_wellformed(
+      hist::make_history({txbegin(0), ok(0), rreq(0, 0), wret(0, 0)}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("does not match"), std::string::npos);
+}
+
+TEST(Wellformed, Condition6_NestedTxBegin) {
+  const auto report = check_wellformed(
+      hist::make_history({txbegin(0), ok(0), txbegin(0), ok(0)}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("nested txbegin"), std::string::npos);
+}
+
+TEST(Wellformed, Condition7_NtAccessNotAtomic) {
+  // NT write of t0 split by t1's action.
+  std::vector<hist::Action> a = {wreq(0, 0, 1), rreq(1, 1), rret(1, 1, 0),
+                                 wret(0, 0)};
+  const auto report = check_wellformed(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("condition 7"), std::string::npos);
+}
+
+TEST(Wellformed, Condition8_NtAccessAborts) {
+  const auto report =
+      check_wellformed(hist::make_history({rreq(0, 0), aborted(0)}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("condition 8"), std::string::npos);
+}
+
+TEST(Wellformed, Condition9_FenceInsideTransaction) {
+  const auto report = check_wellformed(
+      hist::make_history({txbegin(0), ok(0), fbegin(0), fend(0)}));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("condition 9"), std::string::npos);
+}
+
+TEST(Wellformed, Condition10_FenceOvertakesTransaction) {
+  // t0's transaction begins before the fence of t1 but completes only
+  // after fend — forbidden.
+  std::vector<hist::Action> a = {txbegin(0), ok(0),        fbegin(1),
+                                 fend(1),    txcommit(0), committed(0)};
+  const auto report = check_wellformed(hist::make_history(a));
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("condition 10"), std::string::npos);
+}
+
+TEST(Wellformed, Condition10_SatisfiedWhenTxnCompletesFirst) {
+  std::vector<hist::Action> a;
+  append(a, txn_write(0, 0, 1));
+  append(a, fence(1));
+  EXPECT_TRUE(check_wellformed(hist::make_history(a)).ok());
+}
+
+TEST(Wellformed, Condition10_TransactionAfterFenceUnconstrained) {
+  std::vector<hist::Action> a;
+  append(a, fence(1));
+  append(a, {txbegin(0), ok(0)});  // live at the end: fine
+  EXPECT_TRUE(check_wellformed(hist::make_history(a)).ok());
+}
+
+TEST(Wellformed, BlockedFenceIsAcceptable) {
+  // A fence with no fend yet does not violate condition 10.
+  std::vector<hist::Action> a = {txbegin(0), ok(0), fbegin(1)};
+  EXPECT_TRUE(check_wellformed(hist::make_history(a)).ok());
+}
+
+TEST(Wellformed, AbortedTransactionBeforeFenceIsComplete) {
+  std::vector<hist::Action> a = {txbegin(0), ok(0), rreq(0, 0),
+                                 aborted(0)};
+  append(a, fence(1));
+  EXPECT_TRUE(check_wellformed(hist::make_history(a)).ok());
+}
+
+}  // namespace
+}  // namespace privstm
