@@ -11,7 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -108,6 +111,73 @@ inline std::uint64_t run_mix_phase(tm::TransactionalMemory& tmi,
     commits.fetch_add(local_commits, std::memory_order_relaxed);
   });
   return commits.load();
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable throughput log (BENCH_tm_throughput.json): one row per
+// (backend × threads × workload) cell so the perf trajectory is comparable
+// across PRs without scraping google-benchmark console output.
+// ---------------------------------------------------------------------------
+
+struct ThroughputRow {
+  std::string backend;
+  std::size_t threads = 0;
+  std::size_t read_pct = 0;
+  std::size_t registers = 0;
+  std::size_t txn_size = 0;
+  double ops_per_sec = 0.0;   ///< committed top-level transactions per second
+  double abort_rate = 0.0;    ///< aborts / (commits + aborts)
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+};
+
+/// Run one timed mix phase on a fresh TM instance and collect a row.
+inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
+                                 std::uint64_t seed) {
+  tm::TmConfig config;
+  config.num_registers = p.registers;
+  auto tmi = tm::make_tm(kind, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t committed = run_mix_phase(*tmi, p, seed);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ThroughputRow row;
+  row.backend = tm::tm_kind_name(kind);
+  row.threads = p.threads;
+  row.read_pct = p.read_pct;
+  row.registers = p.registers;
+  row.txn_size = p.txn_size;
+  row.commits = tmi->stats().total(rt::Counter::kTxCommit);
+  row.aborts = tmi->stats().total(rt::Counter::kTxAbort);
+  row.ops_per_sec = secs > 0.0 ? static_cast<double>(committed) / secs : 0.0;
+  const double attempts = static_cast<double>(row.commits + row.aborts);
+  row.abort_rate =
+      attempts > 0.0 ? static_cast<double>(row.aborts) / attempts : 0.0;
+  return row;
+}
+
+/// Emit the rows as a stable, diff-friendly JSON document.
+inline bool write_throughput_json(const std::string& path,
+                                  const std::vector<ThroughputRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 1,\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"backend\": \"" << r.backend << "\", \"threads\": "
+        << r.threads << ", \"read_pct\": " << r.read_pct
+        << ", \"registers\": " << r.registers << ", \"txn_size\": "
+        << r.txn_size << ", \"ops_per_sec\": " << r.ops_per_sec
+        << ", \"abort_rate\": " << r.abort_rate << ", \"commits\": "
+        << r.commits << ", \"aborts\": " << r.aborts << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace privstm::bench

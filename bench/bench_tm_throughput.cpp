@@ -1,15 +1,28 @@
-// Experiment E8 — TL2 vs NOrec vs global lock throughput.
+// Experiment E8 — TL2 (faithful and fused) vs NOrec vs global lock
+// throughput.
 //
 // Shape expectations:
 //  * read-heavy, low-contention: TL2 > NOrec > glock at >1 thread
 //    (TL2 validates per register; NOrec serializes commits; glock
 //    serializes everything);
-//  * write-heavy / high-contention: the gap narrows, NOrec's single
+//  * tl2fused > tl2 everywhere: same protocol, fewer atomic operations per
+//    access and no O(set) bookkeeping per transaction (DESIGN.md §7);
+//  * write-heavy / high-contention: the faithful/fused gap widens (the
+//    fused commit is where most of the savings live), NOrec's single
 //    seqlock and glock's mutex converge;
 //  * 1 thread: glock wins (no metadata), the STM instrumentation cost is
 //    the TL2/NOrec intercept.
 //
 // Args: {threads, read_pct, registers}.
+//
+// This binary has its own main(): before running the google-benchmark
+// suite it sweeps backend × threads over a read-heavy and a write-heavy
+// mix and persists the result as BENCH_tm_throughput.json (see
+// bench_common.hpp). `--quick` runs a smaller sweep and skips the
+// google-benchmark phase — the CI smoke configuration.
+#include <cstring>
+#include <iostream>
+
 #include "bench_common.hpp"
 
 namespace privstm::bench {
@@ -44,6 +57,9 @@ void run_throughput(benchmark::State& state, TmKind kind) {
 void BM_Throughput_TL2(benchmark::State& state) {
   run_throughput(state, TmKind::kTl2);
 }
+void BM_Throughput_TL2Fused(benchmark::State& state) {
+  run_throughput(state, TmKind::kTl2Fused);
+}
 void BM_Throughput_NOrec(benchmark::State& state) {
   run_throughput(state, TmKind::kNOrec);
 }
@@ -52,7 +68,7 @@ void BM_Throughput_GlobalLock(benchmark::State& state) {
 }
 
 void apply_args(benchmark::internal::Benchmark* b) {
-  for (int threads : {1, 2, 4}) {
+  for (int threads : {1, 2, 4, 8}) {
     for (int read_pct : {90, 50}) {
       for (int registers : {64, 4096}) {
         b->Args({threads, read_pct, registers});
@@ -63,6 +79,7 @@ void apply_args(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_Throughput_TL2)->Apply(apply_args);
+BENCHMARK(BM_Throughput_TL2Fused)->Apply(apply_args);
 BENCHMARK(BM_Throughput_NOrec)->Apply(apply_args);
 BENCHMARK(BM_Throughput_GlobalLock)->Apply(apply_args);
 
@@ -108,6 +125,9 @@ void run_privatization_phases(benchmark::State& state, TmKind kind,
 void BM_PrivatizationPhases_TL2_Fenced(benchmark::State& state) {
   run_privatization_phases(state, TmKind::kTl2, true);
 }
+void BM_PrivatizationPhases_TL2Fused_Fenced(benchmark::State& state) {
+  run_privatization_phases(state, TmKind::kTl2Fused, true);
+}
 void BM_PrivatizationPhases_NOrec_NoFence(benchmark::State& state) {
   run_privatization_phases(state, TmKind::kNOrec, false);
 }
@@ -121,8 +141,127 @@ void apply_phase_args(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_PrivatizationPhases_TL2_Fenced)->Apply(apply_phase_args);
+BENCHMARK(BM_PrivatizationPhases_TL2Fused_Fenced)->Apply(apply_phase_args);
 BENCHMARK(BM_PrivatizationPhases_NOrec_NoFence)->Apply(apply_phase_args);
 BENCHMARK(BM_PrivatizationPhases_GlobalLock)->Apply(apply_phase_args);
 
+// ---------------------------------------------------------------------------
+// The persisted matrix: backend × threads over a read-heavy low-contention
+// mix and a write-heavy contended mix, written to BENCH_tm_throughput.json.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  const char* label;
+  std::size_t read_pct;
+  std::size_t registers;
+  std::size_t txn_size;
+};
+
+// The write-heavy mix uses larger transactions: batchy update transactions
+// are where commit-path costs (lock words, write-back stores, the faithful
+// backend's write-set collapse) dominate.
+constexpr Workload kWorkloads[] = {
+    {"read-heavy", 90, 4096, 4},
+    {"write-heavy", 10, 256, 8},
+};
+constexpr const Workload& kWriteHeavy = kWorkloads[1];
+
+std::vector<ThroughputRow> run_matrix(bool quick) {
+  const std::vector<std::size_t> threads_sweep =
+      quick ? std::vector<std::size_t>{2, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  // Full mode sizes the phase so per-txn work dominates thread spawn +
+  // barrier overhead (which would otherwise dilute backend differences).
+  const std::size_t txns = quick ? 500 : 12000;
+  // Best-of-N per cell: scheduler interference only ever *lowers* a
+  // measurement, so the max over repetitions is the least-noisy estimate
+  // of what the backend can do (google-benchmark's max aggregate).
+  const int repeats = quick ? 2 : 7;
+
+  std::vector<ThroughputRow> rows;
+  for (const auto& wl : kWorkloads) {
+    for (const std::size_t threads : threads_sweep) {
+      for (const tm::TmKind kind : tm::all_tm_kinds()) {
+        MixParams p;
+        p.threads = threads;
+        p.read_pct = wl.read_pct;
+        p.registers = wl.registers;
+        p.txn_size = wl.txn_size;
+        p.txns_per_thread = txns;
+        // Warm-up pass (thread pools, page faults), then the measured ones.
+        (void)measure_mix(kind, p, /*seed=*/3);
+        ThroughputRow best = measure_mix(kind, p, /*seed=*/7);
+        for (int rep = 1; rep < repeats; ++rep) {
+          ThroughputRow r = measure_mix(kind, p, /*seed=*/7 + rep);
+          if (r.ops_per_sec > best.ops_per_sec) best = r;
+        }
+        rows.push_back(best);
+        const auto& r = rows.back();
+        std::cout << "matrix " << wl.label << " backend=" << r.backend
+                  << " threads=" << r.threads << " ops/s=" << r.ops_per_sec
+                  << " abort_rate=" << r.abort_rate << "\n";
+      }
+    }
+  }
+  return rows;
+}
+
+/// Report the headline ratio the fused backend is chartered to deliver:
+/// tl2fused vs tl2 at the highest measured thread count on the write-heavy
+/// mix (identified by its kWorkloads entry, so the filter tracks edits).
+void report_fused_speedup(const std::vector<ThroughputRow>& rows) {
+  std::size_t top_threads = 0;
+  for (const auto& r : rows) {
+    if (r.read_pct == kWriteHeavy.read_pct && r.threads > top_threads) {
+      top_threads = r.threads;
+    }
+  }
+  double tl2 = 0.0, fused = 0.0;
+  for (const auto& r : rows) {
+    if (r.threads == top_threads && r.read_pct == kWriteHeavy.read_pct) {
+      if (r.backend == "tl2") tl2 = r.ops_per_sec;
+      if (r.backend == "tl2fused") fused = r.ops_per_sec;
+    }
+  }
+  if (tl2 > 0.0 && fused > 0.0) {
+    std::cout << "tl2fused/tl2 speedup (" << top_threads
+              << " threads, " << kWriteHeavy.label << "): " << fused / tl2
+              << "x\n";
+  }
+}
+
 }  // namespace
 }  // namespace privstm::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  const auto rows = privstm::bench::run_matrix(quick);
+  // Quick (smoke) results go to a separate file so a pre-push `ci.sh` run
+  // never clobbers the committed full-matrix trajectory.
+  const char* path =
+      quick ? "BENCH_tm_throughput.quick.json" : "BENCH_tm_throughput.json";
+  if (privstm::bench::write_throughput_json(path, rows)) {
+    std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  privstm::bench::report_fused_speedup(rows);
+
+  if (!quick) {
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

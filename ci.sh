@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a benchmark smoke run — what CI executes and
+# what a contributor should run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Smoke-run the throughput matrix (writes BENCH_tm_throughput.quick.json;
+# the committed full matrix comes from a run without --quick).
+./build/bench_tm_throughput --quick

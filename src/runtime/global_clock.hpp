@@ -27,6 +27,26 @@ class alignas(kCacheLine) GlobalClock {
     return now_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
+  /// GV4/GV5-style commit stamp (used by the fused TL2 backend): one CAS
+  /// attempt to advance the clock; if it fails because another committer
+  /// already moved the clock past us, *share* the fresh stamp the failed
+  /// CAS observed instead of retrying. Sharing is safe for TL2: concurrent
+  /// committers that end up with equal stamps necessarily have disjoint
+  /// write sets (overlapping ones collide on a write lock first), and any
+  /// reader that began before either committed sees rver < stamp and
+  /// aborts on validation. Under contention this turns the clock from a
+  /// fetch_add-per-writer hotspot into at most one cache-line transfer per
+  /// *batch* of concurrent commits.
+  Stamp advance_if_stale() noexcept {
+    Stamp seen = now_.load(std::memory_order_acquire);
+    const Stamp next = seen + 1;
+    if (now_.compare_exchange_strong(seen, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return next;
+    }
+    return seen;  // the failed CAS reloaded a strictly fresher stamp
+  }
+
   void reset() noexcept { now_.store(0, std::memory_order_release); }
 
  private:

@@ -8,6 +8,8 @@ const char* counter_name(Counter c) noexcept {
   switch (c) {
     case Counter::kTxCommit:
       return "commits";
+    case Counter::kTxReadOnlyCommit:
+      return "ro_commits";
     case Counter::kTxAbort:
       return "aborts";
     case Counter::kTxReadValidationFail:

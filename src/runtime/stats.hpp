@@ -14,6 +14,7 @@ namespace privstm::rt {
 /// report abort rates and fence counts alongside throughput.
 enum class Counter : std::size_t {
   kTxCommit = 0,
+  kTxReadOnlyCommit,  ///< subset of kTxCommit taking the no-clock fast path
   kTxAbort,
   kTxReadValidationFail,
   kTxLockFail,
@@ -37,9 +38,14 @@ class StatsDomain {
  public:
   static constexpr std::size_t kMaxThreads = 64;
 
+  /// Single-writer per (thread, counter): a plain load + store pair instead
+  /// of an atomic RMW — the lock-prefixed fetch_add costs ~20 cycles on the
+  /// TM commit path for no benefit when only the owning thread writes the
+  /// slot (readers aggregate with relaxed loads).
   void add(std::size_t thread, Counter c, std::uint64_t n = 1) noexcept {
-    blocks_[thread]->vals[static_cast<std::size_t>(c)].fetch_add(
-        n, std::memory_order_relaxed);
+    auto& v = blocks_[thread]->vals[static_cast<std::size_t>(c)];
+    v.store(v.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
   }
 
   std::uint64_t total(Counter c) const noexcept {

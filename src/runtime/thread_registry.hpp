@@ -59,6 +59,13 @@ class ThreadRegistry {
   /// (`active[t] := false`).
   void tx_exit(int slot) noexcept;
 
+  /// Direct reference to a slot's activity word, for TM fast paths that
+  /// want to inline the tx_enter/tx_exit parity bumps (the word's protocol
+  /// is fixed: acq_rel fetch_add(1), odd = inside a transaction).
+  std::atomic<std::uint64_t>& activity_word(int slot) noexcept {
+    return slots_[static_cast<std::size_t>(slot)]->activity;
+  }
+
   /// True if the slot currently runs a transaction.
   bool is_active(int slot) const noexcept;
 

@@ -14,6 +14,74 @@ namespace privstm::rt {
 /// Owner token type for OwnedLock. Zero is reserved for "unowned" (⊥).
 using OwnerToken = std::uint64_t;
 
+/// Fused version + write-lock word — the classic TL2 fast-path layout that
+/// the faithful Fig 9 backend deliberately splits into separate `ver[x]` /
+/// `lock[x]` fields (DESIGN.md §6–7).
+///
+/// Layout: bit 0 is the lock bit. While unlocked, bits 63..1 hold the
+/// register's version stamp; while locked they hold the owner's token. The
+/// pre-lock word (and thus the old version) is returned to the acquirer,
+/// who restores it on abort or overwrites it with the freshly minted write
+/// version on commit — unlock and version publication are a single release
+/// store.
+///
+/// Readers validate with two acquire loads of this word sandwiching the
+/// value load (word / value / word): both loads must agree and be unlocked
+/// with version ≤ rver. Since a writer CASes the word locked before
+/// touching the value, an unchanged unlocked word proves the value belongs
+/// to exactly that version.
+class VersionedLock {
+ public:
+  using Word = std::uint64_t;
+  static constexpr Word kLockedBit = 1;
+
+  static constexpr bool is_locked(Word w) noexcept {
+    return (w & kLockedBit) != 0;
+  }
+  /// Version stamp of an *unlocked* word.
+  static constexpr Word version_of(Word w) noexcept { return w >> 1; }
+  /// Owner token of a *locked* word.
+  static constexpr OwnerToken owner_of(Word w) noexcept { return w >> 1; }
+  static constexpr Word pack_version(Word version) noexcept {
+    return version << 1;
+  }
+
+  Word load(std::memory_order order = std::memory_order_acquire)
+      const noexcept {
+    return word_.load(order);
+  }
+
+  /// Single-shot acquisition for `owner`: CAS from the caller-observed
+  /// `expected` word. Fails (without retry) if `expected` is locked or the
+  /// word moved; on failure `expected` holds the fresh word.
+  bool try_lock(Word& expected, OwnerToken owner) noexcept {
+    if (is_locked(expected)) return false;
+    return word_.compare_exchange_strong(
+        expected, (static_cast<Word>(owner) << 1) | kLockedBit,
+        std::memory_order_acquire, std::memory_order_acquire);
+  }
+
+  /// Commit write-back: publish `version` and release the lock in one store.
+  void unlock_with_version(Word version) noexcept {
+    word_.store(pack_version(version), std::memory_order_release);
+  }
+
+  /// Abort with the lock held: restore the pre-lock word.
+  void restore(Word unlocked_word) noexcept {
+    word_.store(unlocked_word, std::memory_order_release);
+  }
+
+  bool held_by(OwnerToken owner) const noexcept {
+    const Word w = load();
+    return is_locked(w) && owner_of(w) == owner;
+  }
+
+  void reset() noexcept { word_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Word> word_{0};
+};
+
 class OwnedLock {
  public:
   static constexpr OwnerToken kUnowned = 0;

@@ -3,6 +3,7 @@
 #include "tm/glock.hpp"
 #include "tm/norec.hpp"
 #include "tm/tl2.hpp"
+#include "tm/tl2_fused.hpp"
 
 namespace privstm::tm {
 
@@ -10,6 +11,8 @@ const char* tm_kind_name(TmKind kind) noexcept {
   switch (kind) {
     case TmKind::kTl2:
       return "tl2";
+    case TmKind::kTl2Fused:
+      return "tl2fused";
     case TmKind::kNOrec:
       return "norec";
     case TmKind::kGlobalLock:
@@ -33,13 +36,16 @@ const char* fence_policy_name(FencePolicy p) noexcept {
 }
 
 std::vector<TmKind> all_tm_kinds() {
-  return {TmKind::kTl2, TmKind::kNOrec, TmKind::kGlobalLock};
+  return {TmKind::kTl2, TmKind::kTl2Fused, TmKind::kNOrec,
+          TmKind::kGlobalLock};
 }
 
 std::unique_ptr<TransactionalMemory> make_tm(TmKind kind, TmConfig config) {
   switch (kind) {
     case TmKind::kTl2:
       return std::make_unique<Tl2>(config);
+    case TmKind::kTl2Fused:
+      return std::make_unique<Tl2Fused>(config);
     case TmKind::kNOrec:
       return std::make_unique<NOrec>(config);
     case TmKind::kGlobalLock:

@@ -10,7 +10,7 @@
 
 namespace privstm::tm {
 
-enum class TmKind : std::uint8_t { kTl2, kNOrec, kGlobalLock };
+enum class TmKind : std::uint8_t { kTl2, kTl2Fused, kNOrec, kGlobalLock };
 
 const char* tm_kind_name(TmKind kind) noexcept;
 
@@ -19,7 +19,8 @@ std::vector<TmKind> all_tm_kinds();
 
 std::unique_ptr<TransactionalMemory> make_tm(TmKind kind, TmConfig config);
 
-/// Parse "tl2" / "norec" / "glock"; returns nullopt-like failure via bool.
+/// Parse "tl2" / "tl2fused" / "norec" / "glock"; returns nullopt-like
+/// failure via bool.
 bool parse_tm_kind(std::string_view name, TmKind& out) noexcept;
 
 }  // namespace privstm::tm

@@ -14,6 +14,7 @@ std::unique_ptr<TmThread> GlobalLockTm::make_thread(ThreadId thread,
 }
 
 void GlobalLockTm::reset() {
+  stats_.reset();  // same contract as the TL2-family backends
   for (auto& reg : regs_) {
     reg->store(hist::kVInit, std::memory_order_relaxed);
   }

@@ -16,6 +16,7 @@ std::unique_ptr<TmThread> NOrec::make_thread(ThreadId thread,
 }
 
 void NOrec::reset() {
+  stats_.reset();  // same contract as the TL2-family backends
   for (auto& reg : regs_) {
     reg->store(hist::kVInit, std::memory_order_relaxed);
   }

@@ -23,6 +23,11 @@ void Tl2::reset() {
     stamps_.clear();
   }
   clock_.reset();
+  stats_.reset();
+  // Sessions notice the new epoch at their next tx_begin and restart their
+  // transaction ordinals, keeping stamp ordinals aligned with per-thread
+  // history order across resets.
+  reset_epoch_.fetch_add(1, std::memory_order_relaxed);
   for (auto& reg : regs_) {
     reg->value.store(hist::kVInit, std::memory_order_relaxed);
     reg->version.store(0, std::memory_order_relaxed);
@@ -36,6 +41,7 @@ Tl2Thread::Tl2Thread(Tl2& tm, ThreadId thread, hist::Recorder* recorder)
       rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
       slot_(tm.registry_),
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
+      reset_epoch_seen_(tm.reset_epoch_.load(std::memory_order_relaxed)),
       in_wset_(tm.config().num_registers, 0),
       in_rset_(tm.config().num_registers, 0) {}
 
@@ -57,6 +63,12 @@ bool Tl2Thread::tx_begin() {
   // keeping condition 10 of Definition A.1 true in the recorded history.
   tm_.registry_.tx_enter(slot_.slot());       // active[t] := true
   rec_.request(ActionKind::kTxBegin);
+  const std::uint64_t epoch =
+      tm_.reset_epoch_.load(std::memory_order_relaxed);
+  if (epoch != reset_epoch_seen_) {
+    reset_epoch_seen_ = epoch;
+    txn_ordinal_ = 0;
+  }
   rver_ = tm_.clock_.sample();                // rver[T] := clock
   wver_minted_ = false;
   rset_.clear();
@@ -69,7 +81,9 @@ void Tl2Thread::abort_in_flight() {
   rec_.response(ActionKind::kAborted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
   if (tm_.config().collect_timestamps) {
-    tm_.log_stamp({thread_, txn_ordinal_, rver_, wver_, wver_minted_,
+    // wver stays 0 (the paper's ⊤) unless this very transaction minted one.
+    tm_.log_stamp({thread_, txn_ordinal_, rver_,
+                   wver_minted_ ? wver_ : 0, wver_minted_,
                    /*committed=*/false});
   }
   ++txn_ordinal_;

@@ -2,9 +2,10 @@
 //
 // Per register x: value reg[x], version ver[x], write-lock lock[x]
 // (separate fields, faithful to Fig 9; fusing version and lock into one
-// word is the classic optimization we deliberately do not take — see
-// DESIGN.md §6). A global clock mints write timestamps. Per thread t an
-// activity word active[t] (via rt::ThreadRegistry) supports fences.
+// word is the classic optimization this backend deliberately does not
+// take — tm/tl2_fused.hpp is the sibling that does, see DESIGN.md §6–7).
+// A global clock mints write timestamps. Per thread t an activity word
+// active[t] (via rt::ThreadRegistry) supports fences.
 //
 //   txbegin:  active[t] := true; rver := clock                  (lines 9–12)
 //   read:     write-set hit, else ver/value/lock/ver double     (lines 14–24)
@@ -33,6 +34,7 @@
 #include "runtime/spinlock.hpp"
 #include "runtime/versioned_lock.hpp"
 #include "tm/tm.hpp"
+#include "tm/txn_stamp.hpp"
 
 namespace privstm::tm {
 
@@ -67,6 +69,7 @@ class Tl2Thread final : public TmThread {
   std::uint64_t wver_ = 0;
   bool wver_minted_ = false;
   std::uint64_t txn_ordinal_ = 0;  ///< count of finished transactions
+  std::uint64_t reset_epoch_seen_ = 0;
   std::vector<RegId> rset_;
   std::vector<std::pair<RegId, Value>> wset_;  ///< insertion order; last wins
   std::vector<std::uint8_t> in_wset_;          ///< per-register membership
@@ -82,18 +85,9 @@ class Tl2 final : public TransactionalMemory {
   const char* name() const noexcept override { return "tl2"; }
   void reset() override;
 
-  /// One entry per finished transaction when config.collect_timestamps:
-  /// the rver/wver pair that the §7 invariants (Fig 11, INV.5) reason
-  /// about. `ordinal` is the per-thread transaction count, which matches
-  /// the per-thread order of transactions in any recorded history.
-  struct TxnStamp {
-    ThreadId thread = 0;
-    std::uint64_t ordinal = 0;
-    std::uint64_t rver = 0;
-    std::uint64_t wver = 0;  ///< 0 = never minted (the paper's ⊤ stays 0)
-    bool has_wver = false;
-    bool committed = false;
-  };
+  /// One entry per finished transaction when config.collect_timestamps —
+  /// see tm/txn_stamp.hpp (the struct is shared with Tl2Fused).
+  using TxnStamp = tm::TxnStamp;
   std::vector<TxnStamp> timestamp_log() const;
   Value peek(RegId reg) const noexcept override {
     return regs_[static_cast<std::size_t>(reg)]->value.load(
@@ -114,6 +108,9 @@ class Tl2 final : public TransactionalMemory {
   rt::GlobalClock clock_;
   rt::ThreadRegistry registry_;
   std::vector<rt::CacheAligned<Register>> regs_;
+  /// Bumped by reset(); sessions re-sync their txn ordinals at tx_begin so
+  /// stamp ordinals restart from 0 after a reset.
+  std::atomic<std::uint64_t> reset_epoch_{0};
   mutable rt::SpinLock stamp_lock_;
   std::vector<TxnStamp> stamps_;
 };

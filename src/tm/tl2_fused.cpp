@@ -1,0 +1,343 @@
+#include "tm/tl2_fused.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "runtime/backoff.hpp"
+
+namespace privstm::tm {
+
+using hist::ActionKind;
+using rt::Counter;
+using rt::VersionedLock;
+
+Tl2Fused::Tl2Fused(TmConfig config)
+    : TransactionalMemory(config), regs_(config.num_registers) {}
+
+std::unique_ptr<TmThread> Tl2Fused::make_thread(ThreadId thread,
+                                                hist::Recorder* recorder) {
+  return std::make_unique<Tl2FusedThread>(*this, thread, recorder);
+}
+
+void Tl2Fused::reset() {
+  {
+    std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+    retired_stamps_.clear();
+    for (auto* buf : stamp_buffers_) buf->clear();
+  }
+  clock_.reset();
+  stats_.reset();
+  reset_epoch_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& reg : regs_) {
+    reg->value.store(hist::kVInit, std::memory_order_relaxed);
+    assert(!VersionedLock::is_locked(reg->vlock.load()) &&
+           "reset with a register lock held");
+    reg->vlock.reset();
+  }
+}
+
+void Tl2Fused::attach_stamp_buffer(std::vector<TxnStamp>* buf) {
+  std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+  stamp_buffers_.push_back(buf);
+}
+
+void Tl2Fused::detach_stamp_buffer(std::vector<TxnStamp>* buf) {
+  std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+  retired_stamps_.insert(retired_stamps_.end(), buf->begin(), buf->end());
+  std::erase(stamp_buffers_, buf);
+}
+
+std::vector<TxnStamp> Tl2Fused::timestamp_log() const {
+  std::lock_guard<rt::SpinLock> guard(stamp_lock_);
+  std::vector<TxnStamp> out = retired_stamps_;
+  for (const auto* buf : stamp_buffers_) {
+    out.insert(out.end(), buf->begin(), buf->end());
+  }
+  return out;
+}
+
+Tl2FusedThread::Tl2FusedThread(Tl2Fused& tm, ThreadId thread,
+                               hist::Recorder* recorder)
+    : TmThread(thread),
+      tm_(tm),
+      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
+      slot_(tm.registry_),
+      token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
+      regs_(tm.regs_.data()),
+      activity_(&tm.registry_.activity_word(slot_.slot())),
+      stat_slot_(static_cast<std::size_t>(slot_.slot())),
+      fence_policy_(tm.config().fence_policy),
+      unsafe_skip_validation_(tm.config().unsafe_skip_validation),
+      collect_timestamps_(tm.config().collect_timestamps),
+      commit_pause_spins_(tm.config().commit_pause_spins),
+      reset_epoch_seen_(tm.reset_epoch_.load(std::memory_order_relaxed)),
+      rset_tag_(tm.config().num_registers, 0),
+      wslot_(tm.config().num_registers) {
+  rset_.reserve(64);
+  wset_.reserve(64);
+  tm_.attach_stamp_buffer(&stamps_);
+}
+
+Tl2FusedThread::~Tl2FusedThread() { tm_.detach_stamp_buffer(&stamps_); }
+
+bool Tl2FusedThread::tx_begin() {
+  // Set active[t] *before* logging txbegin, exactly as the faithful backend:
+  // a fence whose fbegin is recorded after our txbegin must observe us
+  // active and wait (condition 10 of Definition A.1).
+  [[maybe_unused]] const std::uint64_t act_prev =
+      activity_->fetch_add(1, std::memory_order_acq_rel);  // active := true
+  assert((act_prev & 1) == 0 && "tx_begin while already in a transaction");
+  rec_.request(ActionKind::kTxBegin);
+  const std::uint64_t epoch =
+      tm_.reset_epoch_.load(std::memory_order_relaxed);
+  if (epoch != reset_epoch_seen_) {
+    reset_epoch_seen_ = epoch;
+    txn_ordinal_ = 0;
+  }
+  rver_ = tm_.clock_.sample();                // rver[T] := clock
+  wver_minted_ = false;
+  // O(1) read/write-set clear: a new epoch tag invalidates every per-register
+  // membership slot at once. On the (once per 2^32 transactions) wrap-around
+  // the arrays are hard-cleared so stale tags cannot alias.
+  if (++txn_tag_ == 0) {
+    std::fill(rset_tag_.begin(), rset_tag_.end(), 0u);
+    std::fill(wslot_.begin(), wslot_.end(), WriteSlot{});
+    txn_tag_ = 1;
+  }
+  rset_.clear();
+  wset_.clear();
+  wfilter_ = 0;
+  rec_.response(ActionKind::kOk);
+  return true;
+}
+
+void Tl2FusedThread::abort_in_flight() {
+  rec_.response(ActionKind::kAborted);
+  tm_.stats().add(stat_slot_, Counter::kTxAbort);
+  if (collect_timestamps_) {
+    // wver stays 0 (the paper's ⊤) unless this very transaction minted one.
+    stamps_.push_back({thread_, txn_ordinal_, rver_,
+                       wver_minted_ ? wver_ : 0, wver_minted_,
+                       /*committed=*/false});
+  }
+  ++txn_ordinal_;
+  // Abort handler: clear active (inlined tx_exit parity bump).
+  [[maybe_unused]] const std::uint64_t act_prev =
+      activity_->fetch_add(1, std::memory_order_acq_rel);
+  assert((act_prev & 1) == 1 && "abort outside a transaction");
+}
+
+bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
+  rec_.request(ActionKind::kReadReq, reg);
+  const auto r = static_cast<std::size_t>(reg);
+
+  // Read-after-write fast path: the bloom filter screens the common miss
+  // with one register-resident test; the tag array is touched only on a
+  // filter hit.
+  if ((wfilter_ & bloom_bit(r)) != 0) {
+    const WriteSlot slot = wslot_[r];
+    if (slot.tag == txn_tag_) {
+      out = wset_[slot.idx].value;
+      rec_.response(ActionKind::kReadRet, reg, out);
+      return true;
+    }
+  }
+
+  // Word / value / word: the value load is sandwiched between two acquire
+  // loads of the fused word, which must agree and be unlocked with version
+  // ≤ rver. Both checks are required: a lone post-value load would accept a
+  // stale value when a racing commit's wver is ≤ rver (reader began after
+  // the stamp was minted) and the unlock lands between the two loads. An
+  // unchanged unlocked word proves no writer locked the register across
+  // the value load — a writer must CAS the word locked before storing the
+  // value — so the value belongs to version_of(w1) exactly.
+  auto& cell = *regs_[r];
+  const VersionedLock::Word w1 = cell.vlock.load(std::memory_order_acquire);
+  const Value value = cell.value.load(std::memory_order_acquire);
+  const VersionedLock::Word w2 = cell.vlock.load(std::memory_order_acquire);
+  const bool invalid = VersionedLock::is_locked(w1) || w1 != w2 ||
+                       rver_ < VersionedLock::version_of(w1);
+  if (invalid && !unsafe_skip_validation_) {
+    tm_.stats().add(stat_slot_, Counter::kTxReadValidationFail);
+    abort_in_flight();
+    return false;
+  }
+  if (rset_tag_[r] != txn_tag_) {
+    rset_tag_[r] = txn_tag_;
+    rset_.push_back(reg);
+  }
+  out = value;
+  rec_.response(ActionKind::kReadRet, reg, value);
+  return true;
+}
+
+bool Tl2FusedThread::tx_write(RegId reg, Value value) {
+  rec_.request(ActionKind::kWriteReq, reg, value);
+  const auto r = static_cast<std::size_t>(reg);
+  const std::uint64_t bit = bloom_bit(r);
+  if ((wfilter_ & bit) != 0 && wslot_[r].tag == txn_tag_) {
+    wset_[wslot_[r].idx].value = value;  // duplicate write: update in place
+  } else {
+    wslot_[r] = {txn_tag_, static_cast<std::uint32_t>(wset_.size())};
+    wset_.push_back({reg, value, 0});
+    wfilter_ |= bit;
+  }
+  rec_.response(ActionKind::kWriteRet, reg);
+  return true;
+}
+
+void Tl2FusedThread::release_locks(std::size_t n) {
+  // Restore the pre-lock words of the first n locked entries (wset_ holds
+  // one entry per distinct register; each locked entry cached its word).
+  for (std::size_t i = 0; i < n; ++i) {
+    regs_[static_cast<std::size_t>(wset_[i].reg)]->vlock.restore(
+        wset_[i].prev);
+  }
+}
+
+TxResult Tl2FusedThread::tx_commit() {
+  rec_.request(ActionKind::kTxCommit);
+
+  if (wset_.empty()) {
+    // Read-only fast path: every read validated against rver as it happened,
+    // so the snapshot is already consistent — no locks, no validation pass
+    // and, crucially, no global-clock advance.
+    rec_.response(ActionKind::kCommitted);
+    tm_.stats().add(stat_slot_, Counter::kTxCommit);
+    tm_.stats().add(stat_slot_, Counter::kTxReadOnlyCommit);
+    if (collect_timestamps_) {
+      stamps_.push_back({thread_, txn_ordinal_, rver_, 0,
+                         /*has_wver=*/false, /*committed=*/true});
+    }
+    ++txn_ordinal_;
+    [[maybe_unused]] const std::uint64_t act_prev =
+        activity_->fetch_add(1, std::memory_order_acq_rel);  // clear active
+    assert((act_prev & 1) == 1 && "commit outside a transaction");
+    auto_fence(false);
+    return TxResult::kCommitted;
+  }
+
+  // Acquire the write locks: one CAS per distinct register, remembering the
+  // pre-lock word for abort-time restore and self-lock validation.
+  std::size_t locked_count = 0;
+  bool lock_failed = false;
+  for (auto& entry : wset_) {
+    auto& cell = *regs_[static_cast<std::size_t>(entry.reg)];
+    VersionedLock::Word expected = cell.vlock.load(std::memory_order_relaxed);
+    if (!cell.vlock.try_lock(expected, token_)) {
+      lock_failed = true;
+      break;
+    }
+    entry.prev = expected;
+    ++locked_count;
+  }
+  if (lock_failed) {
+    release_locks(locked_count);
+    tm_.stats().add(stat_slot_, Counter::kTxLockFail);
+    abort_in_flight();
+    auto_fence(false);
+    return TxResult::kAborted;
+  }
+
+  // Mint the write timestamp — GV4/GV5: share a concurrent committer's
+  // stamp rather than retrying the CAS.
+  wver_ = tm_.clock_.advance_if_stale();
+  wver_minted_ = true;
+
+  // Validate the read set: one acquire load per entry. A lock held by this
+  // very commit counts as free (original TL2), validated against the
+  // version the word carried when we locked it.
+  for (RegId reg : rset_) {
+    const auto r = static_cast<std::size_t>(reg);
+    const VersionedLock::Word w =
+        regs_[r]->vlock.load(std::memory_order_acquire);
+    bool valid;
+    if (VersionedLock::is_locked(w)) {
+      valid = VersionedLock::owner_of(w) == token_ &&
+              rver_ >= VersionedLock::version_of(wset_[wslot_[r].idx].prev);
+    } else {
+      valid = rver_ >= VersionedLock::version_of(w);
+    }
+    if (!valid && !unsafe_skip_validation_) {
+      release_locks(locked_count);
+      tm_.stats().add(stat_slot_, Counter::kTxReadValidationFail);
+      abort_in_flight();
+      auto_fence(false);
+      return TxResult::kAborted;
+    }
+  }
+
+  // Write back: value store plus a single release store that publishes the
+  // new version and releases the lock at once. The optional pause widens
+  // the delayed-commit window for the Fig 1(a) litmus harness, exactly as
+  // in the faithful backend.
+  for (const auto& entry : wset_) {
+    for (std::uint32_t i = 0; i < commit_pause_spins_; ++i) {
+      rt::cpu_relax();
+    }
+    auto& cell = *regs_[static_cast<std::size_t>(entry.reg)];
+    cell.value.store(entry.value, std::memory_order_release);
+    rec_.publish(entry.reg, entry.value);  // TXVIS point (Fig 10)
+    cell.vlock.unlock_with_version(wver_);
+  }
+
+  rec_.response(ActionKind::kCommitted);
+  tm_.stats().add(stat_slot_, Counter::kTxCommit);
+  if (collect_timestamps_) {
+    stamps_.push_back({thread_, txn_ordinal_, rver_, wver_, wver_minted_,
+                       /*committed=*/true});
+  }
+  ++txn_ordinal_;
+  // Commit handler: clear active (inlined tx_exit parity bump).
+  [[maybe_unused]] const std::uint64_t act_prev =
+      activity_->fetch_add(1, std::memory_order_acq_rel);
+  assert((act_prev & 1) == 1 && "commit outside a transaction");
+  auto_fence(true);
+  return TxResult::kCommitted;
+}
+
+Value Tl2FusedThread::nt_read(RegId reg) {
+  tm_.stats().add(stat_slot_, Counter::kNtRead);
+  auto& cell = *regs_[static_cast<std::size_t>(reg)];
+  return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
+    return cell.value.load(std::memory_order_seq_cst);
+  });
+}
+
+void Tl2FusedThread::nt_write(RegId reg, Value value) {
+  tm_.stats().add(stat_slot_, Counter::kNtWrite);
+  auto& cell = *regs_[static_cast<std::size_t>(reg)];
+  rec_.nt_access(/*is_write=*/true, reg, value, [&] {
+    // Uninstrumented: no version bump, no lock — deliberately.
+    cell.value.store(value, std::memory_order_seq_cst);
+    return value;
+  });
+}
+
+void Tl2FusedThread::do_fence() {
+  rec_.request(ActionKind::kFenceBegin);
+  tm_.registry_.quiesce(tm_.config().fence_mode);
+  rec_.response(ActionKind::kFenceEnd);
+  tm_.stats().add(stat_slot_, Counter::kFence);
+}
+
+void Tl2FusedThread::fence() {
+  if (fence_policy_ == FencePolicy::kNone) return;
+  do_fence();
+}
+
+void Tl2FusedThread::auto_fence(bool wrote) {
+  switch (fence_policy_) {
+    case FencePolicy::kAlways:
+      do_fence();
+      break;
+    case FencePolicy::kSkipAfterReadOnly:
+      if (wrote) do_fence();  // the unsound optimization of [43]
+      break;
+    case FencePolicy::kNone:
+    case FencePolicy::kSelective:
+      break;
+  }
+}
+
+}  // namespace privstm::tm

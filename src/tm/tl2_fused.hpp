@@ -1,0 +1,158 @@
+// Tl2Fused — TL2 with transactional fences on the standard fast path.
+//
+// Protocol-identical to the faithful Fig 9 backend (`Tl2`): the same
+// rver/wver discipline, commit-time read-set validation, activity words and
+// two-pass fences, and the same uninstrumented non-transactional accesses.
+// What changes is only the representation of the metadata the protocol
+// manipulates (DESIGN.md §7):
+//
+//  * version and write-lock are fused into one `rt::VersionedLock` word per
+//    register, co-located with the value on a padded cache line — a read
+//    validates with two acquire loads of that word (word/value/word)
+//    instead of the faithful backend's three separate metadata loads in
+//    the ver/value/lock/ver quadruple-check, and commit write-back
+//    publishes version-and-unlock in one release store;
+//  * read/write-set membership is epoch-tagged: a per-register uint32_t
+//    transaction-ordinal tag replaces the `in_rset_`/`in_wset_` byte arrays,
+//    so per-transaction clearing is a single counter bump instead of an
+//    O(|rset|+|wset|) sweep, and a 64-bit bloom filter screens the
+//    read-after-write lookup;
+//  * write-set entries are deduplicated in place at tx_write time (last
+//    value wins), removing the faithful backend's O(|wset|²) commit-time
+//    collapse pass;
+//  * commit stamps come from `GlobalClock::advance_if_stale()` (GV4/GV5
+//    style: one CAS, share the observed stamp on failure) and read-only
+//    commits skip the clock entirely;
+//  * TxnStamp collection goes to per-thread buffers merged on
+//    timestamp_log(), not a globally locked vector.
+//
+// Because the protocol is unchanged, the fence-based privatization-safety
+// argument of §7 carries over verbatim; the backend-parameterized semantics,
+// opacity, litmus and INV.5 suites re-prove it on this implementation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/global_clock.hpp"
+#include "runtime/spinlock.hpp"
+#include "runtime/versioned_lock.hpp"
+#include "tm/tm.hpp"
+#include "tm/txn_stamp.hpp"
+
+namespace privstm::tm {
+
+class Tl2Fused;
+
+namespace detail {
+/// Value and fused version/lock word share one padded cache line, so the
+/// whole read-path check touches a single line per register.
+struct FusedRegister {
+  std::atomic<Value> value{hist::kVInit};
+  rt::VersionedLock vlock;
+};
+}  // namespace detail
+
+class Tl2FusedThread final : public TmThread {
+ public:
+  Tl2FusedThread(Tl2Fused& tm, ThreadId thread, hist::Recorder* recorder);
+  ~Tl2FusedThread() override;
+
+  bool tx_begin() override;
+  bool tx_read(RegId reg, Value& out) override;
+  bool tx_write(RegId reg, Value value) override;
+  TxResult tx_commit() override;
+  Value nt_read(RegId reg) override;
+  void nt_write(RegId reg, Value value) override;
+  void fence() override;
+
+ private:
+  void abort_in_flight();             ///< record aborted + clear active flag
+  void release_locks(std::size_t n);  ///< restore the first n locked words
+  void auto_fence(bool wrote);
+  void do_fence();
+
+  static std::uint64_t bloom_bit(std::size_t r) noexcept {
+    return std::uint64_t{1} << ((r * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+
+  Tl2Fused& tm_;
+  hist::Recorder::Handle rec_;
+  rt::ThreadSlotGuard slot_;
+  rt::OwnerToken token_;
+  // Hot-path caches: config is immutable after TM construction and the
+  // register array never reallocates, so the per-access loops can skip the
+  // tm_ indirections (interleaved atomic stores keep the compiler from
+  // hoisting those loads itself).
+  rt::CacheAligned<detail::FusedRegister>* const regs_;
+  std::atomic<std::uint64_t>* const activity_;  ///< our registry slot's word
+  const std::size_t stat_slot_;
+  const FencePolicy fence_policy_;
+  const bool unsafe_skip_validation_;
+  const bool collect_timestamps_;
+  const std::uint32_t commit_pause_spins_;
+
+  // Transaction-local state.
+  std::uint64_t rver_ = 0;
+  std::uint64_t wver_ = 0;
+  bool wver_minted_ = false;
+  std::uint64_t txn_ordinal_ = 0;   ///< count of finished transactions
+  std::uint64_t reset_epoch_seen_ = 0;
+  std::uint32_t txn_tag_ = 0;       ///< epoch tag; bumping it clears both sets
+  std::uint64_t wfilter_ = 0;       ///< bloom filter over write-set registers
+  /// Write-set membership slot: epoch tag plus the wset_ index it points
+  /// at while the tag is current — one 8-byte load covers both.
+  struct WriteSlot {
+    std::uint32_t tag = 0;
+    std::uint32_t idx = 0;
+  };
+  /// Write-set entry; `prev` caches the pre-lock word during commit (for
+  /// abort-time restore and self-lock validation).
+  struct WriteEntry {
+    RegId reg;
+    Value value;
+    rt::VersionedLock::Word prev = 0;
+  };
+  std::vector<RegId> rset_;
+  std::vector<WriteEntry> wset_;       ///< deduped; last value wins
+  std::vector<std::uint32_t> rset_tag_;  ///< per-register epoch tags
+  std::vector<WriteSlot> wslot_;         ///< per-register wset slots
+  std::vector<TxnStamp> stamps_;         ///< per-thread stamp buffer
+};
+
+class Tl2Fused final : public TransactionalMemory {
+ public:
+  explicit Tl2Fused(TmConfig config);
+
+  std::unique_ptr<TmThread> make_thread(ThreadId thread,
+                                        hist::Recorder* recorder) override;
+  const char* name() const noexcept override { return "tl2fused"; }
+  void reset() override;
+
+  /// Merged view of the per-thread stamp buffers plus stamps of already
+  /// destroyed sessions. Requires all sessions quiescent (tests call it
+  /// after joining their workers).
+  std::vector<TxnStamp> timestamp_log() const;
+
+  Value peek(RegId reg) const noexcept override {
+    return regs_[static_cast<std::size_t>(reg)]->value.load(
+        std::memory_order_seq_cst);
+  }
+
+ private:
+  friend class Tl2FusedThread;
+
+  void attach_stamp_buffer(std::vector<TxnStamp>* buf);
+  void detach_stamp_buffer(std::vector<TxnStamp>* buf);
+
+  rt::GlobalClock clock_;
+  rt::ThreadRegistry registry_;
+  std::vector<rt::CacheAligned<detail::FusedRegister>> regs_;
+  std::atomic<std::uint64_t> reset_epoch_{0};
+  mutable rt::SpinLock stamp_lock_;  ///< buffer registry only, never per-txn
+  std::vector<std::vector<TxnStamp>*> stamp_buffers_;
+  std::vector<TxnStamp> retired_stamps_;
+};
+
+}  // namespace privstm::tm

@@ -1,0 +1,24 @@
+// Per-transaction (rver, wver) stamps, collected by the TL2-family backends
+// when TmConfig::collect_timestamps is set. Tests replay them against the
+// §7 / Fig 11 INV.5 invariants on recorded executions.
+#pragma once
+
+#include <cstdint>
+
+#include "history/action.hpp"
+
+namespace privstm::tm {
+
+/// One entry per finished transaction: the rver/wver pair the §7 invariants
+/// reason about. `ordinal` is the per-thread transaction count, matching the
+/// per-thread order of transactions in any recorded history.
+struct TxnStamp {
+  hist::ThreadId thread = 0;
+  std::uint64_t ordinal = 0;
+  std::uint64_t rver = 0;
+  std::uint64_t wver = 0;  ///< 0 = never minted (the paper's ⊤ stays 0)
+  bool has_wver = false;
+  bool committed = false;
+};
+
+}  // namespace privstm::tm

@@ -305,8 +305,7 @@ TEST_P(AdtOnTm, HashMapPrivatizedIterationConsistentSnapshot) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTms, AdtOnTm,
-                         ::testing::Values(TmKind::kTl2, TmKind::kNOrec,
-                                           TmKind::kGlobalLock),
+                         ::testing::ValuesIn(tm::all_tm_kinds()),
                          [](const auto& info) {
                            return std::string(tm::tm_kind_name(info.param));
                          });

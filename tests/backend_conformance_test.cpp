@@ -1,0 +1,69 @@
+// Backend conformance: every TM the factory can build must survive the
+// paper's Fig 1 privatization litmus scenarios *with fences enabled* —
+// delayed commit (1a) and doomed transaction (1b) — with zero
+// strong-atomicity violations, and the recorded histories must be
+// race-free and strongly opaque under the existing checker pipeline.
+//
+// This is the gate a new backend (e.g. tl2fused) has to pass: it proves
+// the fence-based privatization-safety protocol survived whatever fast-path
+// representation the backend chose.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lang/litmus.hpp"
+#include "tm/factory.hpp"
+
+namespace privstm {
+namespace {
+
+using tm::FencePolicy;
+using tm::TmKind;
+
+class BackendConformance
+    : public ::testing::TestWithParam<std::tuple<TmKind, bool>> {};
+
+TEST_P(BackendConformance, FencedFig1ScenariosAreSafe) {
+  const auto [kind, doomed] = GetParam();
+  const lang::LitmusSpec spec =
+      doomed ? lang::make_fig1b(true) : lang::make_fig1a(true);
+
+  // Pass 1: many runs with a widened commit window, counting postcondition
+  // violations — the paper-shape result (Fig 9 with fences: zero).
+  lang::LitmusRunOptions options;
+  options.runs = 300;
+  options.jitter_max_spins = 200;
+  options.commit_pause_spins = 150;
+  options.seed = 20260730;
+  auto stats = lang::run_litmus(spec, kind, FencePolicy::kSelective, options);
+  EXPECT_EQ(stats.postcondition_violations, 0u)
+      << tm::tm_kind_name(kind) << " violated " << spec.name;
+
+  // Pass 2: fewer runs, each recorded and pushed through the DRF +
+  // strong-opacity pipeline — the fence must make every conflict
+  // hb-ordered (no racy histories) and every history opaque.
+  options.runs = 40;
+  options.seed = 4242;
+  options.check_strong_opacity = true;
+  stats = lang::run_litmus(spec, kind, FencePolicy::kSelective, options);
+  EXPECT_GT(stats.histories_checked, 0u);
+  EXPECT_EQ(stats.racy_histories, 0u)
+      << tm::tm_kind_name(kind) << " produced a racy history on "
+      << spec.name;
+  EXPECT_EQ(stats.opacity_violations, 0u)
+      << tm::tm_kind_name(kind) << " on " << spec.name << ": "
+      << stats.first_violation_detail;
+  EXPECT_EQ(stats.postcondition_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTms, BackendConformance,
+    ::testing::Combine(::testing::ValuesIn(tm::all_tm_kinds()),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(tm::tm_kind_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_fig1b_doomed" : "_fig1a_delayed");
+    });
+
+}  // namespace
+}  // namespace privstm

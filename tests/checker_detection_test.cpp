@@ -2,27 +2,36 @@
 // disabled) through a deterministic anomaly and confirm the strong-opacity
 // pipeline rejects the recorded history — the counterpart to the all-green
 // property suite, showing green actually means something for real TMs.
+// Parameterized over both TL2-family backends so the fused fast path's
+// single-word validation is held to the same standard as the faithful one.
 #include <gtest/gtest.h>
 
 #include "history/recorder.hpp"
 #include "opacity/strong_opacity.hpp"
-#include "tm/tl2.hpp"
+#include "tm/factory.hpp"
 
 namespace privstm {
 namespace {
 
-using tm::Tl2;
 using tm::TmConfig;
+using tm::TmKind;
 using tm::TxResult;
 
-TEST(CheckerDetection, BrokenTl2InconsistentSnapshotCaught) {
-  TmConfig config;
-  config.num_registers = 4;
-  config.unsafe_skip_validation = true;  // the injected bug
-  Tl2 tmi(config);
+class CheckerDetection : public ::testing::TestWithParam<TmKind> {
+ protected:
+  std::unique_ptr<tm::TransactionalMemory> make(bool broken) {
+    TmConfig config;
+    config.num_registers = 4;
+    config.unsafe_skip_validation = broken;  // the injected bug
+    return tm::make_tm(GetParam(), config);
+  }
+};
+
+TEST_P(CheckerDetection, BrokenTl2InconsistentSnapshotCaught) {
+  auto tmi = make(/*broken=*/true);
   hist::Recorder recorder;
-  auto t0 = tmi.make_thread(0, &recorder);
-  auto t1 = tmi.make_thread(1, &recorder);
+  auto t0 = tmi->make_thread(0, &recorder);
+  auto t1 = tmi->make_thread(1, &recorder);
 
   // T0 reads x before T1's commit and y after it: an inconsistent snapshot
   // a correct TL2 would abort at the y read.
@@ -54,16 +63,13 @@ TEST(CheckerDetection, BrokenTl2InconsistentSnapshotCaught) {
   EXPECT_FALSE(verdict.txn_projection_acyclic);
 }
 
-TEST(CheckerDetection, BrokenTl2DoomedCommitCaught) {
+TEST_P(CheckerDetection, BrokenTl2DoomedCommitCaught) {
   // The doomed-commit variant: T0's entire read set is stale at commit;
   // skipping validation publishes writes based on overwritten data.
-  TmConfig config;
-  config.num_registers = 4;
-  config.unsafe_skip_validation = true;
-  Tl2 tmi(config);
+  auto tmi = make(/*broken=*/true);
   hist::Recorder recorder;
-  auto t0 = tmi.make_thread(0, &recorder);
-  auto t1 = tmi.make_thread(1, &recorder);
+  auto t0 = tmi->make_thread(0, &recorder);
+  auto t1 = tmi->make_thread(1, &recorder);
 
   ASSERT_TRUE(t0->tx_begin());
   hist::Value x = 0;
@@ -85,15 +91,13 @@ TEST(CheckerDetection, BrokenTl2DoomedCommitCaught) {
   EXPECT_FALSE(verdict.ok()) << verdict.to_string();
 }
 
-TEST(CheckerDetection, CorrectTl2SameScheduleIsFine) {
-  // Identical schedule on the sound TL2: the second read aborts and the
+TEST_P(CheckerDetection, CorrectTl2SameScheduleIsFine) {
+  // Identical schedule on the sound TM: the second read aborts and the
   // recorded history passes.
-  TmConfig config;
-  config.num_registers = 4;
-  Tl2 tmi(config);
+  auto tmi = make(/*broken=*/false);
   hist::Recorder recorder;
-  auto t0 = tmi.make_thread(0, &recorder);
-  auto t1 = tmi.make_thread(1, &recorder);
+  auto t0 = tmi->make_thread(0, &recorder);
+  auto t1 = tmi->make_thread(1, &recorder);
 
   ASSERT_TRUE(t0->tx_begin());
   hist::Value x = 0;
@@ -111,6 +115,12 @@ TEST(CheckerDetection, CorrectTl2SameScheduleIsFine) {
   const auto verdict = opacity::check_strong_opacity(exec);
   EXPECT_TRUE(verdict.ok()) << verdict.to_string();
 }
+
+INSTANTIATE_TEST_SUITE_P(Tl2Family, CheckerDetection,
+                         ::testing::Values(TmKind::kTl2, TmKind::kTl2Fused),
+                         [](const auto& info) {
+                           return std::string(tm::tm_kind_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace privstm

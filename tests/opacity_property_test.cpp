@@ -90,8 +90,7 @@ TEST_P(PureTransactional, RecordedHistoryStronglyOpaque) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, PureTransactional,
-    ::testing::Combine(::testing::Values(TmKind::kTl2, TmKind::kNOrec,
-                                         TmKind::kGlobalLock),
+    ::testing::Combine(::testing::ValuesIn(tm::all_tm_kinds()),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
     [](const auto& info) {
       return std::string(tm::tm_kind_name(std::get<0>(info.param))) +

@@ -192,8 +192,7 @@ TEST_P(TmSemantics, StatsCountCommits) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTms, TmSemantics,
-                         ::testing::Values(TmKind::kTl2, TmKind::kNOrec,
-                                           TmKind::kGlobalLock),
+                         ::testing::ValuesIn(tm::all_tm_kinds()),
                          [](const auto& info) {
                            return tm::tm_kind_name(info.param);
                          });
