@@ -122,6 +122,68 @@ void run_privatization_phases(benchmark::State& state, TmKind kind,
       static_cast<double>(tmi->stats().total(rt::Counter::kFence));
 }
 
+// Write-then-privatize mix: every round commits a write transaction to the
+// thread's slot and then privatizes it. The sync variant pays the fence on
+// the round's critical path; the deferred variant issues the fence ticket,
+// commits the NEXT round's write transaction underneath the grace period,
+// and completes the ticket afterwards — the fence_async() idiom end to end
+// on the shared quiescence subsystem (kGracePeriodEpoch).
+void run_write_then_privatize(benchmark::State& state, TmKind kind,
+                              bool deferred) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr int kRounds = 400;
+  tm::TmConfig config;
+  config.num_registers = 2 * threads + 2;
+  config.fence_mode = rt::FenceMode::kGracePeriodEpoch;
+  auto tmi = tm::make_tm(kind, config);
+
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    parallel_phase(threads, [&](std::size_t t) {
+      auto session = tmi->make_thread(static_cast<hist::ThreadId>(t),
+                                      nullptr);
+      const auto reg = static_cast<hist::RegId>(t);
+      const auto aux = static_cast<hist::RegId>(threads + t);
+      hist::Value tag = (static_cast<hist::Value>(t) + 1) << 40;
+      rt::FenceTicket pending = rt::kNullFenceTicket;
+      for (int round = 0; round < kRounds; ++round) {
+        tm::run_tx_retry(*session,
+                         [&](tm::TxScope& tx) { tx.write(reg, ++tag); });
+        if (deferred) {
+          const rt::FenceTicket ticket = session->fence_async();
+          session->fence_wait(pending);  // previous round's privatization
+          pending = ticket;
+        } else {
+          session->fence();
+        }
+        session->nt_write(aux, ++tag);  // the privatized update
+      }
+      session->fence_wait(pending);
+    });
+    rounds += threads * kRounds;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["fences"] =
+      static_cast<double>(tmi->stats().total(rt::Counter::kFence));
+  state.counters["fences_coalesced"] = static_cast<double>(
+      tmi->stats().total(rt::Counter::kFenceCoalesced));
+}
+
+void BM_WriteThenPrivatize_TL2Fused_Sync(benchmark::State& state) {
+  run_write_then_privatize(state, TmKind::kTl2Fused, false);
+}
+void BM_WriteThenPrivatize_TL2Fused_Deferred(benchmark::State& state) {
+  run_write_then_privatize(state, TmKind::kTl2Fused, true);
+}
+
+void apply_wtp_args(benchmark::internal::Benchmark* b) {
+  for (int threads : {1, 2, 4, 8}) b->Args({threads});
+  b->Unit(benchmark::kMillisecond)->UseRealTime()->Iterations(3);
+}
+
+BENCHMARK(BM_WriteThenPrivatize_TL2Fused_Sync)->Apply(apply_wtp_args);
+BENCHMARK(BM_WriteThenPrivatize_TL2Fused_Deferred)->Apply(apply_wtp_args);
+
 void BM_PrivatizationPhases_TL2_Fenced(benchmark::State& state) {
   run_privatization_phases(state, TmKind::kTl2, true);
 }

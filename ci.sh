@@ -11,3 +11,8 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # Smoke-run the throughput matrix (writes BENCH_tm_throughput.quick.json;
 # the committed full matrix comes from a run without --quick).
 ./build/bench_tm_throughput --quick
+
+# Smoke-run the multi-privatizer fence matrix (writes
+# BENCH_fence_overhead.quick.json). --check fails the run if the coalesced
+# grace-period engine regresses below the per-fence-scan mode.
+./build/bench_fence_overhead --quick --check

@@ -10,9 +10,17 @@
 //      instrumentation),
 //   4. publishes the buffer back transactionally.
 //
-// The invariant checked at the end: every buffer's content equals the
-// number of completed work phases on it — any delayed commit or doomed
-// read would corrupt the count.
+// The pipeline runs twice, demonstrating both fencing styles of the
+// quiescence subsystem (DESIGN.md §5):
+//   * synchronous — fence() blocks between claim and the NT work;
+//   * deferred    — fence_async() issues a ticket right after the claim,
+//     the worker keeps doing useful *transactional* bookkeeping while the
+//     grace period elapses (coalesced kGracePeriodEpoch engine), and only
+//     then completes the ticket and touches the buffer uninstrumented.
+//
+// The invariant checked at the end of each phase: every buffer's content
+// equals the number of completed work phases on it — any delayed commit
+// or doomed read would corrupt the count.
 //
 // Build & run:  ./examples/privatization_pipeline
 #include <cstdio>
@@ -31,12 +39,17 @@ constexpr std::size_t kCellsPerBuffer = 4;
 constexpr int kWorkers = 3;
 constexpr int kPhasesPerWorker = 2000;
 
-// Register layout: [0, kBuffers) owner flags; then kBuffers × kCells data.
+// Register layout: [0, kBuffers) owner flags; then kBuffers × kCells data;
+// then one transactional bookkeeping counter per worker.
 constexpr hist::RegId owner_reg(std::size_t buffer) {
   return static_cast<hist::RegId>(buffer);
 }
 constexpr hist::RegId cell_reg(std::size_t buffer, std::size_t cell) {
   return static_cast<hist::RegId>(kBuffers + buffer * kCellsPerBuffer + cell);
+}
+constexpr hist::RegId bookkeeping_reg(int worker) {
+  return static_cast<hist::RegId>(kBuffers + kBuffers * kCellsPerBuffer +
+                                  static_cast<std::size_t>(worker) - 1);
 }
 
 // Owner-flag encoding: 0 = shared/free, otherwise (worker id << 32 | tag).
@@ -59,7 +72,7 @@ Claimed try_claim(tm::TmThread& session, rt::Xoshiro256& rng,
   return {claimed, buffer};
 }
 
-void worker(tm::TransactionalMemory& tmi, int id,
+void worker(tm::TransactionalMemory& tmi, int id, bool deferred,
             std::vector<std::size_t>& phases_done) {
   auto session = tmi.make_thread(id, nullptr);
   rt::Xoshiro256 rng(static_cast<std::uint64_t>(id) * 977 + 5);
@@ -72,7 +85,19 @@ void worker(tm::TransactionalMemory& tmi, int id,
     // The buffer is now logically private — but a transaction that read
     // the owner flag before our claim may still be committing a write to
     // it. The fence waits those out.
-    session->fence();
+    if (deferred) {
+      // Queue the privatization and keep doing useful transactional work
+      // while the grace period elapses underneath it.
+      const rt::FenceTicket ticket = session->fence_async();
+      for (int k = 0; k < 2; ++k) {
+        tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+          tx.write(bookkeeping_reg(id), ++tag);
+        });
+      }
+      session->fence_wait(ticket);
+    } else {
+      session->fence();
+    }
 
     // Uninstrumented work: increment a per-buffer phase counter spread
     // over the cells.
@@ -91,19 +116,24 @@ void worker(tm::TransactionalMemory& tmi, int id,
   phases_done[static_cast<std::size_t>(id) - 1] = done;
 }
 
-}  // namespace
-
-int main() {
+/// Run one full pipeline; returns true when the invariant held.
+bool run_pipeline(bool deferred) {
   tm::TmConfig config;
-  config.num_registers = kBuffers + kBuffers * kCellsPerBuffer;
+  config.num_registers =
+      kBuffers + kBuffers * kCellsPerBuffer + static_cast<std::size_t>(kWorkers);
   config.fence_policy = tm::FencePolicy::kSelective;
+  // The deferred phase exercises the coalesced grace-period engine (async
+  // tickets always run on it); the sync phase uses the per-fence scan.
+  config.fence_mode = deferred ? rt::FenceMode::kGracePeriodEpoch
+                               : rt::FenceMode::kEpochCounter;
   auto tmi = tm::make_tm(tm::TmKind::kTl2, config);
 
   std::vector<std::size_t> phases_done(kWorkers, 0);
   std::vector<std::thread> workers;
   for (int w = 1; w <= kWorkers; ++w) {
-    workers.emplace_back(
-        [&tmi, &phases_done, w] { worker(*tmi, w, phases_done); });
+    workers.emplace_back([&tmi, &phases_done, deferred, w] {
+      worker(*tmi, w, deferred, phases_done);
+    });
   }
   for (auto& t : workers) t.join();
 
@@ -118,11 +148,22 @@ int main() {
   }
   const hist::Value expected =
       static_cast<hist::Value>(total_phases) * kCellsPerBuffer;
-  std::printf("phases completed: %zu\n", total_phases);
-  std::printf("cell increments:  %llu (expected %llu) — %s\n",
+  std::printf("[%s] phases completed: %zu\n",
+              deferred ? "deferred" : "sync", total_phases);
+  std::printf("[%s] cell increments:  %llu (expected %llu) — %s\n",
+              deferred ? "deferred" : "sync",
               static_cast<unsigned long long>(total_increments),
               static_cast<unsigned long long>(expected),
               total_increments == expected ? "consistent" : "CORRUPTED");
-  std::printf("tm stats: %s\n", tmi->stats().summary().c_str());
-  return total_increments == expected ? 0 : 1;
+  std::printf("[%s] tm stats: %s\n", deferred ? "deferred" : "sync",
+              tmi->stats().summary().c_str());
+  return total_increments == expected;
+}
+
+}  // namespace
+
+int main() {
+  const bool sync_ok = run_pipeline(/*deferred=*/false);
+  const bool deferred_ok = run_pipeline(/*deferred=*/true);
+  return sync_ok && deferred_ok ? 0 : 1;
 }

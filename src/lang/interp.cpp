@@ -124,7 +124,13 @@ class ThreadInterp {
       case Cmd::Kind::kFence:
         assert(!in_tx && "fence inside a transaction");
         jitter();
-        session_.fence();
+        if (options_.async_fences) {
+          const rt::FenceTicket ticket = session_.fence_async();
+          jitter();  // let other threads' actions land inside the fence
+          session_.fence_wait(ticket);
+        } else {
+          session_.fence();
+        }
         return Status::kOk;
 
       case Cmd::Kind::kProbe:

@@ -23,6 +23,12 @@ struct ExecOptions {
   std::uint64_t seed = 1;
   /// Max busy-wait spins injected before each TM operation (0 = none).
   std::uint32_t jitter_max_spins = 0;
+  /// Execute fence commands as asynchronous fences: issue a ticket, jitter
+  /// (widening the issue→completion window other threads can race into),
+  /// then await completion. Semantically equivalent to a synchronous fence
+  /// at the issue point; exercises the ticket engine and its shadow-thread
+  /// history recording end to end.
+  bool async_fences = false;
 };
 
 struct ExecResult {

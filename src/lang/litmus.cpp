@@ -269,6 +269,7 @@ LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
   tm::TmConfig config;
   config.num_registers = spec.program.num_registers;
   config.fence_policy = policy;
+  config.fence_mode = options.fence_mode;
   config.commit_pause_spins = options.commit_pause_spins;
 
   for (std::size_t run = 0; run < options.runs; ++run) {
@@ -277,6 +278,7 @@ LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
     exec_options.record = options.check_strong_opacity;
     exec_options.seed = options.seed + run;
     exec_options.jitter_max_spins = options.jitter_max_spins;
+    exec_options.async_fences = options.async_fences;
     ExecResult result = execute(spec.program, *tmi, exec_options);
 
     ++stats.runs;

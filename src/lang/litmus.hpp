@@ -77,6 +77,11 @@ struct LitmusRunOptions {
   std::uint64_t seed = 42;
   /// Record each run and check strong opacity of the recorded history.
   bool check_strong_opacity = false;
+  /// Quiescence engine for the TM's fences (DESIGN.md §5).
+  rt::FenceMode fence_mode = rt::FenceMode::kEpochCounter;
+  /// Run programmer-placed fences asynchronously (issue + await) instead
+  /// of synchronously — see ExecOptions::async_fences.
+  bool async_fences = false;
 };
 
 struct LitmusRunStats {

@@ -18,6 +18,10 @@ const char* counter_name(Counter c) noexcept {
       return "lock_fails";
     case Counter::kFence:
       return "fences";
+    case Counter::kFenceCoalesced:
+      return "fences_coalesced";
+    case Counter::kFenceAsyncIssued:
+      return "fences_async_issued";
     case Counter::kNtRead:
       return "nt_reads";
     case Counter::kNtWrite:

@@ -19,6 +19,8 @@ enum class Counter : std::size_t {
   kTxReadValidationFail,
   kTxLockFail,
   kFence,
+  kFenceCoalesced,    ///< subset of kFence served by another fence's scan
+  kFenceAsyncIssued,  ///< fence_async tickets issued (completions → kFence)
   kNtRead,
   kNtWrite,
   kDoomedDetected,

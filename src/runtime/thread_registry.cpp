@@ -8,6 +8,18 @@
 
 namespace privstm::rt {
 
+const char* fence_mode_name(FenceMode m) noexcept {
+  switch (m) {
+    case FenceMode::kEpochCounter:
+      return "epoch-counter";
+    case FenceMode::kPaperBoolean:
+      return "paper-boolean";
+    case FenceMode::kGracePeriodEpoch:
+      return "grace-period-epoch";
+  }
+  return "?";
+}
+
 int ThreadRegistry::register_thread() noexcept {
   for (std::size_t i = 0; i < kMaxThreads; ++i) {
     bool expected = false;
@@ -17,6 +29,14 @@ int ThreadRegistry::register_thread() noexcept {
       std::uint64_t a = slots_[i]->activity.load(std::memory_order_relaxed);
       if (a & 1) {
         slots_[i]->activity.store(a + 1, std::memory_order_release);
+      }
+      // Publish the occupancy bound before the caller can run a
+      // transaction on this slot, so fence scans over [0, high_water())
+      // never miss it.
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 &&
+             !high_water_.compare_exchange_weak(hw, i + 1,
+                                                std::memory_order_acq_rel)) {
       }
       return static_cast<int>(i);
     }
@@ -57,26 +77,31 @@ bool ThreadRegistry::is_active(int slot) const noexcept {
 }
 
 void ThreadRegistry::quiesce(FenceMode mode) const noexcept {
+  // Only the claimed-slot prefix can host transactions; never-claimed
+  // slots need no scan.
+  const std::size_t nslots = high_water();
   // First loop of Fig 7: record which threads are mid-transaction.
   std::array<std::uint64_t, kMaxThreads> snapshot;  // NOLINT
   std::array<bool, kMaxThreads> waiting;            // NOLINT
-  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+  for (std::size_t t = 0; t < nslots; ++t) {
     const std::uint64_t a = slots_[t]->activity.load(std::memory_order_acquire);
     snapshot[t] = a;
     waiting[t] = (a & 1) != 0;
   }
   // Second loop of Fig 7: wait for each recorded thread to pass through a
   // quiescent state.
-  for (std::size_t t = 0; t < kMaxThreads; ++t) {
+  for (std::size_t t = 0; t < nslots; ++t) {
     if (!waiting[t]) continue;
     Backoff backoff;
     for (;;) {
       const std::uint64_t a =
           slots_[t]->activity.load(std::memory_order_acquire);
-      if (mode == FenceMode::kEpochCounter) {
+      if (mode != FenceMode::kPaperBoolean) {
         // The counter moved on: the transaction observed in the snapshot has
         // completed (tx_exit bumped parity), regardless of how many
-        // transactions the thread has started since.
+        // transactions the thread has started since. (kGracePeriodEpoch
+        // handed to this raw scan degrades to the same semantics — the
+        // coalescing lives in QuiescenceManager.)
         if (a != snapshot[t]) break;
       } else {
         // Paper-faithful: `while (active[t]);` — wait to *observe* the
@@ -89,17 +114,19 @@ void ThreadRegistry::quiesce(FenceMode mode) const noexcept {
 }
 
 std::size_t ThreadRegistry::registered_count() const noexcept {
+  const std::size_t nslots = high_water();
   std::size_t n = 0;
-  for (const auto& slot : slots_) {
-    if (slot->in_use.load(std::memory_order_acquire)) ++n;
+  for (std::size_t t = 0; t < nslots; ++t) {
+    if (slots_[t]->in_use.load(std::memory_order_acquire)) ++n;
   }
   return n;
 }
 
 std::size_t ThreadRegistry::active_count() const noexcept {
+  const std::size_t nslots = high_water();
   std::size_t n = 0;
-  for (const auto& slot : slots_) {
-    if ((slot->activity.load(std::memory_order_acquire) & 1) != 0) ++n;
+  for (std::size_t t = 0; t < nslots; ++t) {
+    if ((slots_[t]->activity.load(std::memory_order_acquire) & 1) != 0) ++n;
   }
   return n;
 }

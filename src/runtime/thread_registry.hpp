@@ -6,7 +6,9 @@
 // fence began has completed (committed or aborted) — exactly condition 10 of
 // Definition 2.1, and the same grace-period semantics as RCU [31].
 //
-// Two fence modes are provided (DESIGN.md §5):
+// Three fence modes exist (DESIGN.md §5); this file implements the two
+// per-fence-scan ones, the coalesced third lives in rt::QuiescenceManager
+// (runtime/quiescence.hpp), which owns a registry and drives it:
 //
 //  * kEpochCounter (default): the activity word is a counter; even means
 //    quiescent, odd means inside a transaction. tx_enter/tx_exit increment
@@ -20,6 +22,15 @@
 //    paper; can starve under continuous transactions (the word oscillates
 //    between 0 and 1 and the waiter may keep observing 1). Used by the
 //    litmus tests to demonstrate faithfulness, never by benchmarks.
+//
+//  * kGracePeriodEpoch: concurrent fences share one registry scan per
+//    global grace period instead of scanning per fence — see
+//    runtime/quiescence.hpp. Passing it to `quiesce` directly falls back
+//    to the kEpochCounter scan (same correctness, no coalescing).
+//
+// Scans cover only the claimed-slot prefix: `register_thread` maintains a
+// monotonic high-water mark published before a slot's owner can run its
+// first transaction, so fences touch high_water() slots, not kMaxThreads.
 #pragma once
 
 #include <array>
@@ -32,9 +43,12 @@
 namespace privstm::rt {
 
 enum class FenceMode : std::uint8_t {
-  kEpochCounter,   ///< robust parity/grace-period fence (default)
-  kPaperBoolean,   ///< literal Fig 7 boolean scan
+  kEpochCounter,      ///< robust parity/grace-period fence (default)
+  kPaperBoolean,      ///< literal Fig 7 boolean scan
+  kGracePeriodEpoch,  ///< coalesced shared grace periods (QuiescenceManager)
 };
+
+const char* fence_mode_name(FenceMode m) noexcept;
 
 class ThreadRegistry {
  public:
@@ -80,6 +94,14 @@ class ThreadRegistry {
   /// Number of slots that are currently inside a transaction.
   std::size_t active_count() const noexcept;
 
+  /// Upper bound on claimed slot indices: every slot that has ever been
+  /// registered lies in [0, high_water()). Monotonic — it never shrinks on
+  /// unregister — and published before a new slot's owner can start a
+  /// transaction, so scanning this prefix is a sound fence.
+  std::size_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Slot {
     /// Parity-counter activity word (see file comment). In kPaperBoolean
@@ -89,6 +111,7 @@ class ThreadRegistry {
   };
 
   std::array<CacheAligned<Slot>, kMaxThreads> slots_{};
+  std::atomic<std::size_t> high_water_{0};  ///< claimed-slot prefix bound
 };
 
 /// RAII slot ownership: registers on construction, unregisters on

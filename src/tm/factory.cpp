@@ -21,19 +21,8 @@ const char* tm_kind_name(TmKind kind) noexcept {
   return "?";
 }
 
-const char* fence_policy_name(FencePolicy p) noexcept {
-  switch (p) {
-    case FencePolicy::kNone:
-      return "none";
-    case FencePolicy::kSelective:
-      return "selective";
-    case FencePolicy::kAlways:
-      return "always";
-    case FencePolicy::kSkipAfterReadOnly:
-      return "skip-after-ro";
-  }
-  return "?";
-}
+// fence_policy_name lives with the quiescence subsystem now
+// (runtime/quiescence.cpp); tm.hpp re-exports it into this namespace.
 
 std::vector<TmKind> all_tm_kinds() {
   return {TmKind::kTl2, TmKind::kTl2Fused, TmKind::kNOrec,

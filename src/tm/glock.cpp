@@ -22,15 +22,12 @@ void GlobalLockTm::reset() {
 
 GlobalLockThread::GlobalLockThread(GlobalLockTm& tm, ThreadId thread,
                                    hist::Recorder* recorder)
-    : TmThread(thread),
-      tm_(tm),
-      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
-      slot_(tm.registry_) {}
+    : TmThread(tm, thread, recorder), tm_(tm) {}
 
 GlobalLockThread::~GlobalLockThread() = default;
 
 bool GlobalLockThread::tx_begin() {
-  tm_.registry_.tx_enter(slot_.slot());
+  registry_.tx_enter(slot_.slot());
   rec_.request(ActionKind::kTxBegin);
   tm_.mutex_.lock();
   rec_.response(ActionKind::kOk);
@@ -59,7 +56,7 @@ TxResult GlobalLockThread::tx_commit() {
   tm_.mutex_.unlock();
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
-  tm_.registry_.tx_exit(slot_.slot());
+  registry_.tx_exit(slot_.slot());
   return TxResult::kCommitted;
 }
 
@@ -78,14 +75,6 @@ void GlobalLockThread::nt_write(RegId reg, Value value) {
     cell.store(value, std::memory_order_seq_cst);
     return value;
   });
-}
-
-void GlobalLockThread::fence() {
-  if (tm_.config().fence_policy == FencePolicy::kNone) return;
-  rec_.request(ActionKind::kFenceBegin);
-  tm_.registry_.quiesce(tm_.config().fence_mode);
-  rec_.response(ActionKind::kFenceEnd);
-  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kFence);
 }
 
 }  // namespace privstm::tm

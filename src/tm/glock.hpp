@@ -29,12 +29,11 @@ class GlobalLockThread final : public TmThread {
   TxResult tx_commit() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
-  void fence() override;
+  // fence()/fence_async()/... come from the TmThread base (the shared
+  // quiescence subsystem).
 
  private:
   GlobalLockTm& tm_;
-  hist::Recorder::Handle rec_;
-  rt::ThreadSlotGuard slot_;
 };
 
 class GlobalLockTm final : public TransactionalMemory {
@@ -54,7 +53,6 @@ class GlobalLockTm final : public TransactionalMemory {
   friend class GlobalLockThread;
 
   rt::SpinLock mutex_;
-  rt::ThreadRegistry registry_;
   std::vector<rt::CacheAligned<std::atomic<Value>>> regs_;
 };
 

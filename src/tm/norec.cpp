@@ -23,16 +23,14 @@ void NOrec::reset() {
 }
 
 NOrecThread::NOrecThread(NOrec& tm, ThreadId thread, hist::Recorder* recorder)
-    : TmThread(thread),
+    : TmThread(tm, thread, recorder),
       tm_(tm),
-      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
-      slot_(tm.registry_),
       in_wset_(tm.config().num_registers, 0) {}
 
 NOrecThread::~NOrecThread() = default;
 
 bool NOrecThread::tx_begin() {
-  tm_.registry_.tx_enter(slot_.slot());
+  registry_.tx_enter(slot_.slot());
   rec_.request(ActionKind::kTxBegin);
   snapshot_ = tm_.seqlock_.read_begin();  // wait until no writer in flight
   rset_.clear();
@@ -68,7 +66,7 @@ void NOrecThread::abort_in_flight() {
     (void)v;
     in_wset_[static_cast<std::size_t>(r)] = 0;
   }
-  tm_.registry_.tx_exit(slot_.slot());
+  registry_.tx_exit(slot_.slot());
 }
 
 bool NOrecThread::tx_read(RegId reg, Value& out) {
@@ -115,7 +113,7 @@ TxResult NOrecThread::tx_commit() {
     rec_.response(ActionKind::kCommitted);
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxCommit);
-    tm_.registry_.tx_exit(slot_.slot());
+    registry_.tx_exit(slot_.slot());
     return TxResult::kCommitted;
   }
 
@@ -149,7 +147,7 @@ TxResult NOrecThread::tx_commit() {
   }
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
-  tm_.registry_.tx_exit(slot_.slot());
+  registry_.tx_exit(slot_.slot());
   return TxResult::kCommitted;
 }
 
@@ -168,16 +166,6 @@ void NOrecThread::nt_write(RegId reg, Value value) {
     cell.store(value, std::memory_order_seq_cst);
     return value;
   });
-}
-
-void NOrecThread::fence() {
-  // NOrec needs no fences for privatization safety; the call is still
-  // honoured (it is a valid program action) unless fences are disabled.
-  if (tm_.config().fence_policy == FencePolicy::kNone) return;
-  rec_.request(ActionKind::kFenceBegin);
-  tm_.registry_.quiesce(tm_.config().fence_mode);
-  rec_.response(ActionKind::kFenceEnd);
-  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kFence);
 }
 
 }  // namespace privstm::tm

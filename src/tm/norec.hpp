@@ -39,7 +39,9 @@ class NOrecThread final : public TmThread {
   TxResult tx_commit() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
-  void fence() override;
+  // fence()/fence_async()/... come from the TmThread base (the shared
+  // quiescence subsystem); NOrec does not need them for privatization
+  // safety, but honours explicit fence calls like every backend.
 
  private:
   /// Re-read the read set and compare values; on success updates snapshot_
@@ -48,8 +50,6 @@ class NOrecThread final : public TmThread {
   void abort_in_flight();
 
   NOrec& tm_;
-  hist::Recorder::Handle rec_;
-  rt::ThreadSlotGuard slot_;
 
   rt::SeqLock::Stamp snapshot_ = 0;
   std::vector<std::pair<RegId, Value>> rset_;  ///< value-based validation
@@ -74,7 +74,6 @@ class NOrec final : public TransactionalMemory {
   friend class NOrecThread;
 
   rt::SeqLock seqlock_;
-  rt::ThreadRegistry registry_;
   std::vector<rt::CacheAligned<std::atomic<Value>>> regs_;
 };
 

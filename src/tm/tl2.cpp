@@ -36,10 +36,8 @@ void Tl2::reset() {
 }
 
 Tl2Thread::Tl2Thread(Tl2& tm, ThreadId thread, hist::Recorder* recorder)
-    : TmThread(thread),
+    : TmThread(tm, thread, recorder),
       tm_(tm),
-      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
-      slot_(tm.registry_),
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
       reset_epoch_seen_(tm.reset_epoch_.load(std::memory_order_relaxed)),
       in_wset_(tm.config().num_registers, 0),
@@ -61,7 +59,7 @@ bool Tl2Thread::tx_begin() {
   // Set active[t] *before* logging txbegin: a fence whose fbegin is
   // recorded after our txbegin must then observe us active and wait,
   // keeping condition 10 of Definition A.1 true in the recorded history.
-  tm_.registry_.tx_enter(slot_.slot());       // active[t] := true
+  registry_.tx_enter(slot_.slot());           // active[t] := true
   rec_.request(ActionKind::kTxBegin);
   const std::uint64_t epoch =
       tm_.reset_epoch_.load(std::memory_order_relaxed);
@@ -92,7 +90,7 @@ void Tl2Thread::abort_in_flight() {
     (void)v;
     in_wset_[static_cast<std::size_t>(r)] = 0;
   }
-  tm_.registry_.tx_exit(slot_.slot());        // abort handler: clear active
+  registry_.tx_exit(slot_.slot());            // abort handler: clear active
 }
 
 bool Tl2Thread::tx_read(RegId reg, Value& out) {
@@ -252,7 +250,7 @@ TxResult Tl2Thread::tx_commit() {
                    /*committed=*/true});
   }
   ++txn_ordinal_;
-  tm_.registry_.tx_exit(slot_.slot());  // commit handler: clear active
+  registry_.tx_exit(slot_.slot());      // commit handler: clear active
   auto_fence(wrote);
   return TxResult::kCommitted;
 }
@@ -273,32 +271,6 @@ void Tl2Thread::nt_write(RegId reg, Value value) {
     cell.value.store(value, std::memory_order_seq_cst);
     return value;
   });
-}
-
-void Tl2Thread::do_fence() {
-  rec_.request(ActionKind::kFenceBegin);
-  tm_.registry_.quiesce(tm_.config().fence_mode);
-  rec_.response(ActionKind::kFenceEnd);
-  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kFence);
-}
-
-void Tl2Thread::fence() {
-  if (tm_.config().fence_policy == FencePolicy::kNone) return;
-  do_fence();
-}
-
-void Tl2Thread::auto_fence(bool wrote) {
-  switch (tm_.config().fence_policy) {
-    case FencePolicy::kAlways:
-      do_fence();
-      break;
-    case FencePolicy::kSkipAfterReadOnly:
-      if (wrote) do_fence();  // the unsound optimization of [43]
-      break;
-    case FencePolicy::kNone:
-    case FencePolicy::kSelective:
-      break;
-  }
 }
 
 }  // namespace privstm::tm

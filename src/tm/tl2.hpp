@@ -13,7 +13,8 @@
 //   write:    buffer into the write set                         (lines 26–28)
 //   txcommit: lock write set → wver := ++clock → validate read  (lines 30–55)
 //             set → write back (value, version, unlock) → commit
-//   fence:    two-pass scan of active flags                     (lines 30–36)
+//   fence:    via the shared quiescence subsystem (TmThread base; the
+//             default mode is the Fig 7-shaped two-pass scan)   (lines 30–36)
 //
 // Divergence from Fig 9 (documented, tested): commit-time validation treats
 // a lock held by the *committing transaction itself* as free, as in the
@@ -51,17 +52,14 @@ class Tl2Thread final : public TmThread {
   TxResult tx_commit() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
-  void fence() override;
+  // fence()/fence_async()/... come from the TmThread base: all fencing is
+  // routed through the shared quiescence subsystem (DESIGN.md §5).
 
  private:
   void abort_in_flight();            ///< record aborted + clear active flag
   void release_locks(std::size_t n); ///< unlock the first n locked entries
-  void auto_fence(bool wrote);       ///< FencePolicy::kAlways / kSkipAfterRO
-  void do_fence();
 
   Tl2& tm_;
-  hist::Recorder::Handle rec_;
-  rt::ThreadSlotGuard slot_;
   rt::OwnerToken token_;
 
   // Transaction-local state (Fig 9 lines 4–7).
@@ -106,7 +104,6 @@ class Tl2 final : public TransactionalMemory {
   void log_stamp(const TxnStamp& stamp);
 
   rt::GlobalClock clock_;
-  rt::ThreadRegistry registry_;
   std::vector<rt::CacheAligned<Register>> regs_;
   /// Bumped by reset(); sessions re-sync their txn ordinals at tx_begin so
   /// stamp ordinals restart from 0 after a reset.

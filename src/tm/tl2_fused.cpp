@@ -58,15 +58,12 @@ std::vector<TxnStamp> Tl2Fused::timestamp_log() const {
 
 Tl2FusedThread::Tl2FusedThread(Tl2Fused& tm, ThreadId thread,
                                hist::Recorder* recorder)
-    : TmThread(thread),
+    : TmThread(tm, thread, recorder),
       tm_(tm),
-      rec_(recorder ? recorder->for_thread(thread) : hist::Recorder::Handle{}),
-      slot_(tm.registry_),
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
       regs_(tm.regs_.data()),
-      activity_(&tm.registry_.activity_word(slot_.slot())),
+      activity_(&registry_.activity_word(slot_.slot())),
       stat_slot_(static_cast<std::size_t>(slot_.slot())),
-      fence_policy_(tm.config().fence_policy),
       unsafe_skip_validation_(tm.config().unsafe_skip_validation),
       collect_timestamps_(tm.config().collect_timestamps),
       commit_pause_spins_(tm.config().commit_pause_spins),
@@ -312,32 +309,6 @@ void Tl2FusedThread::nt_write(RegId reg, Value value) {
     cell.value.store(value, std::memory_order_seq_cst);
     return value;
   });
-}
-
-void Tl2FusedThread::do_fence() {
-  rec_.request(ActionKind::kFenceBegin);
-  tm_.registry_.quiesce(tm_.config().fence_mode);
-  rec_.response(ActionKind::kFenceEnd);
-  tm_.stats().add(stat_slot_, Counter::kFence);
-}
-
-void Tl2FusedThread::fence() {
-  if (fence_policy_ == FencePolicy::kNone) return;
-  do_fence();
-}
-
-void Tl2FusedThread::auto_fence(bool wrote) {
-  switch (fence_policy_) {
-    case FencePolicy::kAlways:
-      do_fence();
-      break;
-    case FencePolicy::kSkipAfterReadOnly:
-      if (wrote) do_fence();  // the unsound optimization of [43]
-      break;
-    case FencePolicy::kNone:
-    case FencePolicy::kSelective:
-      break;
-  }
 }
 
 }  // namespace privstm::tm

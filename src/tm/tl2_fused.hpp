@@ -65,21 +65,18 @@ class Tl2FusedThread final : public TmThread {
   TxResult tx_commit() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
-  void fence() override;
+  // fence()/fence_async()/... come from the TmThread base: all fencing is
+  // routed through the shared quiescence subsystem (DESIGN.md §5).
 
  private:
   void abort_in_flight();             ///< record aborted + clear active flag
   void release_locks(std::size_t n);  ///< restore the first n locked words
-  void auto_fence(bool wrote);
-  void do_fence();
 
   static std::uint64_t bloom_bit(std::size_t r) noexcept {
     return std::uint64_t{1} << ((r * 0x9E3779B97F4A7C15ull) >> 58);
   }
 
   Tl2Fused& tm_;
-  hist::Recorder::Handle rec_;
-  rt::ThreadSlotGuard slot_;
   rt::OwnerToken token_;
   // Hot-path caches: config is immutable after TM construction and the
   // register array never reallocates, so the per-access loops can skip the
@@ -88,7 +85,6 @@ class Tl2FusedThread final : public TmThread {
   rt::CacheAligned<detail::FusedRegister>* const regs_;
   std::atomic<std::uint64_t>* const activity_;  ///< our registry slot's word
   const std::size_t stat_slot_;
-  const FencePolicy fence_policy_;
   const bool unsafe_skip_validation_;
   const bool collect_timestamps_;
   const std::uint32_t commit_pause_spins_;
@@ -147,7 +143,6 @@ class Tl2Fused final : public TransactionalMemory {
   void detach_stamp_buffer(std::vector<TxnStamp>* buf);
 
   rt::GlobalClock clock_;
-  rt::ThreadRegistry registry_;
   std::vector<rt::CacheAligned<detail::FusedRegister>> regs_;
   std::atomic<std::uint64_t> reset_epoch_{0};
   mutable rt::SpinLock stamp_lock_;  ///< buffer registry only, never per-txn

@@ -5,18 +5,28 @@
 //   * transactional accesses between tx_begin() and tx_commit()/abort,
 //   * non-transactional accesses nt_read()/nt_write() outside transactions
 //     (uninstrumented on the fast path, per the paper's motivation),
-//   * transactional fences fence() outside transactions.
+//   * transactional fences fence() outside transactions — synchronous, or
+//     asynchronous via fence_async()/fence_try_complete()/fence_wait().
+//
+// Fencing is not a backend concern: every backend routes privatization
+// through the shared quiescence subsystem (rt::QuiescenceManager, owned by
+// the TransactionalMemory base) via the `FenceSession` embedded in the
+// TmThread base. Backends only mark transaction activity (tx_enter/tx_exit
+// on their registry slot) and call auto_fence() at commit/abort ends.
 //
 // All implementations optionally log their interface actions to a
 // hist::Recorder so executions can be checked for DRF and strong opacity.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "history/action.hpp"
 #include "history/recorder.hpp"
+#include "runtime/quiescence.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_registry.hpp"
 
@@ -26,18 +36,12 @@ using hist::RegId;
 using hist::ThreadId;
 using hist::Value;
 
+// The quiescence subsystem owns the fence policy (runtime/quiescence.hpp);
+// these aliases keep the tm-layer spelling used across the repo.
+using rt::FencePolicy;
+using rt::fence_policy_name;
+
 enum class TxResult : std::uint8_t { kCommitted, kAborted };
-
-/// Where transactional fences come from (experiments E5/E6/E10):
-enum class FencePolicy : std::uint8_t {
-  kNone,               ///< fences are no-ops — the *unsafe* configuration
-  kSelective,          ///< programmer-placed fence() calls quiesce
-  kAlways,             ///< additionally auto-fence after every commit
-  kSkipAfterReadOnly,  ///< auto-fence after writing commits only — the GCC
-                       ///< libitm bug [43]: read-only commits skip quiescence
-};
-
-const char* fence_policy_name(FencePolicy p) noexcept;
 
 struct TmConfig {
   std::size_t num_registers = 64;
@@ -56,6 +60,159 @@ struct TmConfig {
   /// demonstrate that the strong-opacity checker detects real bugs
   /// (tests/checker_detection_test.cpp). Never enable outside tests.
   bool unsafe_skip_validation = false;
+};
+
+class TransactionalMemory;
+
+/// Asynchronous fences are recorded on shadow thread ids (the session's
+/// id plus `(k + 1) * kAsyncFenceThreadOffset` for outstanding slot k):
+/// fbegin at issue, fend at completion. A shadow stream keeps the
+/// per-thread request/response alternation of Definition A.1 condition 5
+/// intact while the issuing thread runs transactions between issue and
+/// completion — one stream per concurrently outstanding ticket; conditions
+/// 10 (fence blocking) and the af/bf/cl happens-before edges are global
+/// over the whole history, so the fence constrains the execution exactly
+/// as a same-thread fence would.
+inline constexpr ThreadId kAsyncFenceThreadOffset = 1000;
+
+/// Outstanding async fences per session (deferred-privatization pipelines
+/// keep a couple of tickets in flight; see bench_fence_overhead).
+inline constexpr std::size_t kMaxOutstandingFences = 4;
+
+/// The one shared fence implementation all backends use: policy dispatch,
+/// fbegin/fend recording and the sync/async quiescence calls. Owned by the
+/// TmThread base; replaces the per-backend fence()/do_fence()/auto_fence()
+/// copies that predated the quiescence subsystem.
+class FenceSession {
+ public:
+  /// `rec` is the owning session's recording handle (fbegin/fend of
+  /// synchronous fences interleave with the thread's other actions);
+  /// `recorder` is kept to lazily open the async shadow stream.
+  FenceSession(rt::QuiescenceManager& qm, hist::Recorder* recorder,
+               hist::Recorder::Handle& rec, ThreadId thread,
+               std::size_t stat_slot) noexcept
+      : qm_(qm),
+        recorder_(recorder),
+        rec_(rec),
+        thread_(thread),
+        stat_slot_(stat_slot),
+        policy_(qm.policy()) {}
+
+  FenceSession(const FenceSession&) = delete;
+  FenceSession& operator=(const FenceSession&) = delete;
+
+  /// Synchronous transactional fence; no-op under FencePolicy::kNone.
+  void fence() {
+    if (policy_ == FencePolicy::kNone) return;
+    do_fence();
+  }
+
+  /// Post-commit/abort policy fence (FencePolicy::kAlways / kSkipAfterRO).
+  void auto_fence(bool wrote) {
+    switch (policy_) {
+      case FencePolicy::kAlways:
+        do_fence();
+        break;
+      case FencePolicy::kSkipAfterReadOnly:
+        if (wrote) do_fence();  // the unsound optimization of [43]
+        break;
+      case FencePolicy::kNone:
+      case FencePolicy::kSelective:
+        break;
+    }
+  }
+
+  /// Issue an asynchronous fence (outside transactions). Up to
+  /// kMaxOutstandingFences may be outstanding per session, each bracketed
+  /// on its own shadow history stream.
+  rt::FenceTicket fence_async() {
+    if (policy_ == FencePolicy::kNone) return rt::kNullFenceTicket;
+    const std::size_t k = free_slot();
+    assert(k < kMaxOutstandingFences &&
+           "too many outstanding async fences for this session");
+    if (k >= kMaxOutstandingFences) {
+      // Release-build degradation when the caller overruns the ticket
+      // window: fence synchronously and hand back the already-complete
+      // null ticket — safe (the quiescence happened) rather than fast.
+      do_fence();
+      return rt::kNullFenceTicket;
+    }
+    async_rec(k).request(hist::ActionKind::kFenceBegin);
+    outstanding_[k] = qm_.fence_async(stat_slot_);
+    return outstanding_[k];
+  }
+
+  /// Non-blocking completion poll; true once the ticket's grace periods
+  /// have elapsed (always true for completed/null/unknown tickets).
+  bool fence_try_complete(rt::FenceTicket ticket) {
+    const std::size_t k = slot_of(ticket);
+    if (k == kMaxOutstandingFences) return true;
+    if (!qm_.fence_try_complete(ticket, stat_slot_)) return false;
+    retire(k);
+    return true;
+  }
+
+  /// Block until the ticket completes. Must be outside transactions (the
+  /// grace period would wait for the caller's own transaction).
+  void fence_wait(rt::FenceTicket ticket) {
+    const std::size_t k = slot_of(ticket);
+    if (k == kMaxOutstandingFences) return;
+    qm_.fence_wait(ticket, stat_slot_);
+    retire(k);
+  }
+
+ private:
+  void do_fence() {
+    rec_.request(hist::ActionKind::kFenceBegin);
+    qm_.fence(stat_slot_);
+    rec_.response(hist::ActionKind::kFenceEnd);
+  }
+
+  std::size_t free_slot() const {
+    for (std::size_t k = 0; k < kMaxOutstandingFences; ++k) {
+      if (outstanding_[k] == rt::kNullFenceTicket) return k;
+    }
+    return kMaxOutstandingFences;
+  }
+
+  /// Oldest outstanding slot holding `ticket` (tickets issued back to back
+  /// may share a target value; any assignment brackets correctly since the
+  /// completion condition is identical). kMaxOutstandingFences if unknown.
+  std::size_t slot_of(rt::FenceTicket ticket) const {
+    if (ticket == rt::kNullFenceTicket) return kMaxOutstandingFences;
+    for (std::size_t k = 0; k < kMaxOutstandingFences; ++k) {
+      if (outstanding_[k] == ticket) return k;
+    }
+    return kMaxOutstandingFences;
+  }
+
+  void retire(std::size_t k) {
+    async_rec(k).response(hist::ActionKind::kFenceEnd);
+    outstanding_[k] = rt::kNullFenceTicket;
+  }
+
+  hist::Recorder::Handle& async_rec(std::size_t k) {
+    if (!arec_made_[k]) {
+      arec_made_[k] = true;
+      if (recorder_ != nullptr) {
+        arec_[k] = recorder_->for_thread(
+            thread_ +
+            static_cast<ThreadId>(k + 1) * kAsyncFenceThreadOffset);
+      }
+    }
+    return arec_[k];
+  }
+
+  rt::QuiescenceManager& qm_;
+  hist::Recorder* recorder_;
+  hist::Recorder::Handle& rec_;
+  /// Shadow streams, one per outstanding slot, opened on first use.
+  std::array<hist::Recorder::Handle, kMaxOutstandingFences> arec_{};
+  std::array<bool, kMaxOutstandingFences> arec_made_{};
+  ThreadId thread_;
+  std::size_t stat_slot_;
+  const FencePolicy policy_;
+  std::array<rt::FenceTicket, kMaxOutstandingFences> outstanding_{};
 };
 
 /// Per-thread TM session. Not thread-safe; owned by exactly one thread.
@@ -83,14 +240,45 @@ class TmThread {
 
   /// Transactional fence (must be outside txns). Under FencePolicy::kNone
   /// this is a no-op — deliberately so, to run the paper's examples in
-  /// their unsafe configuration without editing the programs.
-  virtual void fence() = 0;
+  /// their unsafe configuration without editing the programs. Shared by
+  /// all backends via the quiescence subsystem.
+  void fence() { fencer_.fence(); }
+
+  /// Asynchronous fence (deferred privatization): issue now, keep doing
+  /// useful (including transactional) work, complete the fence later. The
+  /// privatized data may be accessed non-transactionally only after
+  /// completion. Up to kMaxOutstandingFences tickets per session.
+  rt::FenceTicket fence_async() { return fencer_.fence_async(); }
+
+  /// Poll an async fence; safe anywhere, including between transactions.
+  bool fence_try_complete(rt::FenceTicket ticket) {
+    return fencer_.fence_try_complete(ticket);
+  }
+
+  /// Block until an async fence completes (must be outside transactions).
+  void fence_wait(rt::FenceTicket ticket) { fencer_.fence_wait(ticket); }
 
   ThreadId thread_id() const noexcept { return thread_; }
 
  protected:
-  explicit TmThread(ThreadId thread) noexcept : thread_(thread) {}
+  /// Registers a slot with `tm`'s quiescence registry and wires the shared
+  /// fence session; defined after TransactionalMemory below.
+  TmThread(TransactionalMemory& tm, ThreadId thread,
+           hist::Recorder* recorder);
+
+  /// Post-commit/abort policy fence — backends call this exactly where the
+  /// paper's commit/abort handlers end.
+  void auto_fence(bool wrote) { fencer_.auto_fence(wrote); }
+
+  std::size_t stat_slot() const noexcept {
+    return static_cast<std::size_t>(slot_.slot());
+  }
+
   ThreadId thread_;
+  hist::Recorder::Handle rec_;
+  rt::ThreadRegistry& registry_;  ///< the TM's shared registry
+  rt::ThreadSlotGuard slot_;
+  FenceSession fencer_;
 };
 
 /// A TM instance: shared state plus a session factory.
@@ -117,11 +305,28 @@ class TransactionalMemory {
   const TmConfig& config() const noexcept { return config_; }
   rt::StatsDomain& stats() noexcept { return stats_; }
 
+  /// The shared quiescence subsystem: thread registry, fence dispatch and
+  /// fence statistics for this instance.
+  rt::QuiescenceManager& quiescence() noexcept { return quiescence_; }
+
  protected:
-  explicit TransactionalMemory(TmConfig config) : config_(config) {}
+  explicit TransactionalMemory(TmConfig config)
+      : config_(config),
+        quiescence_(stats_, config_.fence_policy, config_.fence_mode) {}
   TmConfig config_;
   rt::StatsDomain stats_;
+  rt::QuiescenceManager quiescence_;
 };
+
+inline TmThread::TmThread(TransactionalMemory& tm, ThreadId thread,
+                          hist::Recorder* recorder)
+    : thread_(thread),
+      rec_(recorder ? recorder->for_thread(thread)
+                    : hist::Recorder::Handle{}),
+      registry_(tm.quiescence().registry()),
+      slot_(registry_),
+      fencer_(tm.quiescence(), recorder, rec_, thread,
+              static_cast<std::size_t>(slot_.slot())) {}
 
 // ---------------------------------------------------------------------------
 // Structured transaction helpers.

@@ -165,6 +165,29 @@ TEST(ThreadRegistry, SlotGuardReleases) {
   EXPECT_EQ(registry.registered_count(), 0u);
 }
 
+TEST(ThreadRegistry, HighWaterMarkTracksClaimedSlotPrefix) {
+  // Fence scans cover only [0, high_water()): the bound grows with the
+  // highest claimed slot and deliberately never shrinks (monotonic), so a
+  // scan can never miss a slot that might host a transaction.
+  rt::ThreadRegistry registry;
+  EXPECT_EQ(registry.high_water(), 0u);
+  const int a = registry.register_thread();
+  const int b = registry.register_thread();
+  const int c = registry.register_thread();
+  EXPECT_EQ(registry.high_water(), 3u);
+  registry.unregister_thread(b);
+  EXPECT_EQ(registry.high_water(), 3u);  // monotonic
+  // Slot reuse stays within the existing prefix.
+  const int d = registry.register_thread();
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(registry.high_water(), 3u);
+  registry.unregister_thread(a);
+  registry.unregister_thread(c);
+  registry.unregister_thread(d);
+  EXPECT_EQ(registry.high_water(), 3u);
+  EXPECT_EQ(registry.registered_count(), 0u);
+}
+
 TEST(ThreadRegistry, QuiesceNoActiveReturnsImmediately) {
   rt::ThreadRegistry registry;
   const int slot = registry.register_thread();
