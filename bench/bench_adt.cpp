@@ -23,12 +23,10 @@ constexpr std::size_t kKeys = 48;
 
 struct MapHarness {
   std::unique_ptr<tm::TransactionalMemory> tmi;
-  TxHashMap map{0, kCapacity};
+  TxHashMap map;
 
-  explicit MapHarness(TmKind kind) {
-    tm::TmConfig config;
-    config.num_registers = TxHashMap::registers_needed(kCapacity);
-    tmi = tm::make_tm(kind, config);
+  explicit MapHarness(TmKind kind)
+      : tmi(tm::make_tm(kind, tm::TmConfig{})), map(*tmi, kCapacity) {
     auto setup = tmi->make_thread(0, nullptr);
     for (tm::Value k = 1; k <= kKeys; ++k) {
       map.put(*setup, k, k);
@@ -110,11 +108,9 @@ void iteration_bench(benchmark::State& state) {
       tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
         std::uint64_t local = 0;
         for (std::size_t slot = 0; slot < kCapacity; ++slot) {
-          const tm::Value k =
-              tx.read(static_cast<tm::RegId>(1 + 2 * slot));
+          const tm::Value k = tx.read(harness.map.key_loc(slot));
           if (k != 0 && k != TxHashMap::kTombstone) {
-            benchmark::DoNotOptimize(
-                tx.read(static_cast<tm::RegId>(2 + 2 * slot)));
+            benchmark::DoNotOptimize(tx.read(harness.map.value_loc(slot)));
             ++local;
           }
         }

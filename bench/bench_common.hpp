@@ -121,6 +121,7 @@ inline std::uint64_t run_mix_phase(tm::TransactionalMemory& tmi,
 
 struct ThroughputRow {
   std::string backend;
+  std::string workload = "mix";  ///< matrix cell family (read-heavy, …)
   std::size_t threads = 0;
   std::size_t read_pct = 0;
   std::size_t registers = 0;
@@ -164,11 +165,12 @@ inline bool write_throughput_json(const std::string& path,
                                   const std::vector<ThroughputRow>& rows) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 1,\n"
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 2,\n"
       << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
-    out << "    {\"backend\": \"" << r.backend << "\", \"threads\": "
+    out << "    {\"backend\": \"" << r.backend << "\", \"workload\": \""
+        << r.workload << "\", \"threads\": "
         << r.threads << ", \"read_pct\": " << r.read_pct
         << ", \"registers\": " << r.registers << ", \"txn_size\": "
         << r.txn_size << ", \"ops_per_sec\": " << r.ops_per_sec

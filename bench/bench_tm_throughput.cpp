@@ -20,6 +20,7 @@
 // mix and persists the result as BENCH_tm_throughput.json (see
 // bench_common.hpp). `--quick` runs a smaller sweep and skips the
 // google-benchmark phase — the CI smoke configuration.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 
@@ -207,9 +208,64 @@ BENCHMARK(BM_PrivatizationPhases_TL2Fused_Fenced)->Apply(apply_phase_args);
 BENCHMARK(BM_PrivatizationPhases_NOrec_NoFence)->Apply(apply_phase_args);
 BENCHMARK(BM_PrivatizationPhases_GlobalLock)->Apply(apply_phase_args);
 
+// Alloc/free-heavy privatization phases: every round allocates a block
+// from the transactional heap, fills it transactionally, privatizes it
+// with a fence, touches it non-transactionally, and frees it through the
+// grace-period-deferred tm_free — the paper's reclamation idiom as a
+// workload. This is the cell where the striped-lock-table + limbo-list
+// representation pays its rent (stripe hashing on every access, ticket
+// churn on every free), so BENCH_tm_throughput.json tracks it per PR.
+constexpr std::size_t kAllocFreeBlock = 4;
+
+void run_alloc_free_phase(tm::TransactionalMemory& tmi, std::size_t threads,
+                          int rounds) {
+  parallel_phase(threads, [&](std::size_t t) {
+    auto session = tmi.make_thread(static_cast<hist::ThreadId>(t), nullptr);
+    hist::Value tag = (static_cast<hist::Value>(t) + 1) << 40;
+    for (int round = 0; round < rounds; ++round) {
+      const tm::TxHandle h = tmi.tm_alloc(kAllocFreeBlock);
+      tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+        for (std::size_t k = 0; k < kAllocFreeBlock; ++k) {
+          tx.write(h.loc(k), ++tag);
+        }
+      });
+      session->fence();                      // privatize the block
+      session->nt_write(h.loc(0), ++tag);    // private update
+      tmi.tm_free(h);                        // deferred reclamation
+    }
+  });
+}
+
+void BM_AllocFreePrivatize(benchmark::State& state, TmKind kind) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr int kRounds = 300;
+  auto tmi = tm::make_tm(kind, tm::TmConfig{});
+
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    run_alloc_free_phase(*tmi, threads, kRounds);
+    rounds += threads * kRounds;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["reclaimed"] =
+      static_cast<double>(tmi->heap().reclaimed_count());
+  state.counters["limbo"] = static_cast<double>(tmi->heap().limbo_size());
+}
+
+void BM_AllocFreePrivatize_TL2Fused(benchmark::State& state) {
+  BM_AllocFreePrivatize(state, TmKind::kTl2Fused);
+}
+void BM_AllocFreePrivatize_NOrec(benchmark::State& state) {
+  BM_AllocFreePrivatize(state, TmKind::kNOrec);
+}
+
+BENCHMARK(BM_AllocFreePrivatize_TL2Fused)->Apply(apply_wtp_args);
+BENCHMARK(BM_AllocFreePrivatize_NOrec)->Apply(apply_wtp_args);
+
 // ---------------------------------------------------------------------------
 // The persisted matrix: backend × threads over a read-heavy low-contention
-// mix and a write-heavy contended mix, written to BENCH_tm_throughput.json.
+// mix and a write-heavy contended mix, plus the alloc/free-heavy
+// privatization cell, written to BENCH_tm_throughput.json.
 // ---------------------------------------------------------------------------
 
 struct Workload {
@@ -257,12 +313,51 @@ std::vector<ThroughputRow> run_matrix(bool quick) {
           ThroughputRow r = measure_mix(kind, p, /*seed=*/7 + rep);
           if (r.ops_per_sec > best.ops_per_sec) best = r;
         }
+        best.workload = wl.label;
         rows.push_back(best);
         const auto& r = rows.back();
         std::cout << "matrix " << wl.label << " backend=" << r.backend
                   << " threads=" << r.threads << " ops/s=" << r.ops_per_sec
                   << " abort_rate=" << r.abort_rate << "\n";
       }
+    }
+  }
+
+  // The alloc/free-heavy privatization cell: rounds of alloc → fill →
+  // fence → NT touch → deferred free (see run_alloc_free_phase).
+  const int af_rounds = quick ? 150 : 2000;
+  for (const std::size_t threads : threads_sweep) {
+    for (const tm::TmKind kind : tm::all_tm_kinds()) {
+      ThroughputRow best;
+      for (int rep = 0; rep < std::max(repeats - 3, 2); ++rep) {
+        auto tmi = tm::make_tm(kind, tm::TmConfig{});
+        const auto start = std::chrono::steady_clock::now();
+        run_alloc_free_phase(*tmi, threads, af_rounds);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        ThroughputRow r;
+        r.backend = tm::tm_kind_name(kind);
+        r.workload = "alloc-free";
+        r.threads = threads;
+        r.read_pct = 0;
+        r.registers = kAllocFreeBlock;  // block size, not a register file
+        r.txn_size = kAllocFreeBlock;
+        r.commits = tmi->stats().total(rt::Counter::kTxCommit);
+        r.aborts = tmi->stats().total(rt::Counter::kTxAbort);
+        const double attempts = static_cast<double>(r.commits + r.aborts);
+        r.abort_rate =
+            attempts > 0.0 ? static_cast<double>(r.aborts) / attempts : 0.0;
+        r.ops_per_sec = secs > 0.0
+                            ? static_cast<double>(threads) * af_rounds / secs
+                            : 0.0;
+        if (r.ops_per_sec > best.ops_per_sec) best = r;
+      }
+      rows.push_back(best);
+      const auto& r = rows.back();
+      std::cout << "matrix alloc-free backend=" << r.backend
+                << " threads=" << r.threads << " ops/s=" << r.ops_per_sec
+                << " abort_rate=" << r.abort_rate << "\n";
     }
   }
   return rows;
@@ -274,13 +369,13 @@ std::vector<ThroughputRow> run_matrix(bool quick) {
 void report_fused_speedup(const std::vector<ThroughputRow>& rows) {
   std::size_t top_threads = 0;
   for (const auto& r : rows) {
-    if (r.read_pct == kWriteHeavy.read_pct && r.threads > top_threads) {
+    if (r.workload == kWriteHeavy.label && r.threads > top_threads) {
       top_threads = r.threads;
     }
   }
   double tl2 = 0.0, fused = 0.0;
   for (const auto& r : rows) {
-    if (r.threads == top_threads && r.read_pct == kWriteHeavy.read_pct) {
+    if (r.threads == top_threads && r.workload == kWriteHeavy.label) {
       if (r.backend == "tl2") tl2 = r.ops_per_sec;
       if (r.backend == "tl2fused") fused = r.ops_per_sec;
     }

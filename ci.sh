@@ -16,3 +16,16 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # BENCH_fence_overhead.quick.json). --check fails the run if the coalesced
 # grace-period engine regresses below the per-fence-scan mode.
 ./build/bench_fence_overhead --quick --check
+
+# ASan+UBSan gate over the transactional-heap paths: alloc/free, deferred
+# reclamation, the ADTs that allocate through handles, and the TM
+# semantics/fence suites that drive them. A focused ctest filter keeps the
+# sanitizer pass within CI budget; SKIP_ASAN=1 skips it for quick local
+# iterations.
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPRIVSTM_SANITIZE=ON \
+    -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+    -R 'Heap|StripeTable|Adt|TmSemantics|Fence\.|Reclamation|Quiescence'
+fi

@@ -1,11 +1,13 @@
 // Striped transactional counter.
 //
-// Increments hit one stripe (register) chosen by the caller's hint, so
-// concurrent adders rarely conflict; reads sum all stripes in one
-// transaction (a consistent snapshot — TL2/NOrec validation guarantees the
-// stripes belong to one serialization point).
+// Increments hit one stripe chosen by the caller's hint, so concurrent
+// adders rarely conflict; reads sum all stripes in one transaction (a
+// consistent snapshot — TL2/NOrec validation guarantees the stripes belong
+// to one serialization point).
 //
-// Register layout: [base, base + stripes).
+// Storage is a `tm_alloc(stripes)` block of the owning TM's transactional
+// heap, viewed through a typed TxArray; the destructor returns it with the
+// privatization-safe `tm_free`.
 #pragma once
 
 #include <cstddef>
@@ -16,19 +18,24 @@ namespace privstm::adt {
 
 class TxCounter {
  public:
-  TxCounter(tm::RegId base, std::size_t stripes) noexcept
-      : base_(base), stripes_(stripes) {}
+  TxCounter(tm::TransactionalMemory& tm, std::size_t stripes)
+      : tm_(&tm),
+        stripes_arr_(tm.tm_alloc(stripes)),
+        stripes_(stripes) {}
 
-  static std::size_t registers_needed(std::size_t stripes) noexcept {
-    return stripes;
+  ~TxCounter() {
+    if (stripes_arr_.valid()) tm_->tm_free(stripes_arr_.handle());
   }
+
+  TxCounter(const TxCounter&) = delete;
+  TxCounter& operator=(const TxCounter&) = delete;
 
   /// Add `delta` to the stripe selected by `stripe_hint` (e.g. thread id).
   void add(tm::TmThread& session, tm::Value delta,
            std::size_t stripe_hint) const {
-    const tm::RegId reg = stripe_reg(stripe_hint);
+    const std::size_t s = stripe_hint % stripes_;
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
-      tx.write(reg, tx.read(reg) + delta);
+      stripes_arr_.set(tx, s, stripes_arr_.get(tx, s) + delta);
     });
   }
 
@@ -38,7 +45,7 @@ class TxCounter {
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
       total = 0;
       for (std::size_t s = 0; s < stripes_; ++s) {
-        total += tx.read(stripe_reg(s));
+        total += stripes_arr_.get(tx, s);
       }
     });
     return total;
@@ -50,20 +57,17 @@ class TxCounter {
   tm::Value read_privatized(tm::TmThread& session) const {
     tm::Value total = 0;
     for (std::size_t s = 0; s < stripes_; ++s) {
-      total += session.nt_read(stripe_reg(s));
+      total += stripes_arr_.nt_get(session, s);
     }
     return total;
   }
 
   std::size_t stripes() const noexcept { return stripes_; }
+  tm::TxHandle handle() const noexcept { return stripes_arr_.handle(); }
 
  private:
-  tm::RegId stripe_reg(std::size_t s) const noexcept {
-    return static_cast<tm::RegId>(
-        static_cast<std::size_t>(base_) + (s % stripes_));
-  }
-
-  tm::RegId base_;
+  tm::TransactionalMemory* tm_;
+  tm::TxArray<tm::Value> stripes_arr_;
   std::size_t stripes_;
 };
 

@@ -1,10 +1,11 @@
 // Fixed-capacity open-addressing transactional hash map with privatized
 // iteration.
 //
-// Register layout: [base] freeze flag, then `capacity` (key, value) pairs:
-//   key of slot i   → base + 1 + 2 i
-//   value of slot i → base + 2 + 2 i
-// Keys are nonzero; 0 = empty slot, kTombstone = erased. Linear probing.
+// Storage comes from the owning TM's transactional heap
+// (`tm_alloc(2 * capacity + 1)`: freeze flag, then `capacity` (key, value)
+// pairs) — no caller-provided register layout; the destructor returns the
+// block with the privatization-safe `tm_free`. Keys are nonzero; 0 = empty
+// slot, kTombstone = erased. Linear probing.
 //
 // put/get/erase are single transactions touching only the probed slots, so
 // operations on different chains run conflict-free on TL2. Full-table
@@ -30,12 +31,18 @@ class TxHashMap {
  public:
   static constexpr tm::Value kTombstone = ~tm::Value{0};
 
-  TxHashMap(tm::RegId base, std::size_t capacity) noexcept
-      : base_(base), capacity_(capacity) {}
+  TxHashMap(tm::TransactionalMemory& tm, std::size_t capacity)
+      : tm_(&tm),
+        handle_(tm.tm_alloc(2 * capacity + 1)),
+        freeze_(handle_, 0),
+        capacity_(capacity) {}
 
-  static std::size_t registers_needed(std::size_t capacity) noexcept {
-    return 2 * capacity + 1;
+  ~TxHashMap() {
+    if (handle_.valid()) tm_->tm_free(handle_);
   }
+
+  TxHashMap(const TxHashMap&) = delete;
+  TxHashMap& operator=(const TxHashMap&) = delete;
 
   /// Insert or update. Returns false when the table is full (probe
   /// exhausted) — the caller must resize offline (see rebuild_privatized).
@@ -46,14 +53,14 @@ class TxHashMap {
     while (frozen) {
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
       ok = false;
-      frozen = tx.read(freeze_reg()) != 0;
+      frozen = freeze_.get(tx) != 0;
       if (frozen) return;
       std::size_t free_slot = capacity_;
       for (std::size_t probe = 0; probe < capacity_; ++probe) {
         const std::size_t slot = index(key, probe);
-        const tm::Value k = tx.read(key_reg(slot));
+        const tm::Value k = tx.read(key_loc(slot));
         if (k == key) {
-          tx.write(value_reg(slot), value);
+          tx.write(value_loc(slot), value);
           ok = true;
           return;
         }
@@ -67,8 +74,8 @@ class TxHashMap {
         }
       }
       if (free_slot == capacity_) return;  // full
-      tx.write(key_reg(free_slot), key);
-      tx.write(value_reg(free_slot), value);
+      tx.write(key_loc(free_slot), key);
+      tx.write(value_loc(free_slot), value);
       ok = true;
     });
     }
@@ -81,13 +88,13 @@ class TxHashMap {
     while (frozen) {
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
       result.reset();
-      frozen = tx.read(freeze_reg()) != 0;
+      frozen = freeze_.get(tx) != 0;
       if (frozen) return;  // rebuild_privatized mutates slots with NT writes
       for (std::size_t probe = 0; probe < capacity_; ++probe) {
         const std::size_t slot = index(key, probe);
-        const tm::Value k = tx.read(key_reg(slot));
+        const tm::Value k = tx.read(key_loc(slot));
         if (k == key) {
-          result = tx.read(value_reg(slot));
+          result = tx.read(value_loc(slot));
           return;
         }
         if (k == 0) return;  // end of chain
@@ -105,13 +112,13 @@ class TxHashMap {
     while (frozen) {
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
       found = false;
-      frozen = tx.read(freeze_reg()) != 0;
+      frozen = freeze_.get(tx) != 0;
       if (frozen) return;
       for (std::size_t probe = 0; probe < capacity_; ++probe) {
         const std::size_t slot = index(key, probe);
-        const tm::Value k = tx.read(key_reg(slot));
+        const tm::Value k = tx.read(key_loc(slot));
         if (k == key) {
-          tx.write(key_reg(slot), kTombstone);
+          tx.write(key_loc(slot), kTombstone);
           found = true;
           return;
         }
@@ -132,9 +139,9 @@ class TxHashMap {
     freeze(session, freeze_token);
     session.fence();
     for (std::size_t slot = 0; slot < capacity_; ++slot) {
-      const tm::Value k = session.nt_read(key_reg(slot));
+      const tm::Value k = session.nt_read(key_loc(slot));
       if (k != 0 && k != kTombstone) {
-        visit(k, session.nt_read(value_reg(slot)));
+        visit(k, session.nt_read(value_loc(slot)));
       }
     }
     unfreeze(session);
@@ -149,18 +156,18 @@ class TxHashMap {
     session.fence();
     std::vector<std::pair<tm::Value, tm::Value>> live;
     for (std::size_t slot = 0; slot < capacity_; ++slot) {
-      const tm::Value k = session.nt_read(key_reg(slot));
+      const tm::Value k = session.nt_read(key_loc(slot));
       if (k != 0 && k != kTombstone) {
-        live.emplace_back(k, session.nt_read(value_reg(slot)));
+        live.emplace_back(k, session.nt_read(value_loc(slot)));
       }
-      session.nt_write(key_reg(slot), 0);
+      session.nt_write(key_loc(slot), 0);
     }
     for (const auto& [k, v] : live) {
       for (std::size_t probe = 0; probe < capacity_; ++probe) {
         const std::size_t slot = index(k, probe);
-        if (session.nt_read(key_reg(slot)) == 0) {
-          session.nt_write(key_reg(slot), k);
-          session.nt_write(value_reg(slot), v);
+        if (session.nt_read(key_loc(slot)) == 0) {
+          session.nt_write(key_loc(slot), k);
+          session.nt_write(value_loc(slot), v);
           break;
         }
       }
@@ -169,21 +176,31 @@ class TxHashMap {
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
+  tm::TxHandle handle() const noexcept { return handle_; }
+
+  /// Slot layout accessors (benchmarks compare the privatized iteration
+  /// against a hand-rolled giant transaction over the same locations).
+  tm::RegId key_loc(std::size_t slot) const noexcept {
+    return handle_.loc(1 + 2 * slot);
+  }
+  tm::RegId value_loc(std::size_t slot) const noexcept {
+    return handle_.loc(2 + 2 * slot);
+  }
 
  private:
   void freeze(tm::TmThread& session, tm::Value token) const {
     for (;;) {
       bool acquired = false;
       tm::run_tx_retry(session, [&](tm::TxScope& tx) {
-        acquired = tx.read(freeze_reg()) == 0;
-        if (acquired) tx.write(freeze_reg(), token);
+        acquired = freeze_.get(tx) == 0;
+        if (acquired) freeze_.set(tx, token);
       });
       if (acquired) return;
     }
   }
   void unfreeze(tm::TmThread& session) const {
     tm::run_tx_retry(session,
-                     [&](tm::TxScope& tx) { tx.write(freeze_reg(), 0); });
+                     [&](tm::TxScope& tx) { freeze_.set(tx, 0); });
   }
 
   std::size_t index(tm::Value key, std::size_t probe) const noexcept {
@@ -192,17 +209,9 @@ class TxHashMap {
     return static_cast<std::size_t>((h >> 32) + probe) % capacity_;
   }
 
-  tm::RegId freeze_reg() const noexcept { return base_; }
-  tm::RegId key_reg(std::size_t slot) const noexcept {
-    return static_cast<tm::RegId>(static_cast<std::size_t>(base_) + 1 +
-                                  2 * slot);
-  }
-  tm::RegId value_reg(std::size_t slot) const noexcept {
-    return static_cast<tm::RegId>(static_cast<std::size_t>(base_) + 2 +
-                                  2 * slot);
-  }
-
-  tm::RegId base_;
+  tm::TransactionalMemory* tm_;
+  tm::TxHandle handle_;
+  tm::TxVar<tm::Value> freeze_;
   std::size_t capacity_;
 };
 

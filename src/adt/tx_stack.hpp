@@ -1,6 +1,10 @@
 // Bounded transactional stack with a privatized bulk-drain.
 //
-// Register layout: [base] size, [base+1] freeze flag, [base+2, …) slots.
+// Storage is allocated from the owning TM's transactional heap
+// (`tm_alloc(capacity + 2)`: size word, freeze flag, then the slots) and
+// accessed through the typed handles of tm.hpp — no caller-provided
+// register layout. The destructor returns the block with the
+// privatization-safe `tm_free`.
 //
 // push/pop are single transactions. `drain_privatized` demonstrates the
 // paper's programming model end to end:
@@ -24,28 +28,35 @@ enum class StackOp : std::uint8_t { kOk, kFullOrEmpty, kFrozen };
 
 class TxStack {
  public:
-  TxStack(tm::RegId base, std::size_t capacity) noexcept
-      : base_(base), capacity_(capacity) {}
+  TxStack(tm::TransactionalMemory& tm, std::size_t capacity)
+      : tm_(&tm),
+        handle_(tm.tm_alloc(capacity + 2)),
+        size_(handle_, 0),
+        freeze_(handle_, 1),
+        capacity_(capacity) {}
 
-  static std::size_t registers_needed(std::size_t capacity) noexcept {
-    return capacity + 2;
+  ~TxStack() {
+    if (handle_.valid()) tm_->tm_free(handle_);
   }
+
+  TxStack(const TxStack&) = delete;
+  TxStack& operator=(const TxStack&) = delete;
 
   StackOp try_push(tm::TmThread& session, tm::Value value) const {
     StackOp result = StackOp::kOk;
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
       result = StackOp::kOk;
-      if (tx.read(freeze_reg()) != 0) {
+      if (freeze_.get(tx) != 0) {
         result = StackOp::kFrozen;
         return;
       }
-      const tm::Value size = tx.read(size_reg());
+      const tm::Value size = size_.get(tx);
       if (size >= capacity_) {
         result = StackOp::kFullOrEmpty;
         return;
       }
-      tx.write(slot_reg(size), value);
-      tx.write(size_reg(), size + 1);
+      tx.write(slot_loc(size), value);
+      size_.set(tx, size + 1);
     });
     return result;
   }
@@ -54,17 +65,17 @@ class TxStack {
     StackOp result = StackOp::kOk;
     tm::run_tx_retry(session, [&](tm::TxScope& tx) {
       result = StackOp::kOk;
-      if (tx.read(freeze_reg()) != 0) {
+      if (freeze_.get(tx) != 0) {
         result = StackOp::kFrozen;
         return;
       }
-      const tm::Value size = tx.read(size_reg());
+      const tm::Value size = size_.get(tx);
       if (size == 0) {
         result = StackOp::kFullOrEmpty;
         return;
       }
-      out = tx.read(slot_reg(size - 1));
-      tx.write(size_reg(), size - 1);
+      out = tx.read(slot_loc(size - 1));
+      size_.set(tx, size - 1);
     });
     return result;
   }
@@ -73,7 +84,7 @@ class TxStack {
   tm::Value size(tm::TmThread& session) const {
     tm::Value n = 0;
     tm::run_tx_retry(session,
-                     [&](tm::TxScope& tx) { n = tx.read(size_reg()); });
+                     [&](tm::TxScope& tx) { n = size_.get(tx); });
     return n;
   }
 
@@ -85,35 +96,37 @@ class TxStack {
     for (;;) {
       bool acquired = false;
       tm::run_tx_retry(session, [&](tm::TxScope& tx) {
-        acquired = tx.read(freeze_reg()) == 0;
-        if (acquired) tx.write(freeze_reg(), freeze_token);
+        acquired = freeze_.get(tx) == 0;
+        if (acquired) freeze_.set(tx, freeze_token);
       });
       if (acquired) break;
     }
     // 2. Quiesce in-flight pushers/poppers.
     session.fence();
     // 3. Uninstrumented drain.
-    const tm::Value size = session.nt_read(size_reg());
+    const tm::Value size = size_.nt_get(session);
     out.clear();
     for (tm::Value i = size; i-- > 0;) {
-      out.push_back(session.nt_read(slot_reg(i)));
+      out.push_back(session.nt_read(slot_loc(i)));
     }
-    session.nt_write(size_reg(), 0);
+    size_.nt_set(session, 0);
     // 4. Publish back.
     tm::run_tx_retry(session,
-                     [&](tm::TxScope& tx) { tx.write(freeze_reg(), 0); });
+                     [&](tm::TxScope& tx) { freeze_.set(tx, 0); });
   }
 
   std::size_t capacity() const noexcept { return capacity_; }
+  tm::TxHandle handle() const noexcept { return handle_; }
 
  private:
-  tm::RegId size_reg() const noexcept { return base_; }
-  tm::RegId freeze_reg() const noexcept { return base_ + 1; }
-  tm::RegId slot_reg(tm::Value i) const noexcept {
-    return static_cast<tm::RegId>(static_cast<tm::Value>(base_) + 2 + i);
+  tm::RegId slot_loc(tm::Value i) const noexcept {
+    return handle_.loc(static_cast<std::size_t>(2 + i));
   }
 
-  tm::RegId base_;
+  tm::TransactionalMemory* tm_;
+  tm::TxHandle handle_;
+  tm::TxVar<tm::Value> size_;
+  tm::TxVar<tm::Value> freeze_;
   std::size_t capacity_;
 };
 

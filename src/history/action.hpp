@@ -27,6 +27,7 @@ enum class ActionKind : std::uint8_t {
   // ---- request actions -------------------------------------------------
   kTxBegin,     ///< (a, t, txbegin)
   kTxCommit,    ///< (a, t, txcommit)
+  kTxAbort,     ///< (a, t, txabort) — explicit user abort (Fig 4)
   kWriteReq,    ///< (a, t, write(x, v))
   kReadReq,     ///< (a, t, read(x))
   kFenceBegin,  ///< (a, t, fbegin)
@@ -43,6 +44,7 @@ constexpr bool is_request(ActionKind k) noexcept {
   switch (k) {
     case ActionKind::kTxBegin:
     case ActionKind::kTxCommit:
+    case ActionKind::kTxAbort:
     case ActionKind::kWriteReq:
     case ActionKind::kReadReq:
     case ActionKind::kFenceBegin:
@@ -78,6 +80,8 @@ constexpr bool matches_response(ActionKind req, ActionKind resp) noexcept {
       return resp == ActionKind::kOk || resp == ActionKind::kAborted;
     case ActionKind::kTxCommit:
       return resp == ActionKind::kCommitted || resp == ActionKind::kAborted;
+    case ActionKind::kTxAbort:
+      return resp == ActionKind::kAborted;  // a user abort always aborts
     case ActionKind::kWriteReq:
       return resp == ActionKind::kWriteRet || resp == ActionKind::kAborted;
     case ActionKind::kReadReq:

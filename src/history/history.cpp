@@ -13,6 +13,8 @@ const char* kind_name(ActionKind k) noexcept {
       return "txbegin";
     case ActionKind::kTxCommit:
       return "txcommit";
+    case ActionKind::kTxAbort:
+      return "txabort";
     case ActionKind::kWriteReq:
       return "write";
     case ActionKind::kReadReq:

@@ -30,5 +30,8 @@
 #include "opacity/strong_opacity.hpp"
 #include "tm/factory.hpp"
 #include "tm/glock.hpp"
+#include "tm/heap.hpp"
 #include "tm/norec.hpp"
 #include "tm/tl2.hpp"
+#include "tm/tl2_fused.hpp"
+#include "tm/tm.hpp"

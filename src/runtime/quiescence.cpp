@@ -165,4 +165,23 @@ bool QuiescenceManager::drive(FenceTicket ticket, std::size_t stat_slot,
   return true;
 }
 
+bool QuiescenceManager::drive_nostat(FenceTicket ticket, bool block) noexcept {
+  Backoff backoff;
+  while (seq_->load(std::memory_order_acquire) < ticket) {
+    bool progressed = try_start_scan();
+    if (poll_scan()) progressed = true;
+    if (seq_->load(std::memory_order_acquire) >= ticket) break;
+    if (!progressed) {
+      if (!block) return false;
+      backoff.pause();
+    }
+  }
+  return true;
+}
+
+bool QuiescenceManager::try_elapse_ticket(FenceTicket ticket) noexcept {
+  if (ticket == kNullFenceTicket) return true;
+  return drive_nostat(ticket, /*block=*/false);
+}
+
 }  // namespace privstm::rt

@@ -125,6 +125,25 @@ class QuiescenceManager {
     return seq_->load(std::memory_order_acquire);
   }
 
+  /// Count an event against this manager's stats domain — for collaborators
+  /// that share the domain (tm::FenceSession counts its async-overflow
+  /// degradation here).
+  void count(std::size_t stat_slot, Counter c) noexcept {
+    stats_.add(stat_slot, c);
+  }
+
+  /// Epoch-reclamation hooks (tm::TxHeap's limbo list). A ticket's
+  /// completion guarantees every transaction active at issue time has
+  /// finished — the same grace-period engine as fence_async, but *not* a
+  /// fence: nothing is recorded and no fence statistics are counted, so
+  /// deferred-free bookkeeping never perturbs the fence counters that
+  /// experiments assert on.
+  FenceTicket issue_ticket() noexcept { return grace_period_target(); }
+
+  /// One bounded, non-blocking attempt to elapse a reclamation ticket,
+  /// helping the shared scan forward. True once the grace period passed.
+  bool try_elapse_ticket(FenceTicket ticket) noexcept;
+
  private:
   /// Target sequence for a fence beginning now (see file comment).
   FenceTicket grace_period_target() noexcept;
@@ -140,7 +159,11 @@ class QuiescenceManager {
 
   /// Shared body of fence_try_complete / fence_wait: drive the engine
   /// until the ticket completes (`block`) or progress stalls (!`block`).
+  /// Counts the fence stats on completion.
   bool drive(FenceTicket ticket, std::size_t stat_slot, bool block) noexcept;
+
+  /// drive() without the fence accounting (reclamation tickets).
+  bool drive_nostat(FenceTicket ticket, bool block) noexcept;
 
   ThreadRegistry registry_;
   StatsDomain& stats_;

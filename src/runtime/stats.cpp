@@ -22,6 +22,8 @@ const char* counter_name(Counter c) noexcept {
       return "fences_coalesced";
     case Counter::kFenceAsyncIssued:
       return "fences_async_issued";
+    case Counter::kFenceAsyncOverflow:
+      return "fences_async_overflow";
     case Counter::kNtRead:
       return "nt_reads";
     case Counter::kNtWrite:

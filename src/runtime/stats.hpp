@@ -21,6 +21,8 @@ enum class Counter : std::size_t {
   kFence,
   kFenceCoalesced,    ///< subset of kFence served by another fence's scan
   kFenceAsyncIssued,  ///< fence_async tickets issued (completions → kFence)
+  kFenceAsyncOverflow,  ///< fence_async calls past the outstanding-ticket
+                        ///< window, degraded to a synchronous fence
   kNtRead,
   kNtWrite,
   kDoomedDetected,

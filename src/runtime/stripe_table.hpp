@@ -1,0 +1,79 @@
+// Hashed striped version/lock table — the TM metadata store behind the
+// dynamic transactional heap.
+//
+// The fixed register file sized every backend's per-location metadata at
+// construction (one version/lock per RegId). With tm_alloc()/tm_free() the
+// location space is unbounded, so metadata moves to a fixed, power-of-two
+// array of `rt::VersionedLock` *stripes*; a location maps to its stripe
+// with `loc & mask` (see the constructor comment). This is the classic
+// TL2 lock-table design: several locations may share a stripe, which can
+// only cause *false conflicts* (spurious aborts), never missed ones — a
+// reader validating stripe(x) observes every version bump any writer of x
+// performs, plus possibly bumps by writers of stripe-colliding y, which
+// over-approximates the conflict relation and is therefore safe.
+//
+// Stripes are cache-line padded: the table is written on every commit
+// lock/release, and unrelated-stripe traffic must not false-share.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/versioned_lock.hpp"
+
+namespace privstm::rt {
+
+class StripeTable {
+ public:
+  /// `stripes` is rounded up to a power of two (minimum 2) so the map is
+  /// a single AND. Contiguous location ids — which is what the heap's
+  /// bump allocator hands out — then spread perfectly: a block of k ≤
+  /// stripe_count locations owns k distinct stripes, and collisions only
+  /// appear between locations stripe_count apart (the classic TL2
+  /// lock-table mapping; a stride-aligned pathological workload can be
+  /// tuned around via TmConfig::lock_stripes).
+  explicit StripeTable(std::size_t stripes) {
+    std::size_t n = 2;
+    while (n < stripes) n <<= 1;
+    table_ = std::vector<CacheAligned<VersionedLock>>(n);
+    mask_ = n - 1;
+  }
+
+  StripeTable(const StripeTable&) = delete;
+  StripeTable& operator=(const StripeTable&) = delete;
+
+  std::size_t stripe_count() const noexcept { return table_.size(); }
+  std::size_t mask() const noexcept { return mask_; }
+
+  /// Stripe index of location `loc`.
+  std::size_t index_of(std::uint64_t loc) const noexcept {
+    return static_cast<std::size_t>(loc) & mask_;
+  }
+
+  VersionedLock& stripe(std::size_t index) noexcept { return *table_[index]; }
+  const VersionedLock& stripe(std::size_t index) const noexcept {
+    return *table_[index];
+  }
+
+  /// Stripe guarding location `loc`.
+  VersionedLock& stripe_for(std::uint64_t loc) noexcept {
+    return *table_[index_of(loc)];
+  }
+
+  /// Raw entry array (cache-line stride) for hot paths that cache the
+  /// base pointer and mask in locals/members.
+  CacheAligned<VersionedLock>* data() noexcept { return table_.data(); }
+
+  /// Clear every stripe to version 0, unlocked. Callers must be quiescent.
+  void reset() noexcept {
+    for (auto& s : table_) s->reset();
+  }
+
+ private:
+  std::vector<CacheAligned<VersionedLock>> table_;
+  std::size_t mask_ = 1;
+};
+
+}  // namespace privstm::rt

@@ -5,8 +5,7 @@ namespace privstm::tm {
 using hist::ActionKind;
 using rt::Counter;
 
-GlobalLockTm::GlobalLockTm(TmConfig config)
-    : TransactionalMemory(config), regs_(config.num_registers) {}
+GlobalLockTm::GlobalLockTm(TmConfig config) : TransactionalMemory(config) {}
 
 std::unique_ptr<TmThread> GlobalLockTm::make_thread(ThreadId thread,
                                                     hist::Recorder* recorder) {
@@ -14,15 +13,12 @@ std::unique_ptr<TmThread> GlobalLockTm::make_thread(ThreadId thread,
 }
 
 void GlobalLockTm::reset() {
-  stats_.reset();  // same contract as the TL2-family backends
-  for (auto& reg : regs_) {
-    reg->store(hist::kVInit, std::memory_order_relaxed);
-  }
+  reset_base();  // stats + heap values/allocator (contract shared by all TMs)
 }
 
 GlobalLockThread::GlobalLockThread(GlobalLockTm& tm, ThreadId thread,
                                    hist::Recorder* recorder)
-    : TmThread(tm, thread, recorder), tm_(tm) {}
+    : TmThread(tm, thread, recorder), tm_(tm), heap_(tm.heap()) {}
 
 GlobalLockThread::~GlobalLockThread() = default;
 
@@ -30,29 +26,42 @@ bool GlobalLockThread::tx_begin() {
   registry_.tx_enter(slot_.slot());
   rec_.request(ActionKind::kTxBegin);
   tm_.mutex_.lock();
+  wset_.clear();
   rec_.response(ActionKind::kOk);
   return true;
 }
 
 bool GlobalLockThread::tx_read(RegId reg, Value& out) {
   rec_.request(ActionKind::kReadReq, reg);
-  out = tm_.regs_[static_cast<std::size_t>(reg)]->load(
-      std::memory_order_seq_cst);
+  bool hit = false;
+  for (auto it = wset_.rbegin(); it != wset_.rend(); ++it) {
+    if (it->first == reg) {
+      out = it->second;
+      hit = true;
+      break;
+    }
+  }
+  if (!hit) out = heap_.cell(reg).load(std::memory_order_seq_cst);
   rec_.response(ActionKind::kReadRet, reg, out);
   return true;
 }
 
 bool GlobalLockThread::tx_write(RegId reg, Value value) {
   rec_.request(ActionKind::kWriteReq, reg, value);
-  tm_.regs_[static_cast<std::size_t>(reg)]->store(value,
-                                                  std::memory_order_seq_cst);
-  rec_.publish(reg, value);  // in-place update: visible immediately
+  wset_.emplace_back(reg, value);
   rec_.response(ActionKind::kWriteRet, reg);
   return true;
 }
 
 TxResult GlobalLockThread::tx_commit() {
   rec_.request(ActionKind::kTxCommit);
+  // Flush inside the critical section: serialization (and hence opacity /
+  // strong atomicity for DRF programs) is exactly as with the historical
+  // in-place store at tx_write time.
+  for (const auto& [reg, value] : wset_) {
+    heap_.cell(reg).store(value, std::memory_order_seq_cst);
+    rec_.publish(reg, value);  // TXVIS point
+  }
   tm_.mutex_.unlock();
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
@@ -60,9 +69,18 @@ TxResult GlobalLockThread::tx_commit() {
   return TxResult::kCommitted;
 }
 
+void GlobalLockThread::tx_abort() {
+  rec_.request(ActionKind::kTxAbort);
+  wset_.clear();  // discard buffered writes — nothing reached memory
+  tm_.mutex_.unlock();
+  rec_.response(ActionKind::kAborted);
+  tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
+  registry_.tx_exit(slot_.slot());
+}
+
 Value GlobalLockThread::nt_read(RegId reg) {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtRead);
-  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  auto& cell = heap_.cell(reg);
   return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
     return cell.load(std::memory_order_seq_cst);
   });
@@ -70,7 +88,7 @@ Value GlobalLockThread::nt_read(RegId reg) {
 
 void GlobalLockThread::nt_write(RegId reg, Value value) {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtWrite);
-  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  auto& cell = heap_.cell(reg);
   rec_.nt_access(/*is_write=*/true, reg, value, [&] {
     cell.store(value, std::memory_order_seq_cst);
     return value;

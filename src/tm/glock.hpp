@@ -3,13 +3,20 @@
 // Trivially opaque (transactions are literally serialized) and, for DRF
 // programs, strongly atomic. It is the oracle and the zero-concurrency
 // baseline of experiment E8, and the "no instrumentation needed" reference
-// point for fence-overhead measurements (E6).
+// point for fence-overhead measurements (E6). Values live in the shared
+// transactional heap (tm/heap.hpp); this backend needs no per-location
+// metadata at all.
+//
+// Writes are buffered in a tiny write set and flushed at commit (still
+// inside the mutex critical section, so no observer can tell the
+// difference from the historical in-place update) — which is what gives
+// the explicit tx_abort() its discard-the-writes semantics for free.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
-#include "runtime/cacheline.hpp"
 #include "runtime/spinlock.hpp"
 #include "tm/tm.hpp"
 
@@ -27,6 +34,7 @@ class GlobalLockThread final : public TmThread {
   bool tx_read(RegId reg, Value& out) override;
   bool tx_write(RegId reg, Value value) override;
   TxResult tx_commit() override;
+  void tx_abort() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
   // fence()/fence_async()/... come from the TmThread base (the shared
@@ -34,6 +42,8 @@ class GlobalLockThread final : public TmThread {
 
  private:
   GlobalLockTm& tm_;
+  TxHeap& heap_;
+  std::vector<std::pair<RegId, Value>> wset_;  ///< insertion order; last wins
 };
 
 class GlobalLockTm final : public TransactionalMemory {
@@ -44,16 +54,11 @@ class GlobalLockTm final : public TransactionalMemory {
                                         hist::Recorder* recorder) override;
   const char* name() const noexcept override { return "glock"; }
   void reset() override;
-  Value peek(RegId reg) const noexcept override {
-    return regs_[static_cast<std::size_t>(reg)]->load(
-        std::memory_order_seq_cst);
-  }
 
  private:
   friend class GlobalLockThread;
 
   rt::SpinLock mutex_;
-  std::vector<rt::CacheAligned<std::atomic<Value>>> regs_;
 };
 
 }  // namespace privstm::tm

@@ -1,0 +1,179 @@
+// The dynamic transactional heap: a growable location space with
+// privatization-safe reclamation (DESIGN.md §9).
+//
+// The paper's headline use case for privatization is memory reclamation —
+// a thread privatizes a node, fences, and only then reuses or frees the
+// memory (§1–2). The original fixed register file could not express it:
+// every backend sized per-RegId metadata at construction and ADTs
+// hand-carved register ranges. The heap replaces that with:
+//
+//  * **Locations.** Values live in one flat, lazily-faulted arena: a
+//    single anonymous mapping of kMaxLocations packed cells reserved at
+//    construction, so `cell(loc)` is one load with no directory
+//    indirection and no reallocation ever moves a cell. The kernel
+//    materializes (zero) pages only on first touch, so a 2-register
+//    litmus TM costs one page, not 32 MiB. Packed (unpadded) cells trade
+//    the old register file's per-register padding for locality — a
+//    k-word block sits on one or two lines, which is what a real
+//    program heap looks like to a TM. Location ids are plain `RegId`s —
+//    histories, the DRF/opacity checkers and the litmus interpreter keep
+//    working unchanged, and the first `static_prefix` locations are
+//    permanently allocated so programs that address raw registers (the
+//    paper's figures) still run.
+//
+//  * **Blocks.** `alloc(n)` hands out a `TxHandle` naming `n` contiguous
+//    fresh-or-recycled locations (values vinit). Freed blocks are
+//    recycled exact-size from per-size free lists; otherwise the bump
+//    pointer grows the space.
+//
+//  * **Safe reclamation.** `free(h)` never recycles immediately: the
+//    block enters a *limbo list* stamped with a grace-period ticket from
+//    the shared quiescence subsystem (`rt::QuiescenceManager`, the same
+//    engine behind fence_async). A block leaves limbo only once every
+//    transaction that was active at free() time has finished — exactly
+//    the privatization guarantee, so a delayed commit (Fig 1a) can never
+//    scribble over memory the allocator has already handed to someone
+//    else. Draining is cooperative and non-blocking: alloc/free calls
+//    poll the oldest tickets (tickets are issued in nearly monotonic
+//    order, so the limbo deque elapses front-first) and help the shared
+//    scan forward, which makes reclamation live without ever blocking —
+//    even when free() is called inside a transaction.
+//
+// Thread safety: all allocator state is guarded by one spin lock;
+// `cell()` is wait-free. The heap issues no history actions — reclamation
+// is TM-internal, not part of the program's interface trace.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "history/action.hpp"
+#include "runtime/quiescence.hpp"
+#include "runtime/spinlock.hpp"
+
+namespace privstm::tm {
+
+using hist::RegId;
+using hist::Value;
+
+/// A block of `size` contiguous heap locations starting at `base`. Plain
+/// data — cheap to copy; validity is `valid()`, not a lifetime.
+struct TxHandle {
+  RegId base = hist::kNoReg;
+  std::uint32_t size = 0;
+
+  bool valid() const noexcept { return base >= 0 && size > 0; }
+
+  /// Location id of element `i` of the block.
+  RegId loc(std::size_t i = 0) const noexcept {
+    assert(i < size && "TxHandle element out of range");
+    return static_cast<RegId>(static_cast<std::size_t>(base) + i);
+  }
+
+  friend bool operator==(const TxHandle&, const TxHandle&) = default;
+};
+
+inline constexpr TxHandle kNullTxHandle{};
+
+class TxHeap {
+ public:
+  /// 4M locations (32 MiB of reserved — not resident — address space) is
+  /// far past any workload here; allocating beyond it aborts
+  /// (configuration error, like overflowing the thread registry).
+  static constexpr std::size_t kMaxLocations = std::size_t{1} << 22;
+
+  /// The first `static_prefix` locations are permanently allocated (the
+  /// legacy register file; litmus programs address them directly). `qm`
+  /// drives reclamation grace periods; the owning TM instance holds both
+  /// and outlives the heap.
+  TxHeap(std::size_t static_prefix, rt::QuiescenceManager& qm);
+  ~TxHeap();
+
+  TxHeap(const TxHeap&) = delete;
+  TxHeap& operator=(const TxHeap&) = delete;
+
+  /// The value cell of a location. Wait-free, one load — the hot path of
+  /// every backend's read/write/peek.
+  std::atomic<Value>& cell(RegId loc) noexcept {
+    return cells_[static_cast<std::size_t>(loc)];
+  }
+  const std::atomic<Value>& cell(RegId loc) const noexcept {
+    return cells_[static_cast<std::size_t>(loc)];
+  }
+
+  /// Raw arena base for hot paths that cache it (it never moves).
+  std::atomic<Value>* cells() noexcept { return cells_; }
+
+  /// Committed value of `loc`, vinit for out-of-range ids — a harness
+  /// utility (TransactionalMemory::peek).
+  Value peek(RegId loc) const noexcept {
+    if (loc < 0 || static_cast<std::size_t>(loc) >= kMaxLocations) {
+      return hist::kVInit;
+    }
+    return cell(loc).load(std::memory_order_seq_cst);
+  }
+
+  /// Allocate a block of `n > 0` locations, recycling an exact-size freed
+  /// block whose grace period has elapsed if one exists. All cells hold
+  /// vinit. O(1) amortized; drains the limbo list opportunistically.
+  TxHandle alloc(std::size_t n);
+
+  /// Deferred free: the block becomes recyclable only after a quiescence
+  /// grace period (every transaction active now has finished) — safe
+  /// against the delayed-commit hazard by construction. The handle must
+  /// come from alloc() and must not be double-freed; the static prefix is
+  /// not freeable. May be called inside a transaction (the grace period
+  /// is awaited cooperatively, never blocked on).
+  void free(TxHandle h);
+
+  /// Retire every elapsed limbo block to the free lists; one non-blocking
+  /// pass. Returns the number of blocks recycled.
+  std::size_t drain_limbo();
+
+  /// Restore the heap to its post-construction state: allocator reset to
+  /// the static prefix, free/limbo lists dropped, every touched cell
+  /// vinit. Callers must be quiescent and must drop outstanding handles.
+  void reset();
+
+  std::size_t static_prefix() const noexcept { return static_prefix_; }
+
+  // Allocator observability (tests and bench reports).
+  std::size_t limbo_size() const;
+  std::uint64_t alloc_count() const;
+  std::uint64_t free_count() const;
+  std::uint64_t reclaimed_count() const;
+  /// One-past-the-end of ever-allocated location ids (bump pointer).
+  std::size_t allocated_end() const;
+
+ private:
+  struct LimboBlock {
+    TxHandle handle;
+    rt::FenceTicket ticket;  ///< grace period gating recycling
+  };
+
+  /// Non-blocking limbo sweep — alloc_lock_ held.
+  std::size_t drain_limbo_locked();
+
+  rt::QuiescenceManager& qm_;
+  const std::size_t static_prefix_;
+
+  /// The flat cell arena (see file comment). Owned anonymous mapping.
+  std::atomic<Value>* cells_ = nullptr;
+
+  mutable rt::SpinLock alloc_lock_;
+  std::size_t bump_ = 0;  ///< next never-allocated location id
+  /// Exact-size recycling: freed (and elapsed) block bases by block size.
+  std::map<std::uint32_t, std::vector<RegId>> free_lists_;
+  /// Grace-period-pending frees; near-monotonic tickets, drained
+  /// front-first.
+  std::deque<LimboBlock> limbo_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t frees_ = 0;
+  std::uint64_t reclaimed_ = 0;
+};
+
+}  // namespace privstm::tm

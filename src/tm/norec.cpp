@@ -7,8 +7,7 @@ namespace privstm::tm {
 using hist::ActionKind;
 using rt::Counter;
 
-NOrec::NOrec(TmConfig config)
-    : TransactionalMemory(config), regs_(config.num_registers) {}
+NOrec::NOrec(TmConfig config) : TransactionalMemory(config) {}
 
 std::unique_ptr<TmThread> NOrec::make_thread(ThreadId thread,
                                              hist::Recorder* recorder) {
@@ -16,15 +15,13 @@ std::unique_ptr<TmThread> NOrec::make_thread(ThreadId thread,
 }
 
 void NOrec::reset() {
-  stats_.reset();  // same contract as the TL2-family backends
-  for (auto& reg : regs_) {
-    reg->store(hist::kVInit, std::memory_order_relaxed);
-  }
+  reset_base();  // stats + heap values/allocator
 }
 
 NOrecThread::NOrecThread(NOrec& tm, ThreadId thread, hist::Recorder* recorder)
     : TmThread(tm, thread, recorder),
       tm_(tm),
+      cells_(tm.heap().cells()),
       in_wset_(tm.config().num_registers, 0) {}
 
 NOrecThread::~NOrecThread() = default;
@@ -44,7 +41,7 @@ bool NOrecThread::revalidate() {
     const rt::SeqLock::Stamp fresh = tm_.seqlock_.read_begin();
     bool valid = true;
     for (const auto& [reg, seen] : rset_) {
-      if (tm_.regs_[static_cast<std::size_t>(reg)]->load(
+      if (cells_[static_cast<std::size_t>(reg)].load(
               std::memory_order_acquire) != seen) {
         valid = false;
         break;
@@ -64,15 +61,19 @@ void NOrecThread::abort_in_flight() {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
   for (const auto& [r, v] : wset_) {
     (void)v;
-    in_wset_[static_cast<std::size_t>(r)] = 0;
+    wmark(r) = 0;
   }
   registry_.tx_exit(slot_.slot());
 }
 
+void NOrecThread::tx_abort() {
+  rec_.request(ActionKind::kTxAbort);
+  abort_in_flight();  // buffered writes are simply dropped
+}
+
 bool NOrecThread::tx_read(RegId reg, Value& out) {
   rec_.request(ActionKind::kReadReq, reg);
-  const auto r = static_cast<std::size_t>(reg);
-  if (in_wset_[r]) {
+  if (in_wset(reg)) {
     for (auto it = wset_.rbegin(); it != wset_.rend(); ++it) {
       if (it->first == reg) {
         out = it->second;
@@ -81,7 +82,8 @@ bool NOrecThread::tx_read(RegId reg, Value& out) {
       }
     }
   }
-  Value v = tm_.regs_[r]->load(std::memory_order_acquire);
+  Value v = cells_[static_cast<std::size_t>(reg)].load(
+      std::memory_order_acquire);
   while (!tm_.seqlock_.read_validate(snapshot_)) {
     if (!revalidate()) {
       tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
@@ -89,7 +91,8 @@ bool NOrecThread::tx_read(RegId reg, Value& out) {
       abort_in_flight();
       return false;
     }
-    v = tm_.regs_[r]->load(std::memory_order_acquire);
+    v = cells_[static_cast<std::size_t>(reg)].load(
+        std::memory_order_acquire);
   }
   rset_.emplace_back(reg, v);
   out = v;
@@ -99,7 +102,7 @@ bool NOrecThread::tx_read(RegId reg, Value& out) {
 
 bool NOrecThread::tx_write(RegId reg, Value value) {
   rec_.request(ActionKind::kWriteReq, reg, value);
-  in_wset_[static_cast<std::size_t>(reg)] = 1;
+  wmark(reg) = 1;
   wset_.emplace_back(reg, value);
   rec_.response(ActionKind::kWriteRet, reg);
   return true;
@@ -129,21 +132,21 @@ TxResult NOrecThread::tx_commit() {
   // the last value per register winning.
   for (const auto& [reg, value] : wset_) {
     (void)value;
-    const auto r = static_cast<std::size_t>(reg);
-    if (in_wset_[r] != 1) continue;  // register already flushed
+    if (wmark(reg) != 1) continue;  // register already flushed
     Value final_value = value;
     for (const auto& [reg2, value2] : wset_) {
       if (reg2 == reg) final_value = value2;
     }
-    tm_.regs_[r]->store(final_value, std::memory_order_release);
+    cells_[static_cast<std::size_t>(reg)].store(
+        final_value, std::memory_order_release);
     rec_.publish(reg, final_value);
-    in_wset_[r] = 2;
+    wmark(reg) = 2;
   }
   tm_.seqlock_.write_unlock();
 
   for (const auto& [r, v] : wset_) {
     (void)v;
-    in_wset_[static_cast<std::size_t>(r)] = 0;
+    wmark(r) = 0;
   }
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
@@ -153,7 +156,7 @@ TxResult NOrecThread::tx_commit() {
 
 Value NOrecThread::nt_read(RegId reg) {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtRead);
-  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  auto& cell = cells_[static_cast<std::size_t>(reg)];
   return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
     return cell.load(std::memory_order_seq_cst);
   });
@@ -161,7 +164,7 @@ Value NOrecThread::nt_read(RegId reg) {
 
 void NOrecThread::nt_write(RegId reg, Value value) {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtWrite);
-  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  auto& cell = cells_[static_cast<std::size_t>(reg)];
   rec_.nt_access(/*is_write=*/true, reg, value, [&] {
     cell.store(value, std::memory_order_seq_cst);
     return value;

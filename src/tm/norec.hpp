@@ -15,12 +15,16 @@
 //
 // The price is serialized commits and O(|rset|) revalidation — the
 // TL2-vs-NOrec trade-off measured by experiment E8.
+//
+// Values live in the shared transactional heap (tm/heap.hpp): NOrec's
+// value-based validation needs no per-location metadata at all, so the
+// dynamic location space costs it nothing — only the per-thread write-set
+// membership bytes grow (on demand) with the highest location touched.
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "runtime/cacheline.hpp"
 #include "runtime/seqlock.hpp"
 #include "tm/tm.hpp"
 
@@ -37,6 +41,7 @@ class NOrecThread final : public TmThread {
   bool tx_read(RegId reg, Value& out) override;
   bool tx_write(RegId reg, Value value) override;
   TxResult tx_commit() override;
+  void tx_abort() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
   // fence()/fence_async()/... come from the TmThread base (the shared
@@ -49,7 +54,22 @@ class NOrecThread final : public TmThread {
   bool revalidate();
   void abort_in_flight();
 
+  /// Write-set membership byte of `reg`, growing the array on demand
+  /// (the heap's location space is unbounded).
+  std::uint8_t& wmark(RegId reg) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r >= in_wset_.size()) in_wset_.resize(r + 1, 0);
+    return in_wset_[r];
+  }
+  /// Read-only membership probe: out-of-range means "not in the set",
+  /// with no grow — keeps the read fast path allocation-free.
+  bool in_wset(RegId reg) const noexcept {
+    const auto r = static_cast<std::size_t>(reg);
+    return r < in_wset_.size() && in_wset_[r] != 0;
+  }
+
   NOrec& tm_;
+  std::atomic<Value>* const cells_;  ///< heap arena base (never moves)
 
   rt::SeqLock::Stamp snapshot_ = 0;
   std::vector<std::pair<RegId, Value>> rset_;  ///< value-based validation
@@ -65,16 +85,11 @@ class NOrec final : public TransactionalMemory {
                                         hist::Recorder* recorder) override;
   const char* name() const noexcept override { return "norec"; }
   void reset() override;
-  Value peek(RegId reg) const noexcept override {
-    return regs_[static_cast<std::size_t>(reg)]->load(
-        std::memory_order_seq_cst);
-  }
 
  private:
   friend class NOrecThread;
 
   rt::SeqLock seqlock_;
-  std::vector<rt::CacheAligned<std::atomic<Value>>> regs_;
 };
 
 }  // namespace privstm::tm

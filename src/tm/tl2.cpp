@@ -8,9 +8,10 @@ namespace privstm::tm {
 
 using hist::ActionKind;
 using rt::Counter;
+using rt::VersionedLock;
 
 Tl2::Tl2(TmConfig config)
-    : TransactionalMemory(config), regs_(config.num_registers) {}
+    : TransactionalMemory(config), stripes_(config.lock_stripes) {}
 
 std::unique_ptr<TmThread> Tl2::make_thread(ThreadId thread,
                                            hist::Recorder* recorder) {
@@ -23,21 +24,22 @@ void Tl2::reset() {
     stamps_.clear();
   }
   clock_.reset();
-  stats_.reset();
+  reset_base();  // stats + heap values/allocator
   // Sessions notice the new epoch at their next tx_begin and restart their
   // transaction ordinals, keeping stamp ordinals aligned with per-thread
   // history order across resets.
   reset_epoch_.fetch_add(1, std::memory_order_relaxed);
-  for (auto& reg : regs_) {
-    reg->value.store(hist::kVInit, std::memory_order_relaxed);
-    reg->version.store(0, std::memory_order_relaxed);
-    assert(!reg->lock.test() && "reset with a register lock held");
+  for (std::size_t s = 0; s < stripes_.stripe_count(); ++s) {
+    assert(!VersionedLock::is_locked(stripes_.stripe(s).load()) &&
+           "reset with a stripe lock held");
   }
+  stripes_.reset();
 }
 
 Tl2Thread::Tl2Thread(Tl2& tm, ThreadId thread, hist::Recorder* recorder)
     : TmThread(tm, thread, recorder),
       tm_(tm),
+      heap_(tm.heap()),
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
       reset_epoch_seen_(tm.reset_epoch_.load(std::memory_order_relaxed)),
       in_wset_(tm.config().num_registers, 0),
@@ -85,20 +87,26 @@ void Tl2Thread::abort_in_flight() {
                    /*committed=*/false});
   }
   ++txn_ordinal_;
-  for (RegId r : rset_) in_rset_[static_cast<std::size_t>(r)] = 0;
+  for (RegId r : rset_) rmark(r) = 0;
   for (const auto& [r, v] : wset_) {
     (void)v;
-    in_wset_[static_cast<std::size_t>(r)] = 0;
+    wmark(r) = 0;
   }
   registry_.tx_exit(slot_.slot());            // abort handler: clear active
 }
 
+void Tl2Thread::tx_abort() {
+  // No stripe is ever locked outside tx_commit, so a user abort only has
+  // to drop the buffered sets.
+  rec_.request(ActionKind::kTxAbort);
+  abort_in_flight();
+}
+
 bool Tl2Thread::tx_read(RegId reg, Value& out) {
   rec_.request(ActionKind::kReadReq, reg);
-  const auto r = static_cast<std::size_t>(reg);
 
   // Write-set hit: return the buffered value (lines 15–16).
-  if (in_wset_[r]) {
+  if (in_wset(reg)) {
     for (auto it = wset_.rbegin(); it != wset_.rend(); ++it) {
       if (it->first == reg) {
         out = it->second;
@@ -108,20 +116,25 @@ bool Tl2Thread::tx_read(RegId reg, Value& out) {
     }
   }
 
-  auto& cell = *tm_.regs_[r];
-  const std::uint64_t ts1 = cell.version.load(std::memory_order_acquire);
-  const Value value = cell.value.load(std::memory_order_acquire);
-  const bool locked = cell.lock.test();
-  const std::uint64_t ts2 = cell.version.load(std::memory_order_acquire);
-  const bool invalid = locked || ts1 != ts2 || rver_ < ts2;  // line 21
+  // Stripe-word / value / stripe-word sandwich: both loads of the fused
+  // word must agree and be unlocked with version ≤ rver. A writer CASes
+  // the stripe locked before storing any value it guards, so an unchanged
+  // unlocked word proves the value belongs to a version ≤ rver (possibly
+  // bumped by a stripe-colliding location — a spurious but safe abort).
+  auto& vlock = tm_.stripes_.stripe_for(static_cast<std::uint64_t>(reg));
+  const VersionedLock::Word w1 = vlock.load(std::memory_order_acquire);
+  const Value value = heap_.cell(reg).load(std::memory_order_acquire);
+  const VersionedLock::Word w2 = vlock.load(std::memory_order_acquire);
+  const bool invalid = VersionedLock::is_locked(w1) || w1 != w2 ||
+                       rver_ < VersionedLock::version_of(w1);  // line 21
   if (invalid && !tm_.config().unsafe_skip_validation) {
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxReadValidationFail);
     abort_in_flight();
     return false;
   }
-  if (!in_rset_[r]) {
-    in_rset_[r] = 1;
+  if (!rmark(reg)) {
+    rmark(reg) = 1;
     rset_.push_back(reg);
   }
   out = value;
@@ -131,40 +144,32 @@ bool Tl2Thread::tx_read(RegId reg, Value& out) {
 
 bool Tl2Thread::tx_write(RegId reg, Value value) {
   rec_.request(ActionKind::kWriteReq, reg, value);
-  const auto r = static_cast<std::size_t>(reg);
-  in_wset_[r] = 1;
+  wmark(reg) = 1;
   wset_.emplace_back(reg, value);
   rec_.response(ActionKind::kWriteRet, reg);
   return true;
 }
 
-void Tl2Thread::release_locks(std::size_t n) {
-  // Unlock the first n distinct registers we locked, in order.
-  std::size_t released = 0;
-  for (const auto& [reg, value] : wset_) {
-    (void)value;
-    const auto r = static_cast<std::size_t>(reg);
-    if (in_wset_[r] != 2) continue;  // not (or no longer) marked locked
-    if (released == n) break;
-    tm_.regs_[r]->lock.unlock();
-    in_wset_[r] = 1;
-    ++released;
+void Tl2Thread::release_stripes() {
+  // Restore the pre-lock word of every stripe this commit locked.
+  for (const LockedStripe& ls : locked_) {
+    tm_.stripes_.stripe(ls.stripe).restore(ls.prev);
   }
+  locked_.clear();
 }
 
 TxResult Tl2Thread::tx_commit() {
   rec_.request(ActionKind::kTxCommit);
 
-  // Collapse the write set to one (register, final value) entry in
+  // Collapse the write set to one (location, final value) entry in
   // first-write program order: write-back then flushes in the order the
   // program issued its (first) writes, which is the order the paper's
   // examples observe.
   std::vector<std::pair<RegId, Value>> writeback;
   writeback.reserve(wset_.size());
   for (const auto& [reg, value] : wset_) {
-    const auto r = static_cast<std::size_t>(reg);
-    if (in_wset_[r] != 1) continue;  // later occurrence of a duplicate
-    in_wset_[r] = 3;                 // collapsed
+    if (wmark(reg) != 1) continue;  // later occurrence of a duplicate
+    wmark(reg) = 3;                 // collapsed
     Value final_value = value;
     for (const auto& [reg2, value2] : wset_) {
       if (reg2 == reg) final_value = value2;
@@ -172,23 +177,32 @@ TxResult Tl2Thread::tx_commit() {
     writeback.emplace_back(reg, final_value);
   }
 
-  // Acquire locks for the write set (lines 31–39). in_wset_ doubles as the
-  // "locked" mark (2 = locked by this commit).
-  std::size_t locked_count = 0;
+  // Acquire the write-set stripes (lines 31–39), once per distinct stripe
+  // (several locations may hash together).
+  locked_.clear();
   bool lock_failed = false;
   for (const auto& [reg, value] : writeback) {
     (void)value;
-    const auto r = static_cast<std::size_t>(reg);
-    if (tm_.regs_[r]->lock.try_lock(token_)) {
-      in_wset_[r] = 2;
-      ++locked_count;
-    } else {
+    const std::size_t s =
+        tm_.stripes_.index_of(static_cast<std::uint64_t>(reg));
+    bool already = false;
+    for (const LockedStripe& ls : locked_) {
+      if (ls.stripe == s) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    auto& vlock = tm_.stripes_.stripe(s);
+    VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
+    if (!vlock.try_lock(expected, token_)) {
       lock_failed = true;
       break;
     }
+    locked_.push_back({s, expected});
   }
   if (lock_failed) {
-    release_locks(locked_count);
+    release_stripes();
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxLockFail);
     abort_in_flight();
@@ -200,18 +214,30 @@ TxResult Tl2Thread::tx_commit() {
   wver_ = tm_.clock_.advance();
   wver_minted_ = true;
 
-  // Validate the read set (lines 41–50). A lock held by this very commit
-  // counts as free (original TL2; see header comment).
+  // Validate the read set (lines 41–50). A stripe locked by this very
+  // commit counts as free (original TL2; see header comment), validated
+  // against the version its word carried when we locked it.
   for (RegId reg : rset_) {
-    const auto r = static_cast<std::size_t>(reg);
-    auto& cell = *tm_.regs_[r];
-    const rt::OwnerToken owner = cell.lock.owner();
-    const bool locked_by_other =
-        owner != rt::OwnedLock::kUnowned && owner != token_;
-    const std::uint64_t ts = cell.version.load(std::memory_order_acquire);
-    if ((locked_by_other || rver_ < ts) &&
-        !tm_.config().unsafe_skip_validation) {
-      release_locks(locked_count);
+    const std::size_t s =
+        tm_.stripes_.index_of(static_cast<std::uint64_t>(reg));
+    const VersionedLock::Word w =
+        tm_.stripes_.stripe(s).load(std::memory_order_acquire);
+    bool valid;
+    if (VersionedLock::is_locked(w)) {
+      valid = false;
+      if (VersionedLock::owner_of(w) == token_) {
+        for (const LockedStripe& ls : locked_) {
+          if (ls.stripe == s) {
+            valid = rver_ >= VersionedLock::version_of(ls.prev);
+            break;
+          }
+        }
+      }
+    } else {
+      valid = rver_ >= VersionedLock::version_of(w);
+    }
+    if (!valid && !tm_.config().unsafe_skip_validation) {
+      release_stripes();
       tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                       Counter::kTxReadValidationFail);
       abort_in_flight();
@@ -220,27 +246,28 @@ TxResult Tl2Thread::tx_commit() {
     }
   }
 
-  // Write back and release (lines 51–54), pausing before each store when
-  // the harness asks: this is exactly the "commit-pending with locks held"
-  // window in which the delayed-commit problem of Fig 1(a) lives.
+  // Write back (lines 51–54), pausing before each store when the harness
+  // asks: this is exactly the "commit-pending with locks held" window in
+  // which the delayed-commit problem of Fig 1(a) lives. Stripes are
+  // released with the new version after all values landed.
   for (const auto& [reg, value] : writeback) {
     for (std::uint32_t i = 0; i < tm_.config().commit_pause_spins; ++i) {
       rt::cpu_relax();
     }
-    const auto r = static_cast<std::size_t>(reg);
-    auto& cell = *tm_.regs_[r];
-    cell.value.store(value, std::memory_order_release);
+    heap_.cell(reg).store(value, std::memory_order_release);
     rec_.publish(reg, value);  // TXVIS point (Fig 10)
-    cell.version.store(wver_, std::memory_order_release);
-    cell.lock.unlock();
-    in_wset_[r] = 1;
+    wmark(reg) = 1;
   }
+  for (const LockedStripe& ls : locked_) {
+    tm_.stripes_.stripe(ls.stripe).unlock_with_version(wver_);
+  }
+  locked_.clear();
 
   const bool wrote = !wset_.empty();
-  for (RegId r : rset_) in_rset_[static_cast<std::size_t>(r)] = 0;
+  for (RegId r : rset_) rmark(r) = 0;
   for (const auto& [r, v] : wset_) {
     (void)v;
-    in_wset_[static_cast<std::size_t>(r)] = 0;
+    wmark(r) = 0;
   }
 
   rec_.response(ActionKind::kCommitted);
@@ -257,18 +284,18 @@ TxResult Tl2Thread::tx_commit() {
 
 Value Tl2Thread::nt_read(RegId reg) {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtRead);
-  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  auto& cell = heap_.cell(reg);
   return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
-    return cell.value.load(std::memory_order_seq_cst);
+    return cell.load(std::memory_order_seq_cst);
   });
 }
 
 void Tl2Thread::nt_write(RegId reg, Value value) {
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kNtWrite);
-  auto& cell = *tm_.regs_[static_cast<std::size_t>(reg)];
+  auto& cell = heap_.cell(reg);
   rec_.nt_access(/*is_write=*/true, reg, value, [&] {
     // Uninstrumented: no version bump, no lock — deliberately.
-    cell.value.store(value, std::memory_order_seq_cst);
+    cell.store(value, std::memory_order_seq_cst);
     return value;
   });
 }

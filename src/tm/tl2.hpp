@@ -1,25 +1,34 @@
-// TL2 [12] with transactional fences — the case-study TM of §7 (Fig 9).
+// TL2 [12] with transactional fences — the case-study TM of §7 (Fig 9),
+// on the striped metadata table of the dynamic heap.
 //
-// Per register x: value reg[x], version ver[x], write-lock lock[x]
-// (separate fields, faithful to Fig 9; fusing version and lock into one
-// word is the classic optimization this backend deliberately does not
-// take — tm/tl2_fused.hpp is the sibling that does, see DESIGN.md §6–7).
-// A global clock mints write timestamps. Per thread t an activity word
-// active[t] (via rt::ThreadRegistry) supports fences.
+// The seed implementation carried one (value, version, lock) triple per
+// register in a dense array sized at construction. With the transactional
+// heap (tm/heap.hpp) the location space is unbounded, so metadata moves to
+// a hashed striped version/lock table (runtime/stripe_table.hpp): per
+// *stripe* a fused `rt::VersionedLock` word, per location only the value
+// cell in the heap. Locations hashing to the same stripe conflict
+// spuriously — an over-approximation, hence still safe (DESIGN.md §9).
 //
 //   txbegin:  active[t] := true; rver := clock                  (lines 9–12)
-//   read:     write-set hit, else ver/value/lock/ver double     (lines 14–24)
-//             check against rver
+//   read:     write-set hit, else stripe-word / value /         (lines 14–24)
+//             stripe-word sandwich checked against rver
 //   write:    buffer into the write set                         (lines 26–28)
-//   txcommit: lock write set → wver := ++clock → validate read  (lines 30–55)
-//             set → write back (value, version, unlock) → commit
+//   txcommit: lock write-set stripes → wver := ++clock →        (lines 30–55)
+//             validate read set → write back → release stripes
+//             with wver
 //   fence:    via the shared quiescence subsystem (TmThread base; the
 //             default mode is the Fig 7-shaped two-pass scan)   (lines 30–36)
+//   txabort:  explicit user abort — drop the write set, record
+//             txabort/aborted (the Fig 4 interface)
 //
-// Divergence from Fig 9 (documented, tested): commit-time validation treats
-// a lock held by the *committing transaction itself* as free, as in the
-// original TL2 paper — the figure's `lock[x].test()` would spuriously abort
-// every transaction that both reads and writes the same register.
+// Divergences from Fig 9 (documented, tested): commit-time validation
+// treats a stripe locked by the *committing transaction itself* as free,
+// as in the original TL2 paper; and version+lock share one word per stripe
+// instead of separate `ver[x]`/`lock[x]` fields per register — the figure's
+// per-register metadata does not survive a dynamic location space. This
+// backend keeps the faithful per-access shape (simple sets, O(|wset|²)
+// commit-time collapse, unconditional clock advance); tm/tl2_fused.hpp is
+// the sibling with the optimized fast path (DESIGN.md §6–7).
 //
 // Non-transactional accesses are uninstrumented single atomic operations:
 // they touch neither versions nor locks. This is exactly what makes the
@@ -30,9 +39,9 @@
 #include <memory>
 #include <vector>
 
-#include "runtime/cacheline.hpp"
 #include "runtime/global_clock.hpp"
 #include "runtime/spinlock.hpp"
+#include "runtime/stripe_table.hpp"
 #include "runtime/versioned_lock.hpp"
 #include "tm/tm.hpp"
 #include "tm/txn_stamp.hpp"
@@ -50,16 +59,37 @@ class Tl2Thread final : public TmThread {
   bool tx_read(RegId reg, Value& out) override;
   bool tx_write(RegId reg, Value value) override;
   TxResult tx_commit() override;
+  void tx_abort() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
   // fence()/fence_async()/... come from the TmThread base: all fencing is
   // routed through the shared quiescence subsystem (DESIGN.md §5).
 
  private:
-  void abort_in_flight();            ///< record aborted + clear active flag
-  void release_locks(std::size_t n); ///< unlock the first n locked entries
+  void abort_in_flight();   ///< record aborted + clear active flag
+  void release_stripes();   ///< restore every locked stripe's pre-lock word
+
+  /// Per-location membership bytes, grown on demand (the location space
+  /// is unbounded).
+  std::uint8_t& wmark(RegId reg) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r >= in_wset_.size()) in_wset_.resize(r + 1, 0);
+    return in_wset_[r];
+  }
+  /// Read-only membership probe: out-of-range means "not in the set",
+  /// with no grow — keeps the read fast path allocation-free.
+  bool in_wset(RegId reg) const noexcept {
+    const auto r = static_cast<std::size_t>(reg);
+    return r < in_wset_.size() && in_wset_[r] != 0;
+  }
+  std::uint8_t& rmark(RegId reg) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r >= in_rset_.size()) in_rset_.resize(r + 1, 0);
+    return in_rset_[r];
+  }
 
   Tl2& tm_;
+  TxHeap& heap_;
   rt::OwnerToken token_;
 
   // Transaction-local state (Fig 9 lines 4–7).
@@ -70,8 +100,15 @@ class Tl2Thread final : public TmThread {
   std::uint64_t reset_epoch_seen_ = 0;
   std::vector<RegId> rset_;
   std::vector<std::pair<RegId, Value>> wset_;  ///< insertion order; last wins
-  std::vector<std::uint8_t> in_wset_;          ///< per-register membership
+  std::vector<std::uint8_t> in_wset_;          ///< per-location membership
   std::vector<std::uint8_t> in_rset_;
+  /// Stripes locked by the in-flight commit, with their pre-lock words
+  /// (restored on abort; the self-lock validation reads the old version).
+  struct LockedStripe {
+    std::size_t stripe;
+    rt::VersionedLock::Word prev;
+  };
+  std::vector<LockedStripe> locked_;
 };
 
 class Tl2 final : public TransactionalMemory {
@@ -87,24 +124,14 @@ class Tl2 final : public TransactionalMemory {
   /// see tm/txn_stamp.hpp (the struct is shared with Tl2Fused).
   using TxnStamp = tm::TxnStamp;
   std::vector<TxnStamp> timestamp_log() const;
-  Value peek(RegId reg) const noexcept override {
-    return regs_[static_cast<std::size_t>(reg)]->value.load(
-        std::memory_order_seq_cst);
-  }
 
  private:
   friend class Tl2Thread;
 
-  struct Register {
-    std::atomic<Value> value{hist::kVInit};
-    std::atomic<std::uint64_t> version{0};
-    rt::OwnedLock lock;
-  };
-
   void log_stamp(const TxnStamp& stamp);
 
   rt::GlobalClock clock_;
-  std::vector<rt::CacheAligned<Register>> regs_;
+  rt::StripeTable stripes_;
   /// Bumped by reset(); sessions re-sync their txn ordinals at tx_begin so
   /// stamp ordinals restart from 0 after a reset.
   std::atomic<std::uint64_t> reset_epoch_{0};

@@ -12,7 +12,7 @@ using rt::Counter;
 using rt::VersionedLock;
 
 Tl2Fused::Tl2Fused(TmConfig config)
-    : TransactionalMemory(config), regs_(config.num_registers) {}
+    : TransactionalMemory(config), stripes_(config.lock_stripes) {}
 
 std::unique_ptr<TmThread> Tl2Fused::make_thread(ThreadId thread,
                                                 hist::Recorder* recorder) {
@@ -26,14 +26,13 @@ void Tl2Fused::reset() {
     for (auto* buf : stamp_buffers_) buf->clear();
   }
   clock_.reset();
-  stats_.reset();
+  reset_base();  // stats + heap values/allocator
   reset_epoch_.fetch_add(1, std::memory_order_relaxed);
-  for (auto& reg : regs_) {
-    reg->value.store(hist::kVInit, std::memory_order_relaxed);
-    assert(!VersionedLock::is_locked(reg->vlock.load()) &&
-           "reset with a register lock held");
-    reg->vlock.reset();
+  for (std::size_t s = 0; s < stripes_.stripe_count(); ++s) {
+    assert(!VersionedLock::is_locked(stripes_.stripe(s).load()) &&
+           "reset with a stripe lock held");
   }
+  stripes_.reset();
 }
 
 void Tl2Fused::attach_stamp_buffer(std::vector<TxnStamp>* buf) {
@@ -61,17 +60,20 @@ Tl2FusedThread::Tl2FusedThread(Tl2Fused& tm, ThreadId thread,
     : TmThread(tm, thread, recorder),
       tm_(tm),
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
-      regs_(tm.regs_.data()),
+      cells_(tm.heap().cells()),
+      stripe_base_(tm.stripes_.data()),
+      stripe_mask_(tm.stripes_.mask()),
       activity_(&registry_.activity_word(slot_.slot())),
       stat_slot_(static_cast<std::size_t>(slot_.slot())),
       unsafe_skip_validation_(tm.config().unsafe_skip_validation),
       collect_timestamps_(tm.config().collect_timestamps),
       commit_pause_spins_(tm.config().commit_pause_spins),
       reset_epoch_seen_(tm.reset_epoch_.load(std::memory_order_relaxed)),
-      rset_tag_(tm.config().num_registers, 0),
-      wslot_(tm.config().num_registers) {
+      rset_tag_(tm.stripes_.stripe_count(), 0),
+      wslot_(tm.stripes_.stripe_count()) {
   rset_.reserve(64);
   wset_.reserve(64);
+  locked_.reserve(64);
   tm_.attach_stamp_buffer(&stamps_);
 }
 
@@ -93,7 +95,7 @@ bool Tl2FusedThread::tx_begin() {
   }
   rver_ = tm_.clock_.sample();                // rver[T] := clock
   wver_minted_ = false;
-  // O(1) read/write-set clear: a new epoch tag invalidates every per-register
+  // O(1) read/write-set clear: a new epoch tag invalidates every per-location
   // membership slot at once. On the (once per 2^32 transactions) wrap-around
   // the arrays are hard-cleared so stale tags cannot alias.
   if (++txn_tag_ == 0) {
@@ -124,34 +126,53 @@ void Tl2FusedThread::abort_in_flight() {
   assert((act_prev & 1) == 1 && "abort outside a transaction");
 }
 
+void Tl2FusedThread::tx_abort() {
+  // No stripe is ever locked outside tx_commit; the epoch-tagged sets are
+  // invalidated by the next tx_begin's tag bump — nothing else to undo.
+  rec_.request(ActionKind::kTxAbort);
+  abort_in_flight();
+}
+
 bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
   rec_.request(ActionKind::kReadReq, reg);
   const auto r = static_cast<std::size_t>(reg);
+  const std::size_t s = r & stripe_mask_;
 
   // Read-after-write fast path: the bloom filter screens the common miss
   // with one register-resident test; the tag array is touched only on a
-  // filter hit.
-  if ((wfilter_ & bloom_bit(r)) != 0) {
-    const WriteSlot slot = wslot_[r];
+  // filter hit. The slot names the last write to this *stripe*; on the
+  // (rare) intra-transaction stripe collision fall back to a wset scan.
+  if ((wfilter_ & bloom_bit(s)) != 0) {
+    const WriteSlot slot = wslot_[s];
     if (slot.tag == txn_tag_) {
-      out = wset_[slot.idx].value;
-      rec_.response(ActionKind::kReadRet, reg, out);
-      return true;
+      if (wset_[slot.idx].reg == reg) {
+        out = wset_[slot.idx].value;
+        rec_.response(ActionKind::kReadRet, reg, out);
+        return true;
+      }
+      for (auto it = wset_.rbegin(); it != wset_.rend(); ++it) {
+        if (it->reg == reg) {
+          out = it->value;
+          rec_.response(ActionKind::kReadRet, reg, out);
+          return true;
+        }
+      }
     }
   }
 
   // Word / value / word: the value load is sandwiched between two acquire
-  // loads of the fused word, which must agree and be unlocked with version
-  // ≤ rver. Both checks are required: a lone post-value load would accept a
-  // stale value when a racing commit's wver is ≤ rver (reader began after
-  // the stamp was minted) and the unlock lands between the two loads. An
-  // unchanged unlocked word proves no writer locked the register across
-  // the value load — a writer must CAS the word locked before storing the
-  // value — so the value belongs to version_of(w1) exactly.
-  auto& cell = *regs_[r];
-  const VersionedLock::Word w1 = cell.vlock.load(std::memory_order_acquire);
-  const Value value = cell.value.load(std::memory_order_acquire);
-  const VersionedLock::Word w2 = cell.vlock.load(std::memory_order_acquire);
+  // loads of the location's stripe word, which must agree and be unlocked
+  // with version ≤ rver. Both checks are required: a lone post-value load
+  // would accept a stale value when a racing commit's wver is ≤ rver
+  // (reader began after the stamp was minted) and the unlock lands between
+  // the two loads. An unchanged unlocked word proves no writer locked the
+  // stripe across the value load — a writer must CAS the word locked
+  // before storing any value the stripe guards — so the value belongs to
+  // a version ≤ version_of(w1) exactly.
+  auto& vlock = *stripe_base_[s];
+  const VersionedLock::Word w1 = vlock.load(std::memory_order_acquire);
+  const Value value = cells_[r].load(std::memory_order_acquire);
+  const VersionedLock::Word w2 = vlock.load(std::memory_order_acquire);
   const bool invalid = VersionedLock::is_locked(w1) || w1 != w2 ||
                        rver_ < VersionedLock::version_of(w1);
   if (invalid && !unsafe_skip_validation_) {
@@ -159,9 +180,9 @@ bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
     abort_in_flight();
     return false;
   }
-  if (rset_tag_[r] != txn_tag_) {
-    rset_tag_[r] = txn_tag_;
-    rset_.push_back(reg);
+  if (rset_tag_[s] != txn_tag_) {
+    rset_tag_[s] = txn_tag_;
+    rset_.push_back(static_cast<std::uint32_t>(s));
   }
   out = value;
   rec_.response(ActionKind::kReadRet, reg, value);
@@ -171,25 +192,29 @@ bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
 bool Tl2FusedThread::tx_write(RegId reg, Value value) {
   rec_.request(ActionKind::kWriteReq, reg, value);
   const auto r = static_cast<std::size_t>(reg);
-  const std::uint64_t bit = bloom_bit(r);
-  if ((wfilter_ & bit) != 0 && wslot_[r].tag == txn_tag_) {
-    wset_[wslot_[r].idx].value = value;  // duplicate write: update in place
+  const std::size_t s = r & stripe_mask_;
+  const std::uint64_t bit = bloom_bit(s);
+  if ((wfilter_ & bit) != 0 && wslot_[s].tag == txn_tag_ &&
+      wset_[wslot_[s].idx].reg == reg) {
+    wset_[wslot_[s].idx].value = value;  // duplicate write: update in place
   } else {
-    wslot_[r] = {txn_tag_, static_cast<std::uint32_t>(wset_.size())};
-    wset_.push_back({reg, value, 0});
+    // First write to the location (or a stripe-colliding one): append.
+    // Write-back flushes in insertion order, so the last value per
+    // location wins even when a collision shadowed the slot.
+    wslot_[s] = {txn_tag_, static_cast<std::uint32_t>(wset_.size())};
+    wset_.push_back({reg, value});
     wfilter_ |= bit;
   }
   rec_.response(ActionKind::kWriteRet, reg);
   return true;
 }
 
-void Tl2FusedThread::release_locks(std::size_t n) {
-  // Restore the pre-lock words of the first n locked entries (wset_ holds
-  // one entry per distinct register; each locked entry cached its word).
-  for (std::size_t i = 0; i < n; ++i) {
-    regs_[static_cast<std::size_t>(wset_[i].reg)]->vlock.restore(
-        wset_[i].prev);
+void Tl2FusedThread::release_stripes() {
+  // Restore the pre-lock words of the stripes this commit locked.
+  for (const LockedStripe& ls : locked_) {
+    stripe_base_[ls.stripe]->restore(ls.prev);
   }
+  locked_.clear();
 }
 
 TxResult Tl2FusedThread::tx_commit() {
@@ -214,22 +239,30 @@ TxResult Tl2FusedThread::tx_commit() {
     return TxResult::kCommitted;
   }
 
-  // Acquire the write locks: one CAS per distinct register, remembering the
-  // pre-lock word for abort-time restore and self-lock validation.
-  std::size_t locked_count = 0;
+  // Acquire the write-set stripes: one CAS per distinct stripe. A stripe
+  // revisited by this commit (duplicate location after a collision, or
+  // two locations sharing a stripe) shows up as already locked *by us* —
+  // cheaper than a dedup pass over the set. The pre-lock word is kept for
+  // abort-time restore and self-lock validation.
+  locked_.clear();
   bool lock_failed = false;
-  for (auto& entry : wset_) {
-    auto& cell = *regs_[static_cast<std::size_t>(entry.reg)];
-    VersionedLock::Word expected = cell.vlock.load(std::memory_order_relaxed);
-    if (!cell.vlock.try_lock(expected, token_)) {
+  for (const WriteEntry& entry : wset_) {
+    const std::size_t s = static_cast<std::size_t>(entry.reg) & stripe_mask_;
+    auto& vlock = *stripe_base_[s];
+    VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
+    if (VersionedLock::is_locked(expected)) {
+      if (VersionedLock::owner_of(expected) == token_) continue;  // ours
       lock_failed = true;
       break;
     }
-    entry.prev = expected;
-    ++locked_count;
+    if (!vlock.try_lock(expected, token_)) {
+      lock_failed = true;
+      break;
+    }
+    locked_.push_back({s, expected});
   }
   if (lock_failed) {
-    release_locks(locked_count);
+    release_stripes();
     tm_.stats().add(stat_slot_, Counter::kTxLockFail);
     abort_in_flight();
     auto_fence(false);
@@ -241,22 +274,28 @@ TxResult Tl2FusedThread::tx_commit() {
   wver_ = tm_.clock_.advance_if_stale();
   wver_minted_ = true;
 
-  // Validate the read set: one acquire load per entry. A lock held by this
-  // very commit counts as free (original TL2), validated against the
-  // version the word carried when we locked it.
-  for (RegId reg : rset_) {
-    const auto r = static_cast<std::size_t>(reg);
+  // Validate the read set: one acquire load per stripe. A stripe locked
+  // by this very commit counts as free (original TL2), validated against
+  // the version the word carried when we locked it.
+  for (const std::uint32_t s : rset_) {
     const VersionedLock::Word w =
-        regs_[r]->vlock.load(std::memory_order_acquire);
+        stripe_base_[s]->load(std::memory_order_acquire);
     bool valid;
     if (VersionedLock::is_locked(w)) {
-      valid = VersionedLock::owner_of(w) == token_ &&
-              rver_ >= VersionedLock::version_of(wset_[wslot_[r].idx].prev);
+      valid = false;
+      if (VersionedLock::owner_of(w) == token_) {
+        for (const LockedStripe& ls : locked_) {
+          if (ls.stripe == s) {
+            valid = rver_ >= VersionedLock::version_of(ls.prev);
+            break;
+          }
+        }
+      }
     } else {
       valid = rver_ >= VersionedLock::version_of(w);
     }
     if (!valid && !unsafe_skip_validation_) {
-      release_locks(locked_count);
+      release_stripes();
       tm_.stats().add(stat_slot_, Counter::kTxReadValidationFail);
       abort_in_flight();
       auto_fence(false);
@@ -264,19 +303,22 @@ TxResult Tl2FusedThread::tx_commit() {
     }
   }
 
-  // Write back: value store plus a single release store that publishes the
-  // new version and releases the lock at once. The optional pause widens
-  // the delayed-commit window for the Fig 1(a) litmus harness, exactly as
-  // in the faithful backend.
-  for (const auto& entry : wset_) {
+  // Write back: value stores, then one release store per stripe that
+  // publishes the new version and releases the lock at once. The optional
+  // pause widens the delayed-commit window for the Fig 1(a) litmus
+  // harness, exactly as in the faithful backend.
+  for (const WriteEntry& entry : wset_) {
     for (std::uint32_t i = 0; i < commit_pause_spins_; ++i) {
       rt::cpu_relax();
     }
-    auto& cell = *regs_[static_cast<std::size_t>(entry.reg)];
-    cell.value.store(entry.value, std::memory_order_release);
+    cells_[static_cast<std::size_t>(entry.reg)].store(
+        entry.value, std::memory_order_release);
     rec_.publish(entry.reg, entry.value);  // TXVIS point (Fig 10)
-    cell.vlock.unlock_with_version(wver_);
   }
+  for (const LockedStripe& ls : locked_) {
+    stripe_base_[ls.stripe]->unlock_with_version(wver_);
+  }
+  locked_.clear();
 
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(stat_slot_, Counter::kTxCommit);
@@ -295,18 +337,18 @@ TxResult Tl2FusedThread::tx_commit() {
 
 Value Tl2FusedThread::nt_read(RegId reg) {
   tm_.stats().add(stat_slot_, Counter::kNtRead);
-  auto& cell = *regs_[static_cast<std::size_t>(reg)];
+  auto& cell = cells_[static_cast<std::size_t>(reg)];
   return rec_.nt_access(/*is_write=*/false, reg, 0, [&] {
-    return cell.value.load(std::memory_order_seq_cst);
+    return cell.load(std::memory_order_seq_cst);
   });
 }
 
 void Tl2FusedThread::nt_write(RegId reg, Value value) {
   tm_.stats().add(stat_slot_, Counter::kNtWrite);
-  auto& cell = *regs_[static_cast<std::size_t>(reg)];
+  auto& cell = cells_[static_cast<std::size_t>(reg)];
   rec_.nt_access(/*is_write=*/true, reg, value, [&] {
     // Uninstrumented: no version bump, no lock — deliberately.
-    cell.value.store(value, std::memory_order_seq_cst);
+    cell.store(value, std::memory_order_seq_cst);
     return value;
   });
 }

@@ -1,25 +1,29 @@
 // Tl2Fused — TL2 with transactional fences on the standard fast path.
 //
-// Protocol-identical to the faithful Fig 9 backend (`Tl2`): the same
-// rver/wver discipline, commit-time read-set validation, activity words and
-// two-pass fences, and the same uninstrumented non-transactional accesses.
-// What changes is only the representation of the metadata the protocol
-// manipulates (DESIGN.md §7):
+// Protocol-identical to the Fig 9 backend (`Tl2`): the same rver/wver
+// discipline, commit-time read-set validation, activity words and fences,
+// the same striped version/lock table over the dynamic heap, and the same
+// uninstrumented non-transactional accesses. What changes is only the
+// fast-path representation of the transaction-local bookkeeping
+// (DESIGN.md §7):
 //
-//  * version and write-lock are fused into one `rt::VersionedLock` word per
-//    register, co-located with the value on a padded cache line — a read
-//    validates with two acquire loads of that word (word/value/word)
-//    instead of the faithful backend's three separate metadata loads in
-//    the ver/value/lock/ver quadruple-check, and commit write-back
-//    publishes version-and-unlock in one release store;
-//  * read/write-set membership is epoch-tagged: a per-register uint32_t
-//    transaction-ordinal tag replaces the `in_rset_`/`in_wset_` byte arrays,
-//    so per-transaction clearing is a single counter bump instead of an
-//    O(|rset|+|wset|) sweep, and a 64-bit bloom filter screens the
-//    read-after-write lookup;
+//  * a read validates with two acquire loads of the location's stripe word
+//    sandwiching the value load (word/value/word) — one fused word instead
+//    of the faithful backend's separate checks, and commit write-back
+//    publishes version-and-unlock in one release store per stripe;
+//  * read/write-set membership is epoch-tagged *per stripe* (the orec-set
+//    design of production TL2s): a fixed stripe_count-sized uint32_t
+//    transaction-ordinal tag array replaces the per-location membership
+//    byte arrays, so per-transaction clearing is a single counter bump,
+//    the arrays never grow however large the heap gets, and a 64-bit
+//    bloom filter screens the read-after-write lookup. Tracking reads per
+//    stripe is sound because commit-time validation is per stripe too —
+//    the stripe word over-approximates every member location's version;
 //  * write-set entries are deduplicated in place at tx_write time (last
-//    value wins), removing the faithful backend's O(|wset|²) commit-time
-//    collapse pass;
+//    value wins); a stripe-colliding second location simply appends (the
+//    write-back applies in insertion order, so the last value per
+//    location still wins), removing the faithful backend's O(|wset|²)
+//    commit-time collapse pass;
 //  * commit stamps come from `GlobalClock::advance_if_stale()` (GV4/GV5
 //    style: one CAS, share the observed stamp on failure) and read-only
 //    commits skip the clock entirely;
@@ -31,12 +35,13 @@
 // opacity, litmus and INV.5 suites re-prove it on this implementation.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
-#include "runtime/cacheline.hpp"
 #include "runtime/global_clock.hpp"
 #include "runtime/spinlock.hpp"
+#include "runtime/stripe_table.hpp"
 #include "runtime/versioned_lock.hpp"
 #include "tm/tm.hpp"
 #include "tm/txn_stamp.hpp"
@@ -44,15 +49,6 @@
 namespace privstm::tm {
 
 class Tl2Fused;
-
-namespace detail {
-/// Value and fused version/lock word share one padded cache line, so the
-/// whole read-path check touches a single line per register.
-struct FusedRegister {
-  std::atomic<Value> value{hist::kVInit};
-  rt::VersionedLock vlock;
-};
-}  // namespace detail
 
 class Tl2FusedThread final : public TmThread {
  public:
@@ -63,26 +59,30 @@ class Tl2FusedThread final : public TmThread {
   bool tx_read(RegId reg, Value& out) override;
   bool tx_write(RegId reg, Value value) override;
   TxResult tx_commit() override;
+  void tx_abort() override;
   Value nt_read(RegId reg) override;
   void nt_write(RegId reg, Value value) override;
   // fence()/fence_async()/... come from the TmThread base: all fencing is
   // routed through the shared quiescence subsystem (DESIGN.md §5).
 
  private:
-  void abort_in_flight();             ///< record aborted + clear active flag
-  void release_locks(std::size_t n);  ///< restore the first n locked words
+  void abort_in_flight();   ///< record aborted + clear active flag
+  void release_stripes();   ///< restore every locked stripe's pre-lock word
 
-  static std::uint64_t bloom_bit(std::size_t r) noexcept {
-    return std::uint64_t{1} << ((r * 0x9E3779B97F4A7C15ull) >> 58);
+  static std::uint64_t bloom_bit(std::size_t s) noexcept {
+    return std::uint64_t{1} << ((s * 0x9E3779B97F4A7C15ull) >> 58);
   }
 
   Tl2Fused& tm_;
   rt::OwnerToken token_;
-  // Hot-path caches: config is immutable after TM construction and the
-  // register array never reallocates, so the per-access loops can skip the
-  // tm_ indirections (interleaved atomic stores keep the compiler from
-  // hoisting those loads itself).
-  rt::CacheAligned<detail::FusedRegister>* const regs_;
+  // Hot-path caches: config is immutable after TM construction and neither
+  // the heap arena nor the stripe table ever moves, so the per-access
+  // loops use const-member base pointers the compiler can keep in
+  // registers (interleaved atomic stores would otherwise force reloads of
+  // the indirections through tm_).
+  std::atomic<Value>* const cells_;             ///< heap arena base
+  rt::CacheAligned<rt::VersionedLock>* const stripe_base_;
+  const std::size_t stripe_mask_;
   std::atomic<std::uint64_t>* const activity_;  ///< our registry slot's word
   const std::size_t stat_slot_;
   const bool unsafe_skip_validation_;
@@ -96,24 +96,28 @@ class Tl2FusedThread final : public TmThread {
   std::uint64_t txn_ordinal_ = 0;   ///< count of finished transactions
   std::uint64_t reset_epoch_seen_ = 0;
   std::uint32_t txn_tag_ = 0;       ///< epoch tag; bumping it clears both sets
-  std::uint64_t wfilter_ = 0;       ///< bloom filter over write-set registers
+  std::uint64_t wfilter_ = 0;       ///< bloom filter over write-set stripes
   /// Write-set membership slot: epoch tag plus the wset_ index it points
   /// at while the tag is current — one 8-byte load covers both.
   struct WriteSlot {
     std::uint32_t tag = 0;
     std::uint32_t idx = 0;
   };
-  /// Write-set entry; `prev` caches the pre-lock word during commit (for
-  /// abort-time restore and self-lock validation).
+  /// Write-set entry; insertion order, last value per location wins.
   struct WriteEntry {
     RegId reg;
     Value value;
-    rt::VersionedLock::Word prev = 0;
   };
-  std::vector<RegId> rset_;
-  std::vector<WriteEntry> wset_;       ///< deduped; last value wins
-  std::vector<std::uint32_t> rset_tag_;  ///< per-register epoch tags
-  std::vector<WriteSlot> wslot_;         ///< per-register wset slots
+  /// Stripe locked by the in-flight commit plus its pre-lock word.
+  struct LockedStripe {
+    std::size_t stripe;
+    rt::VersionedLock::Word prev;
+  };
+  std::vector<std::uint32_t> rset_;      ///< read-set *stripe* indices
+  std::vector<WriteEntry> wset_;
+  std::vector<LockedStripe> locked_;
+  std::vector<std::uint32_t> rset_tag_;  ///< per-stripe epoch tags
+  std::vector<WriteSlot> wslot_;         ///< per-stripe wset slots
   std::vector<TxnStamp> stamps_;         ///< per-thread stamp buffer
 };
 
@@ -131,11 +135,6 @@ class Tl2Fused final : public TransactionalMemory {
   /// after joining their workers).
   std::vector<TxnStamp> timestamp_log() const;
 
-  Value peek(RegId reg) const noexcept override {
-    return regs_[static_cast<std::size_t>(reg)]->value.load(
-        std::memory_order_seq_cst);
-  }
-
  private:
   friend class Tl2FusedThread;
 
@@ -143,7 +142,7 @@ class Tl2Fused final : public TransactionalMemory {
   void detach_stamp_buffer(std::vector<TxnStamp>* buf);
 
   rt::GlobalClock clock_;
-  std::vector<rt::CacheAligned<detail::FusedRegister>> regs_;
+  rt::StripeTable stripes_;
   std::atomic<std::uint64_t> reset_epoch_{0};
   mutable rt::SpinLock stamp_lock_;  ///< buffer registry only, never per-txn
   std::vector<std::vector<TxnStamp>*> stamp_buffers_;

@@ -21,14 +21,17 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "history/action.hpp"
 #include "history/recorder.hpp"
 #include "runtime/quiescence.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_registry.hpp"
+#include "tm/heap.hpp"
 
 namespace privstm::tm {
 
@@ -44,7 +47,14 @@ using rt::fence_policy_name;
 enum class TxResult : std::uint8_t { kCommitted, kAborted };
 
 struct TmConfig {
+  /// Statically allocated location prefix (the legacy register file).
+  /// Locations [0, num_registers) exist from construction and are never
+  /// recycled; tm_alloc() grows the heap beyond them without bound.
   std::size_t num_registers = 64;
+  /// Stripe count of the hashed version/lock table the TL2-family backends
+  /// validate against (rounded up to a power of two). More stripes = fewer
+  /// false conflicts; the table is fixed-size however large the heap grows.
+  std::size_t lock_stripes = 1024;
   FencePolicy fence_policy = FencePolicy::kSelective;
   rt::FenceMode fence_mode = rt::FenceMode::kEpochCounter;
   /// Busy-wait spins injected between commit-time validation and write-back
@@ -128,12 +138,12 @@ class FenceSession {
   rt::FenceTicket fence_async() {
     if (policy_ == FencePolicy::kNone) return rt::kNullFenceTicket;
     const std::size_t k = free_slot();
-    assert(k < kMaxOutstandingFences &&
-           "too many outstanding async fences for this session");
     if (k >= kMaxOutstandingFences) {
-      // Release-build degradation when the caller overruns the ticket
-      // window: fence synchronously and hand back the already-complete
-      // null ticket — safe (the quiescence happened) rather than fast.
+      // Overrunning the ticket window degrades to a synchronous fence and
+      // hands back the already-complete null ticket — safe (the
+      // quiescence happened) rather than fast. The degradation is counted
+      // so callers can see the window is too small for their pipeline.
+      qm_.count(stat_slot_, rt::Counter::kFenceAsyncOverflow);
       do_fence();
       return rt::kNullFenceTicket;
     }
@@ -234,6 +244,14 @@ class TmThread {
   /// Attempt to commit. Either way the transaction is finished.
   virtual TxResult tx_commit() = 0;
 
+  /// Explicit user abort (the Fig 4 interface allows it; until now only
+  /// internal aborts existed). Must be called inside a transaction; the
+  /// transaction's writes are discarded and it is finished. Recorded as a
+  /// txabort request answered by aborted. No auto-fence follows — like
+  /// the read-validation abort path, an aborted transaction published
+  /// nothing a privatizer could race with through this thread.
+  virtual void tx_abort() = 0;
+
   /// Uninstrumented non-transactional accesses (must be outside txns).
   virtual Value nt_read(RegId reg) = 0;
   virtual void nt_write(RegId reg, Value value) = 0;
@@ -282,6 +300,13 @@ class TmThread {
 };
 
 /// A TM instance: shared state plus a session factory.
+///
+/// All backends store committed values in one shared `TxHeap` — a dynamic
+/// location space with tm_alloc()/tm_free() — and keep only their
+/// *metadata* representation private (stripe table, sequence lock, global
+/// mutex). That is what makes the heap a TM-interface feature rather than
+/// a per-backend one: handles, histories and checkers see plain location
+/// ids whatever backend runs them.
 class TransactionalMemory {
  public:
   virtual ~TransactionalMemory() = default;
@@ -293,17 +318,35 @@ class TransactionalMemory {
 
   virtual const char* name() const noexcept = 0;
 
-  /// Restore every register to vinit and reset TM metadata. All sessions
-  /// must be destroyed / quiescent.
+  /// Restore every location to vinit and reset TM metadata (including the
+  /// heap allocator). All sessions must be destroyed / quiescent, and
+  /// outstanding TxHandles are invalidated.
   virtual void reset() = 0;
 
-  /// Read a register's committed value outside any execution — a harness
+  /// Allocate `n` contiguous heap locations (initially vinit). Thread-safe;
+  /// callable from any thread, inside or outside transactions.
+  TxHandle tm_alloc(std::size_t n) { return heap_.alloc(n); }
+
+  /// Privatization-safe deferred free: the block is recycled only after a
+  /// quiescence grace period — every transaction active at this call has
+  /// finished — so a delayed commit can never write into reused memory.
+  /// The caller must have unlinked the block (no new transactional
+  /// accesses can reach it); stale use of the handle after free is a
+  /// use-after-free bug the DRF checker flags (see the reclamation litmus
+  /// in backend_conformance_test).
+  void tm_free(TxHandle handle) { heap_.free(handle); }
+
+  /// Read a location's committed value outside any execution — a harness
   /// utility for evaluating litmus postconditions after threads joined.
-  /// Not part of the paper's interface.
-  virtual Value peek(RegId reg) const noexcept = 0;
+  /// Not part of the paper's interface. vinit for unmaterialized ids.
+  Value peek(RegId reg) const noexcept { return heap_.peek(reg); }
 
   const TmConfig& config() const noexcept { return config_; }
   rt::StatsDomain& stats() noexcept { return stats_; }
+
+  /// The shared value store + allocator (all backends).
+  TxHeap& heap() noexcept { return heap_; }
+  const TxHeap& heap() const noexcept { return heap_; }
 
   /// The shared quiescence subsystem: thread registry, fence dispatch and
   /// fence statistics for this instance.
@@ -312,10 +355,19 @@ class TransactionalMemory {
  protected:
   explicit TransactionalMemory(TmConfig config)
       : config_(config),
-        quiescence_(stats_, config_.fence_policy, config_.fence_mode) {}
+        quiescence_(stats_, config_.fence_policy, config_.fence_mode),
+        heap_(config_.num_registers, quiescence_) {}
+
+  /// Shared part of reset(): stats and the heap (values + allocator).
+  void reset_base() {
+    stats_.reset();
+    heap_.reset();
+  }
+
   TmConfig config_;
   rt::StatsDomain stats_;
   rt::QuiescenceManager quiescence_;
+  TxHeap heap_;
 };
 
 inline TmThread::TmThread(TransactionalMemory& tm, ThreadId thread,
@@ -375,6 +427,104 @@ std::size_t run_tx_retry(TmThread& thread, F&& body) {
   std::size_t attempts = 1;
   while (run_tx(thread, body) != TxResult::kCommitted) ++attempts;
   return attempts;
+}
+
+// ---------------------------------------------------------------------------
+// Typed accessors over heap locations.
+// ---------------------------------------------------------------------------
+
+/// Encoding between a user type and the TM's raw 64-bit Value word: raw
+/// bytes, so any trivially copyable T of at most 8 bytes round-trips
+/// exactly (signed integers, enums, bool, float/double).
+template <typename T>
+struct TxCodec {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Value),
+                "TxVar<T> requires a trivially copyable T of <= 8 bytes");
+
+  static Value encode(T v) noexcept {
+    Value raw = 0;
+    std::memcpy(&raw, &v, sizeof(T));
+    return raw;
+  }
+  static T decode(Value raw) noexcept {
+    T v{};
+    std::memcpy(&v, &raw, sizeof(T));
+    return v;
+  }
+};
+
+/// A typed view of one heap location: the end-user face of tm_alloc().
+/// Plain data (location id + codec); copying a TxVar aliases the location.
+/// Transactional accesses go through a TxScope; nt_* are the uninstrumented
+/// accesses of the privatization idiom and carry the same DRF obligations
+/// as raw nt_read/nt_write.
+template <typename T = Value>
+class TxVar {
+ public:
+  TxVar() = default;
+  explicit TxVar(RegId loc) noexcept : loc_(loc) {}
+  /// Element `index` of an allocated block.
+  explicit TxVar(TxHandle handle, std::size_t index = 0) noexcept
+      : loc_(handle.loc(index)) {}
+
+  RegId loc() const noexcept { return loc_; }
+  bool valid() const noexcept { return loc_ != hist::kNoReg; }
+
+  T get(TxScope& tx) const noexcept { return TxCodec<T>::decode(tx.read(loc_)); }
+  void set(TxScope& tx, T v) const noexcept {
+    tx.write(loc_, TxCodec<T>::encode(v));
+  }
+
+  /// Uninstrumented accesses — only DRF after privatization (fence!).
+  T nt_get(TmThread& session) const {
+    return TxCodec<T>::decode(session.nt_read(loc_));
+  }
+  void nt_set(TmThread& session, T v) const {
+    session.nt_write(loc_, TxCodec<T>::encode(v));
+  }
+
+ private:
+  RegId loc_ = hist::kNoReg;
+};
+
+/// A typed view of a whole allocated block: bounds-checked (by assert)
+/// indexing into the handle's contiguous locations.
+template <typename T = Value>
+class TxArray {
+ public:
+  TxArray() = default;
+  explicit TxArray(TxHandle handle) noexcept : handle_(handle) {}
+
+  std::size_t size() const noexcept { return handle_.size; }
+  TxHandle handle() const noexcept { return handle_; }
+  bool valid() const noexcept { return handle_.valid(); }
+
+  TxVar<T> operator[](std::size_t i) const noexcept {
+    return TxVar<T>(handle_.loc(i));
+  }
+  RegId loc(std::size_t i) const noexcept { return handle_.loc(i); }
+
+  T get(TxScope& tx, std::size_t i) const noexcept {
+    return (*this)[i].get(tx);
+  }
+  void set(TxScope& tx, std::size_t i, T v) const noexcept {
+    (*this)[i].set(tx, v);
+  }
+  T nt_get(TmThread& session, std::size_t i) const {
+    return (*this)[i].nt_get(session);
+  }
+  void nt_set(TmThread& session, std::size_t i, T v) const {
+    (*this)[i].nt_set(session, v);
+  }
+
+ private:
+  TxHandle handle_{};
+};
+
+/// Allocate a typed block: `auto arr = tm_alloc_array<int>(tm, 16);`.
+template <typename T = Value>
+TxArray<T> tm_alloc_array(TransactionalMemory& tm, std::size_t n) {
+  return TxArray<T>(tm.tm_alloc(n));
 }
 
 }  // namespace privstm::tm

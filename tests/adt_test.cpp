@@ -26,16 +26,16 @@ using tm::TmKind;
 
 class AdtOnTm : public ::testing::TestWithParam<TmKind> {
  protected:
-  std::unique_ptr<tm::TransactionalMemory> make(std::size_t regs) {
-    tm::TmConfig config;
-    config.num_registers = regs;
-    return tm::make_tm(GetParam(), config);
+  std::unique_ptr<tm::TransactionalMemory> make() {
+    // Default config: the ADTs allocate their own storage from the heap,
+    // beyond the static register prefix.
+    return tm::make_tm(GetParam(), tm::TmConfig{});
   }
 };
 
 TEST_P(AdtOnTm, CounterSequential) {
-  auto tmi = make(TxCounter::registers_needed(4));
-  TxCounter counter(0, 4);
+  auto tmi = make();
+  TxCounter counter(*tmi, 4);
   auto session = tmi->make_thread(0, nullptr);
   EXPECT_EQ(counter.read(*session), 0u);
   counter.add(*session, 5, 0);
@@ -47,8 +47,8 @@ TEST_P(AdtOnTm, CounterSequential) {
 TEST_P(AdtOnTm, CounterConcurrentTotal) {
   constexpr std::size_t kThreads = 4;
   constexpr int kAdds = 500;
-  auto tmi = make(TxCounter::registers_needed(kThreads));
-  TxCounter counter(0, kThreads);
+  auto tmi = make();
+  TxCounter counter(*tmi, kThreads);
   rt::SpinBarrier barrier(kThreads);
   std::vector<std::thread> workers;
   for (std::size_t t = 0; t < kThreads; ++t) {
@@ -65,8 +65,8 @@ TEST_P(AdtOnTm, CounterConcurrentTotal) {
 }
 
 TEST_P(AdtOnTm, StackLifo) {
-  auto tmi = make(TxStack::registers_needed(8));
-  TxStack stack(0, 8);
+  auto tmi = make();
+  TxStack stack(*tmi, 8);
   auto session = tmi->make_thread(0, nullptr);
   EXPECT_EQ(stack.try_push(*session, 10), StackOp::kOk);
   EXPECT_EQ(stack.try_push(*session, 20), StackOp::kOk);
@@ -80,8 +80,8 @@ TEST_P(AdtOnTm, StackLifo) {
 }
 
 TEST_P(AdtOnTm, StackCapacityBound) {
-  auto tmi = make(TxStack::registers_needed(2));
-  TxStack stack(0, 2);
+  auto tmi = make();
+  TxStack stack(*tmi, 2);
   auto session = tmi->make_thread(0, nullptr);
   EXPECT_EQ(stack.try_push(*session, 1), StackOp::kOk);
   EXPECT_EQ(stack.try_push(*session, 2), StackOp::kOk);
@@ -92,8 +92,8 @@ TEST_P(AdtOnTm, StackConcurrentConservation) {
   // Producers push tagged values, consumers pop; at the end
   // pushed == popped + remaining, with no duplicates or inventions.
   constexpr std::size_t kCapacity = 64;
-  auto tmi = make(TxStack::registers_needed(kCapacity));
-  TxStack stack(0, kCapacity);
+  auto tmi = make();
+  TxStack stack(*tmi, kCapacity);
   constexpr int kPerProducer = 300;
   std::atomic<std::uint64_t> popped_count{0};
   std::set<tm::Value> popped;
@@ -139,8 +139,8 @@ TEST_P(AdtOnTm, StackConcurrentConservation) {
 
 TEST_P(AdtOnTm, StackPrivatizedDrain) {
   constexpr std::size_t kCapacity = 32;
-  auto tmi = make(TxStack::registers_needed(kCapacity));
-  TxStack stack(0, kCapacity);
+  auto tmi = make();
+  TxStack stack(*tmi, kCapacity);
   auto session = tmi->make_thread(0, nullptr);
   for (tm::Value v = 1; v <= 5; ++v) {
     ASSERT_EQ(stack.try_push(*session, v * 100), StackOp::kOk);
@@ -155,8 +155,8 @@ TEST_P(AdtOnTm, StackPrivatizedDrain) {
 
 TEST_P(AdtOnTm, StackDrainUnderConcurrentPushers) {
   constexpr std::size_t kCapacity = 128;
-  auto tmi = make(TxStack::registers_needed(kCapacity));
-  TxStack stack(0, kCapacity);
+  auto tmi = make();
+  TxStack stack(*tmi, kCapacity);
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> pushed{0};
   std::thread pusher([&] {
@@ -186,8 +186,8 @@ TEST_P(AdtOnTm, StackDrainUnderConcurrentPushers) {
 
 TEST_P(AdtOnTm, HashMapPutGetErase) {
   constexpr std::size_t kCapacity = 16;
-  auto tmi = make(TxHashMap::registers_needed(kCapacity));
-  TxHashMap map(0, kCapacity);
+  auto tmi = make();
+  TxHashMap map(*tmi, kCapacity);
   auto session = tmi->make_thread(0, nullptr);
   EXPECT_FALSE(map.get(*session, 42).has_value());
   EXPECT_TRUE(map.put(*session, 42, 1000));
@@ -203,8 +203,8 @@ TEST_P(AdtOnTm, HashMapPutGetErase) {
 
 TEST_P(AdtOnTm, HashMapProbingAndTombstones) {
   constexpr std::size_t kCapacity = 4;
-  auto tmi = make(TxHashMap::registers_needed(kCapacity));
-  TxHashMap map(0, kCapacity);
+  auto tmi = make();
+  TxHashMap map(*tmi, kCapacity);
   auto session = tmi->make_thread(0, nullptr);
   // Fill the whole table.
   for (tm::Value k = 1; k <= 4; ++k) {
@@ -222,8 +222,8 @@ TEST_P(AdtOnTm, HashMapProbingAndTombstones) {
 
 TEST_P(AdtOnTm, HashMapRebuildCompacts) {
   constexpr std::size_t kCapacity = 8;
-  auto tmi = make(TxHashMap::registers_needed(kCapacity));
-  TxHashMap map(0, kCapacity);
+  auto tmi = make();
+  TxHashMap map(*tmi, kCapacity);
   auto session = tmi->make_thread(0, nullptr);
   for (tm::Value k = 1; k <= 6; ++k) ASSERT_TRUE(map.put(*session, k, k));
   for (tm::Value k = 1; k <= 5; ++k) ASSERT_TRUE(map.erase(*session, k));
@@ -237,8 +237,8 @@ TEST_P(AdtOnTm, HashMapRebuildCompacts) {
 
 TEST_P(AdtOnTm, HashMapConcurrentDisjointKeys) {
   constexpr std::size_t kCapacity = 256;
-  auto tmi = make(TxHashMap::registers_needed(kCapacity));
-  TxHashMap map(0, kCapacity);
+  auto tmi = make();
+  TxHashMap map(*tmi, kCapacity);
   constexpr std::size_t kThreads = 4;
   constexpr int kKeysPerThread = 40;
   rt::SpinBarrier barrier(kThreads);
@@ -271,8 +271,8 @@ TEST_P(AdtOnTm, HashMapPrivatizedIterationConsistentSnapshot) {
   // multiple of its key (writers always write key*n) — a torn snapshot
   // would mix generations.
   constexpr std::size_t kCapacity = 64;
-  auto tmi = make(TxHashMap::registers_needed(kCapacity));
-  TxHashMap map(0, kCapacity);
+  auto tmi = make();
+  TxHashMap map(*tmi, kCapacity);
   {
     auto setup = tmi->make_thread(0, nullptr);
     for (tm::Value k = 2; k <= 9; ++k) ASSERT_TRUE(map.put(*setup, k, k));

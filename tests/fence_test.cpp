@@ -2,6 +2,7 @@
 // (Definition 2.1 condition 10), fence policies, and recorded fence actions.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -115,6 +116,35 @@ TEST(Fence, RecordedHistorySatisfiesCondition10) {
   const auto exec = recorder.collect();
   const auto report = hist::check_wellformed(exec.history);
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Fence, AsyncOverflowDegradesToSyncAndIsCounted) {
+  // Issuing more async fences than the per-session ticket window holds is
+  // not an error: the overflowing call fences synchronously (safe rather
+  // than fast), returns the already-complete null ticket, and counts the
+  // degradation in kFenceAsyncOverflow so pipelines can see their window
+  // is too small.
+  TmConfig config;
+  config.num_registers = 4;
+  Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+
+  std::array<rt::FenceTicket, tm::kMaxOutstandingFences> tickets{};
+  for (auto& t : tickets) t = session->fence_async();
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFenceAsyncOverflow), 0u);
+
+  const rt::FenceTicket overflow = session->fence_async();
+  EXPECT_EQ(overflow, rt::kNullFenceTicket);
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFenceAsyncOverflow), 1u);
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFence), 1u)
+      << "the degraded call must have fenced synchronously";
+  EXPECT_TRUE(session->fence_try_complete(overflow));  // null: trivially done
+
+  // The window drains normally afterwards and the next issue fits again.
+  for (const auto& t : tickets) session->fence_wait(t);
+  const rt::FenceTicket next = session->fence_async();
+  EXPECT_EQ(tmi.stats().total(rt::Counter::kFenceAsyncOverflow), 1u);
+  session->fence_wait(next);
 }
 
 TEST(Fence, PaperBooleanModeAlsoQuiesces) {

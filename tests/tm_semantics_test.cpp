@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "history/recorder.hpp"
+#include "history/wellformed.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/rng.hpp"
 #include "tm/factory.hpp"
@@ -178,6 +180,70 @@ TEST_P(TmSemantics, BankTransfersConserveTotal) {
     total += tmi->peek(static_cast<hist::RegId>(i));
   }
   EXPECT_EQ(total, kInitial * kAccounts);
+}
+
+TEST_P(TmSemantics, ExplicitAbortDiscardsWrites) {
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  session->nt_write(0, 11);
+  ASSERT_TRUE(session->tx_begin());
+  ASSERT_TRUE(session->tx_write(0, 22));
+  hist::Value v = 0;
+  ASSERT_TRUE(session->tx_read(0, v));
+  EXPECT_EQ(v, 22u);  // read-your-own-writes before the abort
+  session->tx_abort();
+  EXPECT_EQ(tmi->peek(0), 11u) << "user-aborted write reached memory";
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kTxAbort), 1u);
+  // The session is reusable: the next transaction starts clean.
+  ASSERT_EQ(tm::run_tx(*session, [](tm::TxScope& tx) {
+              EXPECT_EQ(tx.read(0), 11u);
+              tx.write(0, 33);
+            }),
+            TxResult::kCommitted);
+  EXPECT_EQ(tmi->peek(0), 33u);
+}
+
+TEST_P(TmSemantics, ExplicitAbortDoesNotBlockFences) {
+  // A fence issued after a user abort must not wait on the aborted
+  // transaction (the abort handler cleared the activity flag).
+  auto tmi = make();
+  auto session = tmi->make_thread(0, nullptr);
+  ASSERT_TRUE(session->tx_begin());
+  ASSERT_TRUE(session->tx_write(1, 5));
+  session->tx_abort();
+  auto fencer = tmi->make_thread(1, nullptr);
+  fencer->fence();  // would hang if the abort left the slot active
+  EXPECT_GE(tmi->stats().total(rt::Counter::kFence), 1u);
+}
+
+TEST_P(TmSemantics, ExplicitAbortRecordsAWellFormedHistory) {
+  auto tmi = make();
+  hist::Recorder recorder;
+  {
+    auto session = tmi->make_thread(0, &recorder);
+    ASSERT_TRUE(session->tx_begin());
+    ASSERT_TRUE(session->tx_write(2, 7));
+    session->tx_abort();
+    tm::run_tx_retry(*session,
+                     [](tm::TxScope& tx) { tx.write(2, 8); });
+  }
+  const auto exec = recorder.collect();
+  const auto report = hist::check_wellformed(exec.history);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  // The txabort request is answered by aborted and ends its transaction.
+  bool saw_abort_req = false;
+  for (std::size_t i = 0; i < exec.history.size(); ++i) {
+    if (exec.history[i].kind == hist::ActionKind::kTxAbort) {
+      saw_abort_req = true;
+      ASSERT_LT(i + 1, exec.history.size());
+      EXPECT_EQ(exec.history[i + 1].kind, hist::ActionKind::kAborted);
+    }
+  }
+  EXPECT_TRUE(saw_abort_req);
+  const auto& txns = exec.history.txns();
+  ASSERT_EQ(txns.size(), 2u);
+  EXPECT_EQ(txns[0].status, hist::TxnStatus::kAborted);
+  EXPECT_EQ(txns[1].status, hist::TxnStatus::kCommitted);
 }
 
 TEST_P(TmSemantics, StatsCountCommits) {
