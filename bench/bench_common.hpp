@@ -160,13 +160,41 @@ inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
   return row;
 }
 
-/// Emit the rows as a stable, diff-friendly JSON document.
-inline bool write_throughput_json(const std::string& path,
-                                  const std::vector<ThroughputRow>& rows) {
+/// A reference measurement embedded alongside the live rows — schema 3
+/// records the previous allocator's `alloc-free` cells (re-measured on
+/// the same box) so the before/after is readable straight from the file.
+struct BaselineRow {
+  const char* backend;
+  std::size_t threads;
+  double ops_per_sec;
+};
+
+/// Emit the rows as a stable, diff-friendly JSON document. Schema 3 adds
+/// the `alloc` config block (the heap-allocator knobs the run used) and
+/// an optional `alloc_free_baseline` reference series.
+inline bool write_throughput_json(
+    const std::string& path, const std::vector<ThroughputRow>& rows,
+    const tm::AllocConfig& alloc, const char* baseline_note = nullptr,
+    const std::vector<BaselineRow>& baseline = {}) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 2,\n"
-      << "  \"rows\": [\n";
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 3,\n"
+      << "  \"alloc\": {\"magazine_size\": " << alloc.magazine_size
+      << ", \"batch_depth\": " << alloc.limbo_batch
+      << ", \"max_class_size\": " << alloc.max_class_size << "},\n";
+  if (!baseline.empty()) {
+    out << "  \"alloc_free_baseline\": {\n    \"note\": \""
+        << (baseline_note != nullptr ? baseline_note : "") << "\",\n"
+        << "    \"rows\": [\n";
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      const auto& b = baseline[i];
+      out << "      {\"backend\": \"" << b.backend << "\", \"threads\": "
+          << b.threads << ", \"ops_per_sec\": " << b.ops_per_sec << "}"
+          << (i + 1 < baseline.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  },\n";
+  }
+  out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     out << "    {\"backend\": \"" << r.backend << "\", \"workload\": \""

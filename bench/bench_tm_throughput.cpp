@@ -21,6 +21,7 @@
 // bench_common.hpp). `--quick` runs a smaller sweep and skips the
 // google-benchmark phase — the CI smoke configuration.
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <iostream>
 
@@ -262,6 +263,65 @@ void BM_AllocFreePrivatize_NOrec(benchmark::State& state) {
 BENCHMARK(BM_AllocFreePrivatize_TL2Fused)->Apply(apply_wtp_args);
 BENCHMARK(BM_AllocFreePrivatize_NOrec)->Apply(apply_wtp_args);
 
+// Mixed-size churn: each thread rotates a window of live blocks whose
+// sizes cycle through several size classes, transacting on every block it
+// allocates. This is the allocator's worst case before PR 4 — exact-size
+// free lists never reused across sizes, so the arena grew without bound
+// and every alloc/free serialized on the central lock — and the workload
+// that pays for size classes (split/merge reuse) plus magazines (the
+// rotation is alloc/free dominated).
+constexpr std::size_t kChurnSizes[] = {1, 5, 9, 17, 33, 65};
+constexpr std::size_t kChurnWindow = 16;
+
+void run_mixed_churn_phase(tm::TransactionalMemory& tmi, std::size_t threads,
+                           int rounds) {
+  parallel_phase(threads, [&](std::size_t t) {
+    auto session = tmi.make_thread(static_cast<hist::ThreadId>(t), nullptr);
+    hist::Value tag = (static_cast<hist::Value>(t) + 1) << 40;
+    std::array<tm::TxHandle, kChurnWindow> live{};
+    std::size_t tick = t;  // threads start offset in the size cycle
+    for (int round = 0; round < rounds; ++round) {
+      tm::TxHandle& slot = live[round % kChurnWindow];
+      if (slot.valid()) tmi.tm_free(slot);
+      slot = tmi.tm_alloc(kChurnSizes[tick++ % std::size(kChurnSizes)]);
+      const tm::TxHandle h = slot;
+      tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+        tx.write(h.loc(0), ++tag);
+        tx.write(h.loc(h.size - 1), ++tag);
+      });
+    }
+    for (tm::TxHandle& h : live) {
+      if (h.valid()) tmi.tm_free(h);
+    }
+  });
+}
+
+void BM_MixedChurn(benchmark::State& state, TmKind kind) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr int kRounds = 400;
+  auto tmi = tm::make_tm(kind, tm::TmConfig{});
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    run_mixed_churn_phase(*tmi, threads, kRounds);
+    rounds += threads * kRounds;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["arena_cells"] =
+      static_cast<double>(tmi->heap().allocated_end());
+  state.counters["shared_refills"] = static_cast<double>(
+      tmi->stats().total(rt::Counter::kAllocSharedRefill));
+}
+
+void BM_MixedChurn_TL2Fused(benchmark::State& state) {
+  BM_MixedChurn(state, TmKind::kTl2Fused);
+}
+void BM_MixedChurn_NOrec(benchmark::State& state) {
+  BM_MixedChurn(state, TmKind::kNOrec);
+}
+
+BENCHMARK(BM_MixedChurn_TL2Fused)->Apply(apply_wtp_args);
+BENCHMARK(BM_MixedChurn_NOrec)->Apply(apply_wtp_args);
+
 // ---------------------------------------------------------------------------
 // The persisted matrix: backend × threads over a read-heavy low-contention
 // mix and a write-heavy contended mix, plus the alloc/free-heavy
@@ -284,7 +344,14 @@ constexpr Workload kWorkloads[] = {
 };
 constexpr const Workload& kWriteHeavy = kWorkloads[1];
 
-std::vector<ThroughputRow> run_matrix(bool quick) {
+struct MatrixResult {
+  std::vector<ThroughputRow> rows;
+  /// Σ Counter::kLimboBatchRetired over the allocator-heavy cells — the
+  /// CI smoke asserts batched reclamation actually ran (> 0 in --quick).
+  std::uint64_t limbo_batches = 0;
+};
+
+MatrixResult run_matrix(bool quick) {
   const std::vector<std::size_t> threads_sweep =
       quick ? std::vector<std::size_t>{2, 8}
             : std::vector<std::size_t>{1, 2, 4, 8};
@@ -296,7 +363,8 @@ std::vector<ThroughputRow> run_matrix(bool quick) {
   // of what the backend can do (google-benchmark's max aggregate).
   const int repeats = quick ? 2 : 7;
 
-  std::vector<ThroughputRow> rows;
+  MatrixResult result;
+  std::vector<ThroughputRow>& rows = result.rows;
   for (const auto& wl : kWorkloads) {
     for (const std::size_t threads : threads_sweep) {
       for (const tm::TmKind kind : tm::all_tm_kinds()) {
@@ -323,45 +391,80 @@ std::vector<ThroughputRow> run_matrix(bool quick) {
     }
   }
 
-  // The alloc/free-heavy privatization cell: rounds of alloc → fill →
-  // fence → NT touch → deferred free (see run_alloc_free_phase).
-  const int af_rounds = quick ? 150 : 2000;
-  for (const std::size_t threads : threads_sweep) {
-    for (const tm::TmKind kind : tm::all_tm_kinds()) {
-      ThroughputRow best;
-      for (int rep = 0; rep < std::max(repeats - 3, 2); ++rep) {
-        auto tmi = tm::make_tm(kind, tm::TmConfig{});
-        const auto start = std::chrono::steady_clock::now();
-        run_alloc_free_phase(*tmi, threads, af_rounds);
-        const double secs = std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - start)
-                                .count();
-        ThroughputRow r;
-        r.backend = tm::tm_kind_name(kind);
-        r.workload = "alloc-free";
-        r.threads = threads;
-        r.read_pct = 0;
-        r.registers = kAllocFreeBlock;  // block size, not a register file
-        r.txn_size = kAllocFreeBlock;
-        r.commits = tmi->stats().total(rt::Counter::kTxCommit);
-        r.aborts = tmi->stats().total(rt::Counter::kTxAbort);
-        const double attempts = static_cast<double>(r.commits + r.aborts);
-        r.abort_rate =
-            attempts > 0.0 ? static_cast<double>(r.aborts) / attempts : 0.0;
-        r.ops_per_sec = secs > 0.0
-                            ? static_cast<double>(threads) * af_rounds / secs
-                            : 0.0;
-        if (r.ops_per_sec > best.ops_per_sec) best = r;
+  // The allocator-heavy cells: `alloc-free` runs rounds of alloc → fill →
+  // fence → NT touch → deferred free (see run_alloc_free_phase);
+  // `mixed-churn` rotates live blocks across six size classes (see
+  // run_mixed_churn_phase). Both run the shipped allocator defaults —
+  // magazines + batched limbo — and feed the limbo-batch smoke counter.
+  struct AllocCell {
+    const char* label;
+    int rounds;
+    void (*run)(tm::TransactionalMemory&, std::size_t, int);
+  };
+  const AllocCell alloc_cells[] = {
+      {"alloc-free", quick ? 150 : 2000, &run_alloc_free_phase},
+      {"mixed-churn", quick ? 150 : 2000, &run_mixed_churn_phase},
+  };
+  for (const AllocCell& cell : alloc_cells) {
+    for (const std::size_t threads : threads_sweep) {
+      for (const tm::TmKind kind : tm::all_tm_kinds()) {
+        ThroughputRow best;
+        for (int rep = 0; rep < std::max(repeats - 3, 2); ++rep) {
+          auto tmi = tm::make_tm(kind, tm::TmConfig{});
+          const auto start = std::chrono::steady_clock::now();
+          cell.run(*tmi, threads, cell.rounds);
+          const double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          ThroughputRow r;
+          r.backend = tm::tm_kind_name(kind);
+          r.workload = cell.label;
+          r.threads = threads;
+          r.read_pct = 0;
+          r.registers = kAllocFreeBlock;  // block size, not a register file
+          r.txn_size = kAllocFreeBlock;
+          r.commits = tmi->stats().total(rt::Counter::kTxCommit);
+          r.aborts = tmi->stats().total(rt::Counter::kTxAbort);
+          const double attempts = static_cast<double>(r.commits + r.aborts);
+          r.abort_rate =
+              attempts > 0.0 ? static_cast<double>(r.aborts) / attempts
+                             : 0.0;
+          r.ops_per_sec =
+              secs > 0.0
+                  ? static_cast<double>(threads) * cell.rounds / secs
+                  : 0.0;
+          if (r.ops_per_sec > best.ops_per_sec) best = r;
+          result.limbo_batches +=
+              tmi->stats().total(rt::Counter::kLimboBatchRetired);
+        }
+        rows.push_back(best);
+        const auto& r = rows.back();
+        std::cout << "matrix " << cell.label << " backend=" << r.backend
+                  << " threads=" << r.threads << " ops/s=" << r.ops_per_sec
+                  << " abort_rate=" << r.abort_rate << "\n";
       }
-      rows.push_back(best);
-      const auto& r = rows.back();
-      std::cout << "matrix alloc-free backend=" << r.backend
-                << " threads=" << r.threads << " ops/s=" << r.ops_per_sec
-                << " abort_rate=" << r.abort_rate << "\n";
     }
   }
-  return rows;
+  return result;
 }
+
+/// The previous allocator's alloc-free cells, re-measured on the same box
+/// right before the PR 4 allocator landed (full-mode rounds, best-of-4):
+/// the "before" of the before/after schema 3 records. The magazine +
+/// batched-limbo allocator is chartered to beat these at 8 threads.
+constexpr const char* kAllocFreeBaselineNote =
+    "PR 3 single-lock exact-size allocator (commit 51dc293), same box, "
+    "full-mode alloc-free cell, measured 2026-07-30";
+const std::vector<BaselineRow> kAllocFreeBaseline = {
+    {"tl2", 1, 4880230},  {"tl2fused", 1, 5389270},
+    {"norec", 1, 6151930}, {"glock", 1, 5988940},
+    {"tl2", 2, 4586940},  {"tl2fused", 2, 4969290},
+    {"norec", 2, 5536960}, {"glock", 2, 5498450},
+    {"tl2", 4, 2963790},  {"tl2fused", 4, 4321280},
+    {"norec", 4, 5093490}, {"glock", 4, 4987330},
+    {"tl2", 8, 3787750},  {"tl2fused", 8, 4086380},
+    {"norec", 8, 4485980}, {"glock", 8, 4657710},
+};
 
 /// Report the headline ratio the fused backend is chartered to deliver:
 /// tl2fused vs tl2 at the highest measured thread count on the write-heavy
@@ -401,18 +504,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto rows = privstm::bench::run_matrix(quick);
+  const auto result = privstm::bench::run_matrix(quick);
+  const auto& rows = result.rows;
   // Quick (smoke) results go to a separate file so a pre-push `ci.sh` run
   // never clobbers the committed full-matrix trajectory.
   const char* path =
       quick ? "BENCH_tm_throughput.quick.json" : "BENCH_tm_throughput.json";
-  if (privstm::bench::write_throughput_json(path, rows)) {
+  if (privstm::bench::write_throughput_json(
+          path, rows, privstm::tm::AllocConfig{},
+          privstm::bench::kAllocFreeBaselineNote,
+          privstm::bench::kAllocFreeBaseline)) {
     std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
   } else {
     std::cerr << "failed to write " << path << "\n";
     return 1;
   }
   privstm::bench::report_fused_speedup(rows);
+  // CI smoke gate: the allocator-heavy cells must exercise batched
+  // reclamation — a zero here means frees stopped flowing through the
+  // batched limbo (e.g. a refactor silently re-enabled per-free tickets
+  // or never sealed batches).
+  if (quick && result.limbo_batches == 0) {
+    std::cerr << "FAIL: no limbo batches retired across the alloc-free / "
+                 "mixed-churn smoke cells (kLimboBatchRetired == 0)\n";
+    return 1;
+  }
+  std::cout << "limbo batches retired across alloc cells: "
+            << result.limbo_batches << "\n";
 
   if (!quick) {
     int bench_argc = static_cast<int>(args.size());

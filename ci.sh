@@ -9,7 +9,10 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # Smoke-run the throughput matrix (writes BENCH_tm_throughput.quick.json;
-# the committed full matrix comes from a run without --quick).
+# the committed full matrix comes from a run without --quick). The quick
+# run also self-asserts that the alloc-free / mixed-churn cells retired at
+# least one batched-limbo grace period (Counter::kLimboBatchRetired > 0),
+# failing CI if deferred reclamation silently stops flowing in batches.
 ./build/bench_tm_throughput --quick
 
 # Smoke-run the multi-privatizer fence matrix (writes
@@ -27,5 +30,5 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-    -R 'Heap|StripeTable|Adt|TmSemantics|Fence\.|Reclamation|Quiescence'
+    -R 'Heap|StripeTable|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence'
 fi

@@ -147,6 +147,50 @@ class TxHashMap {
     unfreeze(session);
   }
 
+  /// Grow to at least `new_capacity` slots — the heap-era resize the
+  /// fixed-capacity PR 3 map could not do, and an end-to-end showcase of
+  /// the paper's fence-then-free idiom: allocate the bigger table with
+  /// `tm_alloc`, freeze, **fence** (now every in-flight — possibly
+  /// delayed-commit — transaction that touched the old block has
+  /// finished), rebuild into the new block with NT accesses only, publish
+  /// the new table, and `tm_free` the old block, whose reuse the fence
+  /// just made safe.
+  ///
+  /// Contract: like rebuild_privatized this is a privatized phase, but it
+  /// additionally swaps the table identity, so no other operation on this
+  /// map may *start* while reserve runs (operations that started before —
+  /// including ones whose commits are still in flight — are exactly what
+  /// the fence orders before the rebuild). `freeze_token` must be a fresh
+  /// nonzero value per call.
+  void reserve(tm::TmThread& session, std::size_t new_capacity,
+               tm::Value freeze_token) {
+    if (new_capacity <= capacity_) return;
+    freeze(session, freeze_token);
+    session.fence();
+    const tm::TxHandle grown = tm_->tm_alloc(2 * new_capacity + 1);
+    // The fresh block reads vinit: freeze cell 0 (unfrozen), keys 0
+    // (empty) — rehash straight into it with NT writes.
+    for (std::size_t slot = 0; slot < capacity_; ++slot) {
+      const tm::Value k = session.nt_read(key_loc(slot));
+      if (k == 0 || k == kTombstone) continue;
+      const tm::Value v = session.nt_read(value_loc(slot));
+      for (std::size_t probe = 0; probe < new_capacity; ++probe) {
+        const std::size_t s = index_in(k, probe, new_capacity);
+        const tm::RegId key_cell = grown.loc(1 + 2 * s);
+        if (session.nt_read(key_cell) == 0) {
+          session.nt_write(key_cell, k);
+          session.nt_write(grown.loc(2 + 2 * s), v);
+          break;
+        }
+      }
+    }
+    const tm::TxHandle old = handle_;
+    handle_ = grown;
+    capacity_ = new_capacity;
+    freeze_ = tm::TxVar<tm::Value>(grown, 0);  // vinit = unfrozen: published
+    tm_->tm_free(old);  // fence-then-free: reuse is safe by construction
+  }
+
   /// Privatized tombstone compaction (the offline "rebuild" of
   /// open-addressing tables): collect all live pairs, clear, reinsert with
   /// NT accesses only.
@@ -203,10 +247,17 @@ class TxHashMap {
                      [&](tm::TxScope& tx) { freeze_.set(tx, 0); });
   }
 
-  std::size_t index(tm::Value key, std::size_t probe) const noexcept {
-    // Fibonacci hashing + linear probe.
+  /// Fibonacci hashing + linear probe, parameterized by capacity so
+  /// reserve() can probe the not-yet-published grown table with the
+  /// exact same formula the lookups will use.
+  static std::size_t index_in(tm::Value key, std::size_t probe,
+                              std::size_t capacity) noexcept {
     const tm::Value h = key * 11400714819323198485ULL;
-    return static_cast<std::size_t>((h >> 32) + probe) % capacity_;
+    return static_cast<std::size_t>((h >> 32) + probe) % capacity;
+  }
+
+  std::size_t index(tm::Value key, std::size_t probe) const noexcept {
+    return index_in(key, probe, capacity_);
   }
 
   tm::TransactionalMemory* tm_;

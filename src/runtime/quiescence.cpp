@@ -184,4 +184,9 @@ bool QuiescenceManager::try_elapse_ticket(FenceTicket ticket) noexcept {
   return drive_nostat(ticket, /*block=*/false);
 }
 
+bool QuiescenceManager::ticket_elapsed(FenceTicket ticket) const noexcept {
+  return ticket == kNullFenceTicket ||
+         seq_->load(std::memory_order_acquire) >= ticket;
+}
+
 }  // namespace privstm::rt

@@ -132,17 +132,27 @@ class QuiescenceManager {
     stats_.add(stat_slot, c);
   }
 
-  /// Epoch-reclamation hooks (tm::TxHeap's limbo list). A ticket's
+  /// Epoch-reclamation hooks (the tm/alloc limbo list). A ticket's
   /// completion guarantees every transaction active at issue time has
   /// finished — the same grace-period engine as fence_async, but *not* a
   /// fence: nothing is recorded and no fence statistics are counted, so
   /// deferred-free bookkeeping never perturbs the fence counters that
   /// experiments assert on.
+  ///
+  /// Batching: one ticket may cover a whole batch of frees when it is
+  /// issued *after* the last free of the batch — any transaction active
+  /// at some free() is either finished by issue time or active at issue
+  /// time and therefore waited out (tm/alloc/limbo.hpp leans on this).
+  /// Counter::kLimboBatchRetired tracks retired batches via count().
   FenceTicket issue_ticket() noexcept { return grace_period_target(); }
 
   /// One bounded, non-blocking attempt to elapse a reclamation ticket,
   /// helping the shared scan forward. True once the grace period passed.
   bool try_elapse_ticket(FenceTicket ticket) noexcept;
+
+  /// Pure peek: has the ticket's grace period already passed? Never
+  /// helps the scan — cheap enough for per-batch front-of-queue probes.
+  bool ticket_elapsed(FenceTicket ticket) const noexcept;
 
  private:
   /// Target sequence for a fence beginning now (see file comment).

@@ -32,6 +32,10 @@ const char* counter_name(Counter c) noexcept {
       return "doomed_detected";
     case Counter::kPostconditionViolation:
       return "postcondition_violations";
+    case Counter::kAllocSharedRefill:
+      return "alloc_shared_refills";
+    case Counter::kLimboBatchRetired:
+      return "limbo_batches_retired";
     case Counter::kCount:
       break;
   }

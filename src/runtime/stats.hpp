@@ -27,6 +27,12 @@ enum class Counter : std::size_t {
   kNtWrite,
   kDoomedDetected,
   kPostconditionViolation,
+  kAllocSharedRefill,   ///< tm_alloc/tm_free trips to the shared store
+                        ///< (magazine refills + uncached slow paths) —
+                        ///< the scalability discriminator: thread-local
+                        ///< magazine hits never count here
+  kLimboBatchRetired,   ///< freed-block batches whose grace period
+                        ///< elapsed (one ticket covers a whole batch)
   kCount,
 };
 

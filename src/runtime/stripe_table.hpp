@@ -5,12 +5,21 @@
 // construction (one version/lock per RegId). With tm_alloc()/tm_free() the
 // location space is unbounded, so metadata moves to a fixed, power-of-two
 // array of `rt::VersionedLock` *stripes*; a location maps to its stripe
-// with `loc & mask` (see the constructor comment). This is the classic
+// with a Fibonacci multiplicative hash (see index_of). This is the classic
 // TL2 lock-table design: several locations may share a stripe, which can
 // only cause *false conflicts* (spurious aborts), never missed ones — a
 // reader validating stripe(x) observes every version bump any writer of x
 // performs, plus possibly bumps by writers of stripe-colliding y, which
 // over-approximates the conflict relation and is therefore safe.
+//
+// Why a mixer and not `loc & mask`: the heap's size-class allocator hands
+// out stride-aligned blocks (every class-64 block starts 64 cells apart),
+// so the same field of equal-sized nodes sits at `base + k·64` — under a
+// plain mask those all fold onto a handful of stripes and unrelated
+// commits serialize on them (the false-conflict pathology PR 3's ROADMAP
+// flagged). Multiplying by 2^64/φ first diffuses every input bit into the
+// high bits, which the shift keeps, so stride-aligned patterns spread as
+// well as dense ones (regression-tested in heap_test's StripeTable suite).
 //
 // Stripes are cache-line padded: the table is written on every commit
 // lock/release, and unrelated-stripe traffic must not false-share.
@@ -27,29 +36,43 @@ namespace privstm::rt {
 
 class StripeTable {
  public:
+  /// 2^64 / φ (odd): the Fibonacci-hashing multiplier. Odd makes the
+  /// multiplication a bijection on 64-bit words — no two locations merge
+  /// before the final shift ever truncates.
+  static constexpr std::uint64_t kFibMix = 0x9E3779B97F4A7C15ull;
+
+  /// Stripe of `loc` in a table of 2^(64 - shift) stripes. Static so TM
+  /// hot paths that cache the table geometry in locals/members (the
+  /// fused backend) compute the exact same mapping as index_of().
+  static std::size_t mix_index(std::uint64_t loc, unsigned shift) noexcept {
+    return static_cast<std::size_t>((loc * kFibMix) >> shift);
+  }
+
   /// `stripes` is rounded up to a power of two (minimum 2) so the map is
-  /// a single AND. Contiguous location ids — which is what the heap's
-  /// bump allocator hands out — then spread perfectly: a block of k ≤
-  /// stripe_count locations owns k distinct stripes, and collisions only
-  /// appear between locations stripe_count apart (the classic TL2
-  /// lock-table mapping; a stride-aligned pathological workload can be
-  /// tuned around via TmConfig::lock_stripes).
+  /// one multiply and one shift. Collisions only ever *add* conflicts
+  /// (see file comment); a pathological workload can still be tuned via
+  /// TmConfig::lock_stripes.
   explicit StripeTable(std::size_t stripes) {
     std::size_t n = 2;
-    while (n < stripes) n <<= 1;
+    unsigned bits = 1;
+    while (n < stripes) {
+      n <<= 1;
+      ++bits;
+    }
     table_ = std::vector<CacheAligned<VersionedLock>>(n);
-    mask_ = n - 1;
+    shift_ = 64 - bits;
   }
 
   StripeTable(const StripeTable&) = delete;
   StripeTable& operator=(const StripeTable&) = delete;
 
   std::size_t stripe_count() const noexcept { return table_.size(); }
-  std::size_t mask() const noexcept { return mask_; }
+  /// Right-shift applied after the multiply (64 - log2(stripe_count)).
+  unsigned shift() const noexcept { return shift_; }
 
   /// Stripe index of location `loc`.
   std::size_t index_of(std::uint64_t loc) const noexcept {
-    return static_cast<std::size_t>(loc) & mask_;
+    return mix_index(loc, shift_);
   }
 
   VersionedLock& stripe(std::size_t index) noexcept { return *table_[index]; }
@@ -63,7 +86,7 @@ class StripeTable {
   }
 
   /// Raw entry array (cache-line stride) for hot paths that cache the
-  /// base pointer and mask in locals/members.
+  /// base pointer and shift in locals/members.
   CacheAligned<VersionedLock>* data() noexcept { return table_.data(); }
 
   /// Clear every stripe to version 0, unlocked. Callers must be quiescent.
@@ -73,7 +96,7 @@ class StripeTable {
 
  private:
   std::vector<CacheAligned<VersionedLock>> table_;
-  std::size_t mask_ = 1;
+  unsigned shift_ = 63;
 };
 
 }  // namespace privstm::rt

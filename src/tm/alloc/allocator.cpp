@@ -1,0 +1,321 @@
+#include "tm/alloc/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+namespace privstm::tm::alloc {
+
+namespace {
+
+/// Class + backing-extent size for a request of `n` cells under this
+/// instance's table bound. alloc and free both call this with the same
+/// input (free uses TxHandle::size), so they always agree on the extent.
+struct Rounded {
+  std::size_t cls;
+  std::uint32_t storage;
+};
+
+Rounded round_request(std::size_t n, std::uint32_t max_class) noexcept {
+  const std::size_t c = class_of(n);
+  if (c != kHugeClass) {
+    const std::uint32_t s = class_size(c);
+    if (s <= max_class) return {c, s};
+  }
+  return {kHugeClass, static_cast<std::uint32_t>(n)};
+}
+
+}  // namespace
+
+TxAllocator::TxAllocator(std::size_t static_prefix, std::size_t max_locations,
+                         rt::QuiescenceManager& qm,
+                         std::atomic<Value>* cells, const AllocConfig& config)
+    : qm_(qm),
+      static_prefix_(static_prefix),
+      max_locations_(max_locations),
+      cells_(cells),
+      config_(config),
+      limbo_(qm),
+      bump_(static_prefix) {
+  if (static_prefix > max_locations) std::abort();  // configuration error
+}
+
+TxAllocator::~TxAllocator() {
+  // Sever every live cache's link: the arena dies with us, so cached
+  // blocks need no flushing — but a later thread-exit flush must find no
+  // owner to write into.
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  for (ThreadCache* c : caches_) {
+    for (auto& m : c->mags_) m.clear();
+    c->batch_.clear();
+    c->counters_.reset();
+    c->owner_.store(nullptr, std::memory_order_release);
+  }
+  caches_.clear();
+}
+
+TxHandle TxAllocator::alloc(std::size_t n) {
+  assert(n > 0 && "zero-sized transactional allocation");
+  // Release-mode n == 0 degrades to the (never-valid) null handle rather
+  // than feeding 0 into the class table.
+  if (n == 0) return kNullTxHandle;
+  // Reject before the uint32 narrowing below: a silently truncated size
+  // could match a small free block and hand back far less memory than
+  // requested (and `bump_ + n` could wrap past the arena guard).
+  if (n > max_locations_) std::abort();  // configuration error
+  const Rounded r = round_request(n, config_.max_class_size);
+  ThreadCache* cache = nullptr;
+  if (config_.magazine_size > 0) {
+    cache = &local_cache(*this);
+    revalidate_cache(*cache);
+    if (r.cls != kHugeClass) {
+      auto& mag = cache->mags_[r.cls];
+      if (!mag.empty()) {
+        // The whole fast path: two thread-local vector ops, no lock.
+        const RegId base = mag.back();
+        mag.pop_back();
+        CacheCounters::bump(cache->counters_.allocs);
+        CacheCounters::bump(cache->counters_.magazine_hits);
+        return TxHandle{base, static_cast<std::uint32_t>(n)};
+      }
+    }
+  }
+  const RegId base = alloc_slow(cache, r.cls, r.storage);
+  if (cache != nullptr) {
+    CacheCounters::bump(cache->counters_.allocs);
+  } else {
+    base_allocs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return TxHandle{base, static_cast<std::uint32_t>(n)};
+}
+
+RegId TxAllocator::alloc_slow(ThreadCache* cache, std::size_t cls,
+                              std::uint32_t storage) {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  // Opportunistic housekeeping while we hold the lock anyway: seal our
+  // pending frees (they may recycle into this very refill) and retire
+  // whatever grace periods have elapsed.
+  if (cache != nullptr) seal_batch_locked(*cache);
+  limbo_.retire(store_, cells_);
+  ++refills_;
+  qm_.count(0, rt::Counter::kAllocSharedRefill);
+  const RegId base = take_locked(storage, cls);
+  if (cache != nullptr && cls != kHugeClass) {
+    // Batch-refill the magazine so the next misses-per-class are 1 in
+    // `want`; scaled by the cell budget so big classes don't hoard. The
+    // prefetch is optional: near arena exhaustion it stops short rather
+    // than aborting the way an unsatisfiable *request* does.
+    const std::size_t want = std::min(
+        config_.magazine_size,
+        std::max<std::size_t>(1, kRefillCellBudget / storage));
+    auto& mag = cache->mags_[cls];
+    while (mag.size() + 1 < want) {
+      RegId extra = store_.take(storage, cls);
+      if (extra == hist::kNoReg) {
+        if (bump_ + storage > max_locations_) break;  // prefetch is optional
+        extra = static_cast<RegId>(bump_);
+        bump_ += storage;
+      }
+      mag.push_back(extra);
+    }
+  }
+  return base;
+}
+
+RegId TxAllocator::take_locked(std::uint32_t storage, std::size_t cls) {
+  const RegId base = store_.take(storage, cls);
+  if (base != hist::kNoReg) return base;
+  if (bump_ + storage > max_locations_) std::abort();  // configuration error
+  const auto fresh = static_cast<RegId>(bump_);
+  bump_ += storage;
+  return fresh;
+}
+
+void TxAllocator::free(TxHandle h) {
+  if (!h.valid()) return;
+  assert(static_cast<std::size_t>(h.base) >= static_prefix_ &&
+         "freeing the static register prefix");
+  const Rounded r = round_request(h.size, config_.max_class_size);
+  if (config_.magazine_size > 0) {
+    ThreadCache& cache = local_cache(*this);
+    revalidate_cache(cache);
+    CacheCounters::bump(cache.counters_.frees);
+    cache.batch_.push_back(
+        {h.base, r.storage, static_cast<std::uint32_t>(r.cls)});
+    CacheCounters::bump(cache.counters_.pending);
+    // Huge blocks seal immediately: parking thousands of cells behind an
+    // idle thread's unsealed batch would leak them in practice.
+    if (cache.batch_.size() >= config_.limbo_batch ||
+        r.cls == kHugeClass) {
+      std::lock_guard<rt::SpinLock> guard(central_lock_);
+      seal_batch_locked(cache);
+      limbo_.retire(store_, cells_);
+    }
+    return;
+  }
+  base_frees_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  std::vector<LimboBlock> single{
+      {h.base, r.storage, static_cast<std::uint32_t>(r.cls)}};
+  limbo_.seal(std::move(single));
+  limbo_.retire(store_, cells_);
+}
+
+void TxAllocator::seal_batch_locked(ThreadCache& cache) {
+  if (cache.batch_.empty()) return;
+  limbo_.seal(std::move(cache.batch_));
+  cache.batch_.clear();
+  cache.counters_.pending.store(0, std::memory_order_relaxed);
+}
+
+std::size_t TxAllocator::drain_limbo() {
+  ThreadCache* cache =
+      config_.magazine_size > 0 ? &local_cache(*this) : nullptr;
+  if (cache != nullptr) revalidate_cache(*cache);
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  if (cache != nullptr) seal_batch_locked(*cache);
+  return limbo_.retire(store_, cells_);
+}
+
+void TxAllocator::reset() {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  // Bump the registry epoch first, then clear every registered cache in
+  // place (callers are quiescent). The epoch makes the clear robust: a
+  // cache this sweep somehow missed discards its stale contents on next
+  // use instead of handing out pre-reset blocks.
+  const std::uint64_t epoch =
+      reset_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (ThreadCache* c : caches_) {
+    for (auto& m : c->mags_) m.clear();
+    c->batch_.clear();
+    c->counters_.reset();
+    c->epoch_ = epoch;
+  }
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  limbo_.clear();
+  store_.clear();
+  // Only [0, bump_) can ever have been written (all accesses go through
+  // allocated locations or the static prefix).
+  std::memset(static_cast<void*>(cells_), 0, bump_ * sizeof(Value));
+  bump_ = static_prefix_;
+  refills_ = 0;
+  base_allocs_.store(0, std::memory_order_relaxed);
+  base_frees_.store(0, std::memory_order_relaxed);
+  base_hits_.store(0, std::memory_order_relaxed);
+}
+
+void TxAllocator::revalidate_cache(ThreadCache& cache) {
+  if (cache.epoch_ == reset_epoch_.load(std::memory_order_relaxed)) return;
+  // A reset() ran since this cache last touched the allocator: its
+  // contents name pre-reset blocks. Drop them — flushing would poison
+  // the fresh extent store.
+  for (auto& m : cache.mags_) m.clear();
+  cache.batch_.clear();
+  cache.counters_.reset();
+  cache.epoch_ = reset_epoch_.load(std::memory_order_relaxed);
+}
+
+void TxAllocator::register_cache(ThreadCache& cache) {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  for (auto& m : cache.mags_) m.clear();
+  cache.batch_.clear();
+  cache.counters_.reset();
+  cache.epoch_ = reset_epoch_.load(std::memory_order_relaxed);
+  cache.owner_.store(this, std::memory_order_release);
+  caches_.push_back(&cache);
+}
+
+void TxAllocator::flush_cache(ThreadCache& cache, bool into_store) {
+  // Link mutex held by the caller (thread-exit path).
+  if (into_store) {
+    std::lock_guard<rt::SpinLock> guard(central_lock_);
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      // Magazine blocks already passed their grace period — straight
+      // back into the store's class bins.
+      for (const RegId base : cache.mags_[c]) {
+        store_.put(base, class_size(c), c);
+      }
+      cache.mags_[c].clear();
+    }
+    seal_batch_locked(cache);
+    limbo_.retire(store_, cells_);
+  } else {
+    for (auto& m : cache.mags_) m.clear();
+    cache.batch_.clear();
+  }
+  base_allocs_.fetch_add(cache.counters_.allocs.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  base_frees_.fetch_add(cache.counters_.frees.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  base_hits_.fetch_add(
+      cache.counters_.magazine_hits.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  cache.counters_.reset();
+  std::erase(caches_, &cache);
+  cache.owner_.store(nullptr, std::memory_order_release);
+}
+
+std::size_t TxAllocator::limbo_size() const {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  std::uint64_t unsealed = 0;
+  for (const ThreadCache* c : caches_) {
+    unsealed += c->counters_.pending.load(std::memory_order_relaxed);
+  }
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return limbo_.pending_blocks() + static_cast<std::size_t>(unsealed);
+}
+
+std::uint64_t TxAllocator::alloc_count() const {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  std::uint64_t sum = base_allocs_.load(std::memory_order_relaxed);
+  for (const ThreadCache* c : caches_) {
+    sum += c->counters_.allocs.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t TxAllocator::free_count() const {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  std::uint64_t sum = base_frees_.load(std::memory_order_relaxed);
+  for (const ThreadCache* c : caches_) {
+    sum += c->counters_.frees.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t TxAllocator::magazine_hit_count() const {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  std::uint64_t sum = base_hits_.load(std::memory_order_relaxed);
+  for (const ThreadCache* c : caches_) {
+    sum += c->counters_.magazine_hits.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t TxAllocator::reclaimed_count() const {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return limbo_.blocks_retired();
+}
+
+std::uint64_t TxAllocator::refill_count() const {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return refills_;
+}
+
+std::uint64_t TxAllocator::batch_retired_count() const {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return limbo_.batches_retired();
+}
+
+std::size_t TxAllocator::free_cells() const {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return store_.free_cells();
+}
+
+std::size_t TxAllocator::allocated_end() const {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return bump_;
+}
+
+}  // namespace privstm::tm::alloc

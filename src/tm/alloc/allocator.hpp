@@ -1,0 +1,165 @@
+// TxAllocator — the scalable allocation subsystem behind the
+// transactional heap (DESIGN.md §9).
+//
+// Composition (each piece in its own header):
+//   size_class.hpp  — request rounding + the shared free-extent store
+//                     (best-fit splitting, neighbor coalescing)
+//   magazine.hpp    — per-thread alloc magazines and free batches
+//   limbo.hpp       — batched grace-period quarantine for frees
+//
+// Fast paths:
+//   alloc: round to a size class, pop the thread's magazine — no shared
+//          state touched on a hit. On a miss, ONE central-lock section
+//          seals the thread's pending free batch, retires elapsed limbo
+//          batches, and batch-refills the magazine.
+//   free:  compute the storage extent, append to the thread's batch — no
+//          shared state touched until the batch reaches
+//          AllocConfig::limbo_batch blocks (huge blocks seal immediately:
+//          quarantining thousands of cells behind an idle thread's
+//          unsealed batch would be a leak in practice).
+//
+// The privatization-safety story is unchanged from PR 3 — a block is
+// recycled only after a QuiescenceManager grace period covering its
+// free() — batching just amortizes one ticket over many frees
+// (limbo.hpp has the soundness argument).
+//
+// Setting magazine_size = 0 disables caching and limbo_batch = 1 seals
+// every free immediately, which together reproduce the PR 3 allocator's
+// deterministic recycle-on-next-alloc behavior; heap_test pins the
+// grace-period semantics in that configuration, alloc_test covers the
+// cached one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/quiescence.hpp"
+#include "runtime/spinlock.hpp"
+#include "tm/alloc/handle.hpp"
+#include "tm/alloc/limbo.hpp"
+#include "tm/alloc/magazine.hpp"
+#include "tm/alloc/size_class.hpp"
+
+namespace privstm::tm {
+
+/// Allocator tuning knobs (TmConfig::alloc).
+struct AllocConfig {
+  /// Blocks a per-thread, per-class magazine may hold; a refill fetches
+  /// up to this many (scaled down for big classes, see kRefillCellBudget).
+  /// 0 disables magazines entirely — every alloc takes the central lock.
+  std::size_t magazine_size = 8;
+  /// Frees accumulated per thread before one grace-period ticket seals
+  /// them as a batch. 1 = a ticket per free (the PR 3 behavior). Only
+  /// meaningful with magazines on: magazine_size = 0 removes the
+  /// per-thread cache the batch lives in, so every free seals
+  /// immediately regardless of this value.
+  std::size_t limbo_batch = 8;
+  /// Upper end of the size-class table for this instance: requests above
+  /// this are huge (exact-size, uncached). Clamped to alloc::kMaxClassSize.
+  std::uint32_t max_class_size = alloc::kMaxClassSize;
+};
+
+namespace alloc {
+
+/// A refill stops after roughly this many cells however small the class,
+/// so a size-4 refill grabs magazine_size blocks while a size-3072 one
+/// grabs a single block instead of pinning half the arena in one cache.
+inline constexpr std::size_t kRefillCellBudget = 512;
+
+class TxAllocator {
+ public:
+  /// Manages location ids [static_prefix, max_locations); `cells` is the
+  /// heap's value arena (retired blocks are restored to vinit in place).
+  /// `qm` issues the reclamation grace periods. All three outlive the
+  /// allocator (the owning TxHeap / TM instance holds them).
+  TxAllocator(std::size_t static_prefix, std::size_t max_locations,
+              rt::QuiescenceManager& qm, std::atomic<Value>* cells,
+              const AllocConfig& config);
+  ~TxAllocator();
+
+  TxAllocator(const TxAllocator&) = delete;
+  TxAllocator& operator=(const TxAllocator&) = delete;
+
+  TxHandle alloc(std::size_t n);
+  void free(TxHandle h);
+
+  /// Seal the calling thread's pending free batch and retire every
+  /// elapsed limbo batch; one non-blocking pass. Returns blocks recycled.
+  std::size_t drain_limbo();
+
+  /// Restore the post-construction state: magazines and batches cleared
+  /// (registry epoch bump + direct clear), limbo and extents dropped,
+  /// touched cells vinit, bump pointer back to the static prefix.
+  /// Callers must be quiescent and must drop outstanding handles.
+  void reset();
+
+  const AllocConfig& config() const noexcept { return config_; }
+
+  // Observability (tests and bench reports). Aggregates cover detached
+  // caches plus every live one.
+  std::size_t limbo_size() const;      ///< sealed + unsealed pending frees
+  std::uint64_t alloc_count() const;
+  std::uint64_t free_count() const;
+  std::uint64_t reclaimed_count() const;  ///< blocks retired from limbo
+  std::uint64_t magazine_hit_count() const;
+  std::uint64_t refill_count() const;  ///< central-lock refills/allocs
+  std::uint64_t batch_retired_count() const;
+  std::size_t free_cells() const;      ///< cells in the shared extent store
+  /// One-past-the-end of ever-allocated location ids (bump pointer).
+  std::size_t allocated_end() const;
+
+ private:
+  friend alloc::ThreadCache& alloc::local_cache(TxAllocator& a);
+  friend void alloc::flush_detached_cache(alloc::ThreadCache& cache);
+
+  /// Magazine-miss / uncached path: one central-lock section (see file
+  /// comment). `cache` may be null (magazines disabled).
+  RegId alloc_slow(alloc::ThreadCache* cache, std::size_t cls,
+                   std::uint32_t storage);
+
+  /// Take one block of `storage` cells for class `cls`: the shared store
+  /// (bin / extent / compaction), else bump. Aborts on arena exhaustion
+  /// (configuration error). Lock held.
+  RegId take_locked(std::uint32_t storage, std::size_t cls);
+
+  /// Move `cache`'s unsealed batch into the limbo list. Lock held.
+  void seal_batch_locked(alloc::ThreadCache& cache);
+
+  /// Registry upkeep (link mutex held inside).
+  void register_cache(alloc::ThreadCache& cache);
+  void flush_cache(alloc::ThreadCache& cache, bool into_store);
+
+  /// Drop stale contents when `cache` predates the last reset().
+  void revalidate_cache(alloc::ThreadCache& cache);
+
+  rt::QuiescenceManager& qm_;
+  const std::size_t static_prefix_;
+  const std::size_t max_locations_;
+  std::atomic<Value>* const cells_;
+  const AllocConfig config_;
+
+  /// Bumped by reset(); caches lazily discard contents from older epochs.
+  std::atomic<std::uint64_t> reset_epoch_{0};
+
+  /// Registered per-thread caches; guarded by the process-wide link
+  /// mutex (see magazine.hpp lifecycle notes).
+  std::vector<alloc::ThreadCache*> caches_;
+
+  /// Central lock: extent store, limbo list, bump pointer, slow-path
+  /// counters. Never taken on a magazine hit or a batched free.
+  mutable rt::SpinLock central_lock_;
+  alloc::SizeClassStore store_;
+  alloc::LimboList limbo_;
+  std::size_t bump_;
+  std::uint64_t refills_ = 0;
+
+  /// Totals folded in from detached caches + cacheless slow-path ops.
+  std::atomic<std::uint64_t> base_allocs_{0};
+  std::atomic<std::uint64_t> base_frees_{0};
+  std::atomic<std::uint64_t> base_hits_{0};
+};
+
+}  // namespace alloc
+}  // namespace privstm::tm

@@ -1,0 +1,41 @@
+// TxHandle — the name of an allocated block of transactional heap
+// locations. Lives in its own header so the allocator subsystem
+// (`src/tm/alloc/`) and the heap façade (`src/tm/heap.hpp`) can both see
+// it without a cycle; user code keeps including `tm/heap.hpp` (or
+// `tm/tm.hpp`) and is none the wiser.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "history/action.hpp"
+
+namespace privstm::tm {
+
+using hist::RegId;
+using hist::Value;
+
+/// A block of `size` contiguous heap locations starting at `base`. Plain
+/// data — cheap to copy; validity is `valid()`, not a lifetime. `size` is
+/// the size the caller asked for; the allocator may back it with a larger
+/// size-class block, but locations past `size` are never handed out to
+/// anyone else while the block is live.
+struct TxHandle {
+  RegId base = hist::kNoReg;
+  std::uint32_t size = 0;
+
+  bool valid() const noexcept { return base >= 0 && size > 0; }
+
+  /// Location id of element `i` of the block.
+  RegId loc(std::size_t i = 0) const noexcept {
+    assert(i < size && "TxHandle element out of range");
+    return static_cast<RegId>(static_cast<std::size_t>(base) + i);
+  }
+
+  friend bool operator==(const TxHandle&, const TxHandle&) = default;
+};
+
+inline constexpr TxHandle kNullTxHandle{};
+
+}  // namespace privstm::tm

@@ -1,0 +1,90 @@
+// Batched limbo: privatization-safe deferred reclamation, one grace
+// period per *batch* of frees (DESIGN.md §9).
+//
+// PR 3 stamped every tm_free with its own grace-period ticket and kept a
+// per-block limbo deque; with free-heavy workloads the ticket churn (a
+// seq_cst fence plus a sequence-word read per free) and the per-block
+// deque traffic were pure overhead, because tickets issued back to back
+// almost always share a target grace period anyway. Here frees accumulate
+// in a per-thread batch (`ThreadCache::batch_` in magazine.hpp) and the
+// batch is *sealed* — moved into this shared list under the allocator's
+// central lock with ONE `QuiescenceManager::issue_ticket()` covering all
+// of its blocks.
+//
+// Soundness of ticket-at-seal: the reclamation contract is "a block is
+// recycled only after every transaction active at its free() has
+// finished". Sealing happens after every free in the batch, so a
+// transaction active at some free() time is either already finished at
+// seal time (nothing to wait for) or still active and therefore observed
+// by the seal-time ticket's grace period. Batching can only *lengthen*
+// the quarantine, never shorten it.
+//
+// When a batch's grace period elapses its blocks are retired: cells are
+// restored to vinit and the extents enter the shared `ExtentMap`, where
+// adjacent blocks coalesce (buddy-style merging on retire) — so a batch
+// of neighboring small frees can come back as one large extent.
+//
+// Thread safety: none here — the owning TxAllocator serializes seal and
+// retire under its central lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "runtime/quiescence.hpp"
+#include "tm/alloc/size_class.hpp"
+
+namespace privstm::tm::alloc {
+
+/// A freed block awaiting its grace period: base plus the *storage* size
+/// and class (the class-rounded extent, computed once at free() time so
+/// retire does not depend on the caller's requested size or the config).
+struct LimboBlock {
+  RegId base;
+  std::uint32_t storage;
+  std::uint32_t cls;  ///< size class, or kHugeClass for exact-size blocks
+};
+
+class LimboList {
+ public:
+  explicit LimboList(rt::QuiescenceManager& qm) noexcept : qm_(qm) {}
+
+  LimboList(const LimboList&) = delete;
+  LimboList& operator=(const LimboList&) = delete;
+
+  /// Seal a batch: one ticket for all of its blocks. Steals `blocks`.
+  void seal(std::vector<LimboBlock>&& blocks);
+
+  /// Retire every batch whose grace period has elapsed: cells back to
+  /// vinit, blocks into `store` (class bins / coalescing extents).
+  /// Front-first — tickets are issued in nearly monotonic order, so the
+  /// deque elapses front-first. Counts one Counter::kLimboBatchRetired
+  /// per batch (the caller holds the central lock, which keeps the
+  /// slot-0 stats cell single-writer). Returns blocks retired.
+  std::size_t retire(SizeClassStore& store, std::atomic<Value>* cells);
+
+  void clear();
+
+  /// Blocks sealed but not yet retired (unsealed per-thread batches are
+  /// counted by the allocator, not here).
+  std::size_t pending_blocks() const noexcept { return pending_blocks_; }
+  std::uint64_t batches_retired() const noexcept { return batches_retired_; }
+  std::uint64_t blocks_retired() const noexcept { return blocks_retired_; }
+
+ private:
+  struct SealedBatch {
+    std::vector<LimboBlock> blocks;
+    rt::FenceTicket ticket;  ///< grace period gating the whole batch
+  };
+
+  rt::QuiescenceManager& qm_;
+  std::deque<SealedBatch> sealed_;
+  std::size_t pending_blocks_ = 0;
+  std::uint64_t batches_retired_ = 0;
+  std::uint64_t blocks_retired_ = 0;
+};
+
+}  // namespace privstm::tm::alloc

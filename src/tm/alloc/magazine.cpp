@@ -1,0 +1,68 @@
+#include "tm/alloc/magazine.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "tm/alloc/allocator.hpp"
+
+namespace privstm::tm::alloc {
+
+namespace {
+
+/// Every thread's caches, across all live allocators. The destructor runs
+/// at thread exit and flushes each still-attached cache back into its
+/// owner. Detached slots (owner == nullptr) are recycled for the next
+/// allocator this thread touches, so a test run creating thousands of TM
+/// instances does not grow the vector without bound.
+struct TlsCaches {
+  std::vector<std::unique_ptr<ThreadCache>> caches;
+  ~TlsCaches() {
+    for (auto& c : caches) flush_detached_cache(*c);
+  }
+};
+
+thread_local TlsCaches t_caches;
+
+/// One-entry lookup memo: the hot path re-validates the owner, so a stale
+/// pointer (allocator destroyed, even one reincarnated at the same
+/// address after its caches were detached) can never be returned.
+thread_local ThreadCache* t_hot = nullptr;
+
+}  // namespace
+
+/// Serializes cache attach/detach/flush against allocator destruction and
+/// reset across ALL allocator instances. Never taken on the alloc/free
+/// fast paths; a function-local static so it outlives every allocator and
+/// every thread_local destructor that might race it at shutdown.
+std::mutex& cache_link_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+ThreadCache& local_cache(TxAllocator& a) {
+  if (t_hot != nullptr && t_hot->owner() == &a) return *t_hot;
+  ThreadCache* spare = nullptr;
+  for (auto& c : t_caches.caches) {
+    if (c->owner() == &a) {
+      t_hot = c.get();
+      return *t_hot;
+    }
+    if (spare == nullptr && c->owner() == nullptr) spare = c.get();
+  }
+  if (spare == nullptr) {
+    t_caches.caches.push_back(std::make_unique<ThreadCache>());
+    spare = t_caches.caches.back().get();
+  }
+  a.register_cache(*spare);
+  t_hot = spare;
+  return *spare;
+}
+
+void flush_detached_cache(ThreadCache& cache) {
+  std::lock_guard<std::mutex> link(cache_link_mutex());
+  TxAllocator* owner = cache.owner();
+  if (owner == nullptr) return;
+  owner->flush_cache(cache, /*into_store=*/true);
+}
+
+}  // namespace privstm::tm::alloc

@@ -1,0 +1,237 @@
+// Size-class segregation for the transactional heap allocator
+// (DESIGN.md §9).
+//
+// Three pieces live here:
+//
+//  * **The class table.** Allocation sizes are rounded up to
+//    power-of-two-ish classes — 1, 2, 3, 4, then {3·2^(k-1), 2^k} pairs up
+//    to kMaxClassSize — so the per-thread magazines cache uniform blocks
+//    and a freed block of class c satisfies ANY later request that rounds
+//    to c, not just requests of the exact same byte count (the failure
+//    mode of PR 3's exact-size free lists: a mixed-size workload never
+//    reused anything and grew the bump pointer forever). The ≤1.5×
+//    spacing bounds internal fragmentation at 50%, and the mapping is
+//    O(1) bit arithmetic, not a table scan, because it sits on the
+//    tm_alloc/tm_free fast path. Sizes above kMaxClassSize are "huge":
+//    allocated exact-size straight from the shared store, never cached.
+//
+//  * **ExtentMap** — the cross-class reuse machinery: an address-ordered
+//    map of *free extents* with buddy-style merging (inserting an extent
+//    coalesces it with free neighbors on either side) and a by-size index
+//    for best-fit lookup with block splitting (taking n cells from a
+//    larger extent returns the remainder). Merging is what lets memory
+//    freed as class-16 blocks be reborn as class-96 blocks and vice
+//    versa.
+//
+//  * **SizeClassStore** — the shared free store the allocator actually
+//    talks to: O(1) per-class bins in front of the ExtentMap, compacting
+//    the former into the latter only when a request cannot be served any
+//    other way (see the class comment for why). Not thread-safe — the
+//    owning allocator serializes access under its central lock, which the
+//    magazines keep off the hot path.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "tm/alloc/handle.hpp"
+
+namespace privstm::tm::alloc {
+
+/// Largest size-class block; bigger allocations are "huge" (exact-size).
+inline constexpr std::uint32_t kMaxClassSize = 4096;
+
+/// Classes 0..3 are sizes 1..4; above that, two classes per power of two:
+/// {6,8}, {12,16}, …, {3072,4096}.
+inline constexpr std::size_t kNumClasses =
+    4 + 2 * (12 - 2);  // 4 + pairs for 2^3 .. 2^12 = 24
+
+/// Sentinel class index for huge (exact-size, uncached) allocations.
+inline constexpr std::size_t kHugeClass = kNumClasses;
+
+/// Block size of class `c` (c < kNumClasses).
+constexpr std::uint32_t class_size(std::size_t c) noexcept {
+  if (c < 4) return static_cast<std::uint32_t>(c + 1);
+  const std::size_t pair = (c - 4) / 2;  // 0 → {6,8}, 1 → {12,16}, …
+  const std::uint32_t pow = std::uint32_t{1} << (pair + 3);
+  return (c & 1) == 0 ? pow / 4 * 3 : pow;  // even index = 3·2^(k-2)
+}
+
+/// Smallest class whose size is ≥ n, or kHugeClass past the table. O(1).
+/// n == 0 maps to class 0 (callers reject zero-sized requests earlier;
+/// this just keeps the arithmetic defined).
+constexpr std::size_t class_of(std::size_t n) noexcept {
+  if (n <= 4) return n == 0 ? 0 : n - 1;
+  if (n > kMaxClassSize) return kHugeClass;
+  const unsigned b = std::bit_width(n - 1);  // 2^(b-1) < n ≤ 2^b, b ≥ 3
+  const std::size_t mid = std::size_t{3} << (b - 2);
+  return 4 + 2 * (b - 3) + (n > mid ? 1 : 0);
+}
+
+/// Cells actually backing a request of size n: its class size, or n
+/// itself for huge blocks. The free path recomputes this from
+/// TxHandle::size, so alloc and free always agree on the block extent.
+constexpr std::uint32_t storage_size(std::size_t n) noexcept {
+  const std::size_t c = class_of(n);
+  return c == kHugeClass ? static_cast<std::uint32_t>(n) : class_size(c);
+}
+
+/// Address-ordered free-extent store with neighbor coalescing and
+/// best-fit splitting (see file comment). All operations O(log extents).
+class ExtentMap {
+ public:
+  /// Return [base, base + size) to the store, merging with an adjacent
+  /// free extent on either side (buddy-style coalescing on retire).
+  void insert(RegId base, std::uint32_t size) {
+    assert(size > 0);
+    auto succ = by_base_.lower_bound(base);
+    if (succ != by_base_.begin()) {
+      auto pred = std::prev(succ);
+      assert(static_cast<std::size_t>(pred->first) + pred->second <=
+                 static_cast<std::size_t>(base) &&
+             "double free / overlapping extent");
+      if (pred->first + static_cast<RegId>(pred->second) == base) {
+        base = pred->first;
+        size += pred->second;
+        cells_ -= pred->second;
+        erase_size(pred->second, pred->first);
+        succ = by_base_.erase(pred);
+      }
+    }
+    if (succ != by_base_.end() &&
+        base + static_cast<RegId>(size) == succ->first) {
+      size += succ->second;
+      cells_ -= succ->second;
+      erase_size(succ->second, succ->first);
+      by_base_.erase(succ);
+    }
+    by_base_[base] = size;
+    by_size_[size].insert(base);
+    cells_ += size;
+  }
+
+  /// Best-fit take: carve n cells out of the smallest sufficient extent,
+  /// returning the remainder to the store. kNoReg when nothing fits.
+  RegId take(std::uint32_t n) {
+    auto it = by_size_.lower_bound(n);
+    if (it == by_size_.end()) return hist::kNoReg;
+    const std::uint32_t size = it->first;
+    const RegId base = *it->second.begin();
+    erase_size(size, base);
+    by_base_.erase(base);
+    cells_ -= size;
+    if (size > n) {
+      // The remainder cannot have free neighbors (the extent it came from
+      // was maximal), so this insert never actually merges.
+      insert(base + static_cast<RegId>(n), size - n);
+    }
+    return base;
+  }
+
+  void clear() {
+    by_base_.clear();
+    by_size_.clear();
+    cells_ = 0;
+  }
+
+  std::size_t extent_count() const noexcept { return by_base_.size(); }
+  /// Total free cells held (tests assert reuse bounds with this).
+  std::size_t free_cells() const noexcept { return cells_; }
+  std::uint32_t largest_extent() const noexcept {
+    return by_size_.empty() ? 0 : by_size_.rbegin()->first;
+  }
+
+ private:
+  void erase_size(std::uint32_t size, RegId base) {
+    auto it = by_size_.find(size);
+    it->second.erase(base);
+    if (it->second.empty()) by_size_.erase(it);
+  }
+
+  std::map<RegId, std::uint32_t> by_base_;            ///< merged free extents
+  std::map<std::uint32_t, std::set<RegId>> by_size_;  ///< best-fit index
+  std::size_t cells_ = 0;
+};
+
+/// The shared free store: per-class LIFO bins in front of an ExtentMap.
+///
+/// Tree operations per block are what made a naive everything-is-an-extent
+/// store slower than PR 3's exact-size lists on the same-size hot cycle
+/// (every retire merged neighbors that the very next refill re-split —
+/// pure churn). So the common case is kept O(1): a retired class-sized
+/// block is pushed on its class's bin and a request pops it back off. The
+/// extent map only sees blocks when cross-class reuse is actually needed:
+/// a request that misses its bin AND the extents triggers `compact()`,
+/// which spills every bin into the extent map (coalescing adjacent blocks,
+/// buddy-style) and retries the best-fit split — so a freed 16-cell
+/// neighborhood still becomes a 96-cell block under mixed-size churn, but
+/// a steady same-size workload never pays for merging it never uses.
+///
+/// Not thread-safe; the owning allocator's central lock serializes access.
+class SizeClassStore {
+ public:
+  /// Return a block (class `cls`, `storage` cells; kHugeClass for exact-
+  /// size blocks) to the store.
+  void put(RegId base, std::uint32_t storage, std::size_t cls) {
+    if (cls == kHugeClass) {
+      extents_.insert(base, storage);
+      return;
+    }
+    bins_[cls].push_back(base);
+    bin_cells_ += storage;
+  }
+
+  /// Take a block for class `cls` (`storage` cells): O(1) off the bin
+  /// when possible, else best-fit from the extents, else — when the bins
+  /// provably hold enough cells — compact and retry. kNoReg means the
+  /// caller must grow the arena (bump).
+  RegId take(std::uint32_t storage, std::size_t cls) {
+    if (cls != kHugeClass && !bins_[cls].empty()) {
+      const RegId base = bins_[cls].back();
+      bins_[cls].pop_back();
+      bin_cells_ -= storage;
+      return base;
+    }
+    RegId base = extents_.take(storage);
+    if (base != hist::kNoReg) return base;
+    if (bin_cells_ >= storage) {
+      compact();
+      base = extents_.take(storage);
+      if (base != hist::kNoReg) return base;
+    }
+    return hist::kNoReg;
+  }
+
+  /// Spill every bin into the extent map, coalescing adjacent blocks.
+  void compact() {
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      for (const RegId base : bins_[c]) extents_.insert(base, class_size(c));
+      bins_[c].clear();
+    }
+    bin_cells_ = 0;
+  }
+
+  void clear() {
+    for (auto& bin : bins_) bin.clear();
+    bin_cells_ = 0;
+    extents_.clear();
+  }
+
+  std::size_t free_cells() const noexcept {
+    return bin_cells_ + extents_.free_cells();
+  }
+  const ExtentMap& extents() const noexcept { return extents_; }
+
+ private:
+  std::array<std::vector<RegId>, kNumClasses> bins_;
+  std::size_t bin_cells_ = 0;  ///< total cells across all bins
+  ExtentMap extents_;
+};
+
+}  // namespace privstm::tm::alloc

@@ -13,7 +13,7 @@ std::unique_ptr<TmThread> GlobalLockTm::make_thread(ThreadId thread,
 }
 
 void GlobalLockTm::reset() {
-  reset_base();  // stats + heap values/allocator (contract shared by all TMs)
+  reset_base();  // stats + heap (cells, extents, limbo, per-thread magazines)
 }
 
 GlobalLockThread::GlobalLockThread(GlobalLockTm& tm, ThreadId thread,

@@ -3,7 +3,6 @@
 #include <sys/mman.h>
 
 #include <cstdlib>
-#include <cstring>
 
 namespace privstm::tm {
 
@@ -24,110 +23,14 @@ std::atomic<Value>* map_arena() {
 
 }  // namespace
 
-TxHeap::TxHeap(std::size_t static_prefix, rt::QuiescenceManager& qm)
-    : qm_(qm), static_prefix_(static_prefix), bump_(static_prefix) {
-  if (static_prefix > kMaxLocations) std::abort();
-  cells_ = map_arena();
-}
+TxHeap::TxHeap(std::size_t static_prefix, rt::QuiescenceManager& qm,
+               const AllocConfig& config)
+    : static_prefix_(static_prefix),
+      cells_(map_arena()),
+      allocator_(static_prefix, kMaxLocations, qm, cells_, config) {}
 
 TxHeap::~TxHeap() {
   ::munmap(static_cast<void*>(cells_), kMaxLocations * sizeof(Value));
-}
-
-std::size_t TxHeap::drain_limbo_locked() {
-  std::size_t recycled = 0;
-  while (!limbo_.empty()) {
-    // The front is (near-)oldest, hence first to elapse; one bounded
-    // helping attempt per pass keeps alloc/free O(1) while guaranteeing
-    // progress once writers quiesce.
-    if (!qm_.try_elapse_ticket(limbo_.front().ticket)) break;
-    const TxHandle h = limbo_.front().handle;
-    limbo_.pop_front();
-    // Recycled blocks hand out vinit cells, like fresh ones.
-    for (std::uint32_t i = 0; i < h.size; ++i) {
-      cell(h.loc(i)).store(hist::kVInit, std::memory_order_relaxed);
-    }
-    free_lists_[h.size].push_back(h.base);
-    ++recycled;
-  }
-  reclaimed_ += recycled;
-  return recycled;
-}
-
-TxHandle TxHeap::alloc(std::size_t n) {
-  assert(n > 0 && "zero-sized transactional allocation");
-  // Reject before the uint32 narrowing below: a silently truncated size
-  // could match a small free-list block and hand back far less memory
-  // than requested (and `bump_ + n` could wrap past the arena guard).
-  if (n > kMaxLocations) std::abort();  // configuration error
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  drain_limbo_locked();
-  ++allocs_;
-  const auto size = static_cast<std::uint32_t>(n);
-  auto it = free_lists_.find(size);
-  if (it != free_lists_.end() && !it->second.empty()) {
-    const RegId base = it->second.back();
-    it->second.pop_back();
-    return TxHandle{base, size};
-  }
-  if (bump_ + n > kMaxLocations) std::abort();  // configuration error
-  const std::size_t base = bump_;
-  bump_ += n;
-  return TxHandle{static_cast<RegId>(base), size};
-}
-
-void TxHeap::free(TxHandle h) {
-  if (!h.valid()) return;
-  assert(static_cast<std::size_t>(h.base) >= static_prefix_ &&
-         "freeing the static register prefix");
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  ++frees_;
-  // Stamp the block with "every transaction active right now" — the
-  // privatization grace period. Issuing is O(1); elapsing is polled by
-  // later alloc/free/drain calls.
-  limbo_.push_back({h, qm_.issue_ticket()});
-  drain_limbo_locked();
-}
-
-std::size_t TxHeap::drain_limbo() {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  return drain_limbo_locked();
-}
-
-void TxHeap::reset() {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  limbo_.clear();
-  free_lists_.clear();
-  // Only [0, bump_) can ever have been written (all accesses go through
-  // allocated locations or the static prefix).
-  std::memset(static_cast<void*>(cells_), 0, bump_ * sizeof(Value));
-  bump_ = static_prefix_;
-  allocs_ = frees_ = reclaimed_ = 0;
-}
-
-std::size_t TxHeap::limbo_size() const {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  return limbo_.size();
-}
-
-std::uint64_t TxHeap::alloc_count() const {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  return allocs_;
-}
-
-std::uint64_t TxHeap::free_count() const {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  return frees_;
-}
-
-std::uint64_t TxHeap::reclaimed_count() const {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  return reclaimed_;
-}
-
-std::size_t TxHeap::allocated_end() const {
-  std::lock_guard<rt::SpinLock> guard(alloc_lock_);
-  return bump_;
 }
 
 }  // namespace privstm::tm

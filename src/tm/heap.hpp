@@ -3,81 +3,52 @@
 //
 // The paper's headline use case for privatization is memory reclamation —
 // a thread privatizes a node, fences, and only then reuses or frees the
-// memory (§1–2). The original fixed register file could not express it:
-// every backend sized per-RegId metadata at construction and ADTs
-// hand-carved register ranges. The heap replaces that with:
+// memory (§1–2). `TxHeap` is the TM-facing face of that: it owns the
+// *value arena* and fronts the *allocation subsystem*:
 //
 //  * **Locations.** Values live in one flat, lazily-faulted arena: a
 //    single anonymous mapping of kMaxLocations packed cells reserved at
 //    construction, so `cell(loc)` is one load with no directory
 //    indirection and no reallocation ever moves a cell. The kernel
 //    materializes (zero) pages only on first touch, so a 2-register
-//    litmus TM costs one page, not 32 MiB. Packed (unpadded) cells trade
-//    the old register file's per-register padding for locality — a
-//    k-word block sits on one or two lines, which is what a real
-//    program heap looks like to a TM. Location ids are plain `RegId`s —
-//    histories, the DRF/opacity checkers and the litmus interpreter keep
-//    working unchanged, and the first `static_prefix` locations are
-//    permanently allocated so programs that address raw registers (the
-//    paper's figures) still run.
+//    litmus TM costs one page, not 32 MiB. Location ids are plain
+//    `RegId`s — histories, the DRF/opacity checkers and the litmus
+//    interpreter keep working unchanged, and the first `static_prefix`
+//    locations are permanently allocated so programs that address raw
+//    registers (the paper's figures) still run.
 //
 //  * **Blocks.** `alloc(n)` hands out a `TxHandle` naming `n` contiguous
-//    fresh-or-recycled locations (values vinit). Freed blocks are
-//    recycled exact-size from per-size free lists; otherwise the bump
-//    pointer grows the space.
+//    fresh-or-recycled locations (values vinit). Since PR 4 the allocator
+//    behind it is the scalable subsystem in `src/tm/alloc/`: requests are
+//    rounded to size classes, hot alloc/free take no shared lock thanks
+//    to per-thread magazines and batched frees, and freed extents split
+//    and merge so mixed-size churn reuses memory instead of growing the
+//    arena forever (allocator.hpp has the architecture tour).
 //
-//  * **Safe reclamation.** `free(h)` never recycles immediately: the
-//    block enters a *limbo list* stamped with a grace-period ticket from
-//    the shared quiescence subsystem (`rt::QuiescenceManager`, the same
-//    engine behind fence_async). A block leaves limbo only once every
-//    transaction that was active at free() time has finished — exactly
-//    the privatization guarantee, so a delayed commit (Fig 1a) can never
-//    scribble over memory the allocator has already handed to someone
-//    else. Draining is cooperative and non-blocking: alloc/free calls
-//    poll the oldest tickets (tickets are issued in nearly monotonic
-//    order, so the limbo deque elapses front-first) and help the shared
-//    scan forward, which makes reclamation live without ever blocking —
-//    even when free() is called inside a transaction.
+//  * **Safe reclamation.** `free(h)` never recycles immediately: frees
+//    are quarantined until a grace period from the shared quiescence
+//    subsystem (`rt::QuiescenceManager`, the same engine behind
+//    fence_async) covers them — every transaction active at free() time
+//    has finished — so a delayed commit (Fig 1a) can never scribble over
+//    memory the allocator has already handed to someone else. One ticket
+//    now covers a whole per-thread *batch* of frees (limbo.hpp proves
+//    batching sound). Draining stays cooperative and non-blocking, so
+//    free() is legal even inside transactions.
 //
-// Thread safety: all allocator state is guarded by one spin lock;
-// `cell()` is wait-free. The heap issues no history actions — reclamation
-// is TM-internal, not part of the program's interface trace.
+// Thread safety: everything is safe to call from any thread; `cell()` is
+// wait-free. The heap issues no history actions — reclamation is
+// TM-internal, not part of the program's interface trace.
 #pragma once
 
 #include <atomic>
-#include <cassert>
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <vector>
 
 #include "history/action.hpp"
 #include "runtime/quiescence.hpp"
-#include "runtime/spinlock.hpp"
+#include "tm/alloc/allocator.hpp"
+#include "tm/alloc/handle.hpp"
 
 namespace privstm::tm {
-
-using hist::RegId;
-using hist::Value;
-
-/// A block of `size` contiguous heap locations starting at `base`. Plain
-/// data — cheap to copy; validity is `valid()`, not a lifetime.
-struct TxHandle {
-  RegId base = hist::kNoReg;
-  std::uint32_t size = 0;
-
-  bool valid() const noexcept { return base >= 0 && size > 0; }
-
-  /// Location id of element `i` of the block.
-  RegId loc(std::size_t i = 0) const noexcept {
-    assert(i < size && "TxHandle element out of range");
-    return static_cast<RegId>(static_cast<std::size_t>(base) + i);
-  }
-
-  friend bool operator==(const TxHandle&, const TxHandle&) = default;
-};
-
-inline constexpr TxHandle kNullTxHandle{};
 
 class TxHeap {
  public:
@@ -90,7 +61,8 @@ class TxHeap {
   /// legacy register file; litmus programs address them directly). `qm`
   /// drives reclamation grace periods; the owning TM instance holds both
   /// and outlives the heap.
-  TxHeap(std::size_t static_prefix, rt::QuiescenceManager& qm);
+  TxHeap(std::size_t static_prefix, rt::QuiescenceManager& qm,
+         const AllocConfig& config = {});
   ~TxHeap();
 
   TxHeap(const TxHeap&) = delete;
@@ -117,63 +89,57 @@ class TxHeap {
     return cell(loc).load(std::memory_order_seq_cst);
   }
 
-  /// Allocate a block of `n > 0` locations, recycling an exact-size freed
-  /// block whose grace period has elapsed if one exists. All cells hold
-  /// vinit. O(1) amortized; drains the limbo list opportunistically.
-  TxHandle alloc(std::size_t n);
+  /// Allocate a block of `n > 0` locations (rounded up to a size class
+  /// internally), recycling freed extents whose grace period elapsed.
+  /// All cells hold vinit. Lock-free on a magazine hit.
+  TxHandle alloc(std::size_t n) { return allocator_.alloc(n); }
 
   /// Deferred free: the block becomes recyclable only after a quiescence
   /// grace period (every transaction active now has finished) — safe
   /// against the delayed-commit hazard by construction. The handle must
-  /// come from alloc() and must not be double-freed; the static prefix is
-  /// not freeable. May be called inside a transaction (the grace period
-  /// is awaited cooperatively, never blocked on).
-  void free(TxHandle h);
+  /// come from alloc() and must not be double-freed; the static prefix
+  /// is not freeable. May be called inside a transaction (the grace
+  /// period is awaited cooperatively, never blocked on). Lock-free until
+  /// the thread's batch fills.
+  void free(TxHandle h) { allocator_.free(h); }
 
-  /// Retire every elapsed limbo block to the free lists; one non-blocking
-  /// pass. Returns the number of blocks recycled.
-  std::size_t drain_limbo();
+  /// Seal the calling thread's free batch and retire every elapsed limbo
+  /// batch; one non-blocking pass. Returns the number of blocks recycled.
+  std::size_t drain_limbo() { return allocator_.drain_limbo(); }
 
   /// Restore the heap to its post-construction state: allocator reset to
-  /// the static prefix, free/limbo lists dropped, every touched cell
-  /// vinit. Callers must be quiescent and must drop outstanding handles.
-  void reset();
+  /// the static prefix, magazines/free extents/limbo dropped, every
+  /// touched cell vinit. Callers must be quiescent and must drop
+  /// outstanding handles.
+  void reset() { allocator_.reset(); }
 
   std::size_t static_prefix() const noexcept { return static_prefix_; }
 
-  // Allocator observability (tests and bench reports).
-  std::size_t limbo_size() const;
-  std::uint64_t alloc_count() const;
-  std::uint64_t free_count() const;
-  std::uint64_t reclaimed_count() const;
+  // Allocator observability (tests and bench reports) — see allocator.hpp.
+  std::size_t limbo_size() const { return allocator_.limbo_size(); }
+  std::uint64_t alloc_count() const { return allocator_.alloc_count(); }
+  std::uint64_t free_count() const { return allocator_.free_count(); }
+  std::uint64_t reclaimed_count() const {
+    return allocator_.reclaimed_count();
+  }
+  std::uint64_t magazine_hit_count() const {
+    return allocator_.magazine_hit_count();
+  }
+  std::uint64_t refill_count() const { return allocator_.refill_count(); }
+  std::uint64_t batch_retired_count() const {
+    return allocator_.batch_retired_count();
+  }
+  std::size_t free_cells() const { return allocator_.free_cells(); }
   /// One-past-the-end of ever-allocated location ids (bump pointer).
-  std::size_t allocated_end() const;
+  std::size_t allocated_end() const { return allocator_.allocated_end(); }
 
  private:
-  struct LimboBlock {
-    TxHandle handle;
-    rt::FenceTicket ticket;  ///< grace period gating recycling
-  };
-
-  /// Non-blocking limbo sweep — alloc_lock_ held.
-  std::size_t drain_limbo_locked();
-
-  rt::QuiescenceManager& qm_;
   const std::size_t static_prefix_;
 
   /// The flat cell arena (see file comment). Owned anonymous mapping.
   std::atomic<Value>* cells_ = nullptr;
 
-  mutable rt::SpinLock alloc_lock_;
-  std::size_t bump_ = 0;  ///< next never-allocated location id
-  /// Exact-size recycling: freed (and elapsed) block bases by block size.
-  std::map<std::uint32_t, std::vector<RegId>> free_lists_;
-  /// Grace-period-pending frees; near-monotonic tickets, drained
-  /// front-first.
-  std::deque<LimboBlock> limbo_;
-  std::uint64_t allocs_ = 0;
-  std::uint64_t frees_ = 0;
-  std::uint64_t reclaimed_ = 0;
+  alloc::TxAllocator allocator_;
 };
 
 }  // namespace privstm::tm

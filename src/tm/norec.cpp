@@ -15,7 +15,7 @@ std::unique_ptr<TmThread> NOrec::make_thread(ThreadId thread,
 }
 
 void NOrec::reset() {
-  reset_base();  // stats + heap values/allocator
+  reset_base();  // stats + heap (cells, extents, limbo, per-thread magazines)
 }
 
 NOrecThread::NOrecThread(NOrec& tm, ThreadId thread, hist::Recorder* recorder)

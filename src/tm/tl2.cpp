@@ -24,7 +24,7 @@ void Tl2::reset() {
     stamps_.clear();
   }
   clock_.reset();
-  reset_base();  // stats + heap values/allocator
+  reset_base();  // stats + heap (cells, extents, limbo, per-thread magazines)
   // Sessions notice the new epoch at their next tx_begin and restart their
   // transaction ordinals, keeping stamp ordinals aligned with per-thread
   // history order across resets.

@@ -26,7 +26,7 @@ void Tl2Fused::reset() {
     for (auto* buf : stamp_buffers_) buf->clear();
   }
   clock_.reset();
-  reset_base();  // stats + heap values/allocator
+  reset_base();  // stats + heap (cells, extents, limbo, per-thread magazines)
   reset_epoch_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t s = 0; s < stripes_.stripe_count(); ++s) {
     assert(!VersionedLock::is_locked(stripes_.stripe(s).load()) &&
@@ -62,7 +62,7 @@ Tl2FusedThread::Tl2FusedThread(Tl2Fused& tm, ThreadId thread,
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
       cells_(tm.heap().cells()),
       stripe_base_(tm.stripes_.data()),
-      stripe_mask_(tm.stripes_.mask()),
+      stripe_shift_(tm.stripes_.shift()),
       activity_(&registry_.activity_word(slot_.slot())),
       stat_slot_(static_cast<std::size_t>(slot_.slot())),
       unsafe_skip_validation_(tm.config().unsafe_skip_validation),
@@ -136,7 +136,7 @@ void Tl2FusedThread::tx_abort() {
 bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
   rec_.request(ActionKind::kReadReq, reg);
   const auto r = static_cast<std::size_t>(reg);
-  const std::size_t s = r & stripe_mask_;
+  const std::size_t s = rt::StripeTable::mix_index(r, stripe_shift_);
 
   // Read-after-write fast path: the bloom filter screens the common miss
   // with one register-resident test; the tag array is touched only on a
@@ -192,7 +192,7 @@ bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
 bool Tl2FusedThread::tx_write(RegId reg, Value value) {
   rec_.request(ActionKind::kWriteReq, reg, value);
   const auto r = static_cast<std::size_t>(reg);
-  const std::size_t s = r & stripe_mask_;
+  const std::size_t s = rt::StripeTable::mix_index(r, stripe_shift_);
   const std::uint64_t bit = bloom_bit(s);
   if ((wfilter_ & bit) != 0 && wslot_[s].tag == txn_tag_ &&
       wset_[wslot_[s].idx].reg == reg) {
@@ -247,7 +247,8 @@ TxResult Tl2FusedThread::tx_commit() {
   locked_.clear();
   bool lock_failed = false;
   for (const WriteEntry& entry : wset_) {
-    const std::size_t s = static_cast<std::size_t>(entry.reg) & stripe_mask_;
+    const std::size_t s = rt::StripeTable::mix_index(
+        static_cast<std::size_t>(entry.reg), stripe_shift_);
     auto& vlock = *stripe_base_[s];
     VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
     if (VersionedLock::is_locked(expected)) {

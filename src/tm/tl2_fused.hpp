@@ -82,7 +82,8 @@ class Tl2FusedThread final : public TmThread {
   // the indirections through tm_).
   std::atomic<Value>* const cells_;             ///< heap arena base
   rt::CacheAligned<rt::VersionedLock>* const stripe_base_;
-  const std::size_t stripe_mask_;
+  /// Cached StripeTable geometry: stripe of r is mix_index(r, shift).
+  const unsigned stripe_shift_;
   std::atomic<std::uint64_t>* const activity_;  ///< our registry slot's word
   const std::size_t stat_slot_;
   const bool unsafe_skip_validation_;

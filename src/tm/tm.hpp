@@ -70,6 +70,11 @@ struct TmConfig {
   /// demonstrate that the strong-opacity checker detects real bugs
   /// (tests/checker_detection_test.cpp). Never enable outside tests.
   bool unsafe_skip_validation = false;
+  /// Heap allocator tuning: per-thread magazine capacity, frees per
+  /// grace-period ticket, size-class table bound (allocator.hpp).
+  /// `{.magazine_size = 0, .limbo_batch = 1}` reproduces the PR 3
+  /// single-lock allocator's deterministic recycling behavior.
+  AllocConfig alloc;
 };
 
 class TransactionalMemory;
@@ -356,9 +361,11 @@ class TransactionalMemory {
   explicit TransactionalMemory(TmConfig config)
       : config_(config),
         quiescence_(stats_, config_.fence_policy, config_.fence_mode),
-        heap_(config_.num_registers, quiescence_) {}
+        heap_(config_.num_registers, quiescence_, config_.alloc) {}
 
-  /// Shared part of reset(): stats and the heap (values + allocator).
+  /// Shared part of reset(): stats and the heap — cell values, free
+  /// extents, limbo batches, and every thread's allocator magazines
+  /// (cleared via the allocator's registry epoch; quiescence required).
   void reset_base() {
     stats_.reset();
     heap_.reset();

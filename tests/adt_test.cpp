@@ -235,6 +235,44 @@ TEST_P(AdtOnTm, HashMapRebuildCompacts) {
   }
 }
 
+TEST_P(AdtOnTm, HashMapReserveGrowsViaFenceThenFree) {
+  // The heap-era resize: reserve() allocates the bigger table with
+  // tm_alloc, fences (privatizing the old block against in-flight
+  // delayed commits), rebuilds with NT accesses, publishes, and
+  // tm_frees the old block — the paper's fence-then-free idiom end to
+  // end on a real container.
+  constexpr std::size_t kCapacity = 8;
+  auto tmi = make();
+  TxHashMap map(*tmi, kCapacity);
+  auto session = tmi->make_thread(0, nullptr);
+  for (tm::Value k = 1; k <= 6; ++k) ASSERT_TRUE(map.put(*session, k, 10 * k));
+  const tm::TxHandle old_block = map.handle();
+
+  map.reserve(*session, 64, /*freeze_token=*/777);
+  EXPECT_EQ(map.capacity(), 64u);
+  EXPECT_NE(map.handle(), old_block);
+
+  // Every pair survived the rehash, and the grown table now takes far
+  // more than the old capacity.
+  for (tm::Value k = 1; k <= 6; ++k) {
+    ASSERT_EQ(map.get(*session, k).value(), 10 * k);
+  }
+  for (tm::Value k = 100; k < 140; ++k) {
+    ASSERT_TRUE(map.put(*session, k, k)) << k;
+  }
+  EXPECT_EQ(map.get(*session, 139).value(), 139u);
+
+  // The old block went through tm_free: after a drain it is recycled
+  // store inventory, not leaked arena.
+  tmi->heap().drain_limbo();
+  EXPECT_GE(tmi->heap().reclaimed_count(), 1u);
+
+  // reserve to a smaller/equal capacity is a no-op.
+  const tm::TxHandle grown = map.handle();
+  map.reserve(*session, 16, /*freeze_token=*/778);
+  EXPECT_EQ(map.handle(), grown);
+}
+
 TEST_P(AdtOnTm, HashMapConcurrentDisjointKeys) {
   constexpr std::size_t kCapacity = 256;
   auto tmi = make();

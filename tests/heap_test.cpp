@@ -20,8 +20,20 @@ using tm::TxHandle;
 
 class HeapOnTm : public ::testing::TestWithParam<TmKind> {
  protected:
+  /// Magazines off, a ticket per free: the configuration that makes
+  /// recycling deterministic (a freed block whose grace period elapsed is
+  /// recycled by the very next fitting alloc), so the tests below can pin
+  /// the grace-period semantics exactly. The cached default configuration
+  /// is exercised by tests/alloc_test.cpp and the churn test below.
   std::unique_ptr<tm::TransactionalMemory> make(tm::TmConfig config = {}) {
+    config.alloc.magazine_size = 0;
+    config.alloc.limbo_batch = 1;
     return tm::make_tm(GetParam(), config);
+  }
+
+  /// The shipped defaults (magazines + batched limbo on).
+  std::unique_ptr<tm::TransactionalMemory> make_default() {
+    return tm::make_tm(GetParam(), tm::TmConfig{});
   }
 };
 
@@ -115,18 +127,30 @@ TEST_P(HeapOnTm, RecycledBlocksReadVInit) {
   });
 }
 
-TEST_P(HeapOnTm, ExactSizeFreeListsKeepDistinctSizesApart) {
+TEST_P(HeapOnTm, FreedBlocksSplitAndMergeAcrossSizeClasses) {
+  // The PR 3 allocator kept exact-size free lists, so a mixed-size
+  // pattern never reused anything. The size-class store does the
+  // opposite — and this test pins the splitting/merging mechanics:
+  // adjacent freed blocks coalesce into one extent, and a smaller
+  // request carves that extent up (best-fit with remainder).
   auto tmi = make();
-  const TxHandle small = tmi->tm_alloc(2);
-  const TxHandle big = tmi->tm_alloc(16);
+  const TxHandle small = tmi->tm_alloc(2);   // cells [64, 66)
+  const TxHandle big = tmi->tm_alloc(16);    // cells [66, 82)
+  const std::size_t end_before = tmi->heap().allocated_end();
   tmi->tm_free(small);
   tmi->tm_free(big);
-  // An alloc of a third size must not carve up either freed block.
-  const TxHandle other = tmi->tm_alloc(5);
-  EXPECT_NE(other.base, small.base);
-  EXPECT_NE(other.base, big.base);
-  EXPECT_EQ(tmi->tm_alloc(16).base, big.base);
-  EXPECT_EQ(tmi->tm_alloc(2).base, small.base);
+  // Both grace periods were vacuous, so the store now holds ONE merged
+  // 18-cell extent starting at small.base.
+  EXPECT_EQ(tmi->heap().free_cells(), 18u);
+  // alloc(5) rounds to class 6 and splits the merged extent's front.
+  const TxHandle a = tmi->tm_alloc(5);
+  EXPECT_EQ(a.base, small.base);
+  // The 12-cell remainder is exactly class 12: next alloc(12) gets it.
+  const TxHandle b = tmi->tm_alloc(12);
+  EXPECT_EQ(b.base, small.base + 6);
+  // Everything was satisfied from reused memory: no bump growth.
+  EXPECT_EQ(tmi->heap().allocated_end(), end_before);
+  EXPECT_EQ(tmi->heap().free_cells(), 0u);
 }
 
 TEST_P(HeapOnTm, ResetRestoresThePostConstructionHeap) {
@@ -148,12 +172,15 @@ TEST_P(HeapOnTm, ResetRestoresThePostConstructionHeap) {
 }
 
 TEST_P(HeapOnTm, ConcurrentAllocFreeChurnStaysDisjoint) {
-  // Allocator stress: threads alloc, transact on their block, free, and
+  // Allocator stress under the SHIPPED configuration (magazines +
+  // batched limbo): threads alloc, transact on their block, free, and
   // re-alloc; no two live blocks may ever overlap, and every commit must
-  // see only its own tags (caught by the read-back check).
+  // see only its own tags (caught by the read-back check). A recycled
+  // block handed out while any old transaction could still write it
+  // would fail exactly here.
   constexpr std::size_t kThreads = 4;
   constexpr int kRounds = 200;
-  auto tmi = make();
+  auto tmi = make_default();
   std::atomic<bool> failed{false};
   std::vector<std::thread> workers;
   for (std::size_t t = 0; t < kThreads; ++t) {
@@ -169,11 +196,19 @@ TEST_P(HeapOnTm, ConcurrentAllocFreeChurnStaysDisjoint) {
             tx.write(h.loc(i), tag + i);
           }
         });
+        bool mismatch = false;
         tm::run_tx_retry(*session, [&](tm::TxScope& tx) {
+          // Reset per attempt: an aborted attempt (false stripe conflict
+          // with another thread's commit — possible since the Fibonacci
+          // stripe mixer, which can map two nearby locations to one
+          // stripe) replays, and its reads return 0 after the abort.
+          // Only a COMMITTED attempt's observations count.
+          mismatch = false;
           for (std::uint32_t i = 0; i < h.size; ++i) {
-            if (tx.read(h.loc(i)) != tag + i) failed.store(true);
+            if (tx.read(h.loc(i)) != tag + i) mismatch = true;
           }
         });
+        if (mismatch) failed.store(true);
         if (failed.load()) return;
         tmi->tm_free(h);
       }
@@ -238,6 +273,29 @@ TEST(StripeTable, RoundsToPowerOfTwoAndCoversAllLocations) {
   std::set<std::size_t> hit;
   for (std::uint64_t loc = 0; loc < 128; ++loc) hit.insert(table.index_of(loc));
   EXPECT_GT(hit.size(), 64u);
+}
+
+TEST(StripeTable, StrideAlignedLocationsDoNotAliasOntoOneStripe) {
+  // False-conflict regression for the Fibonacci mixer: the size-class
+  // allocator hands out stride-aligned blocks, so "the same field of
+  // every class-c node" is an arithmetic progression. Under the old
+  // `loc & mask` map a stride that is a multiple of the stripe count
+  // folded the WHOLE progression onto one stripe (for stride 1024 below,
+  // all 256 locations → stripe 0), serializing unrelated commits. The
+  // mixer must spread it like a dense range instead.
+  rt::StripeTable table(1024);
+  ASSERT_EQ(table.stripe_count(), 1024u);
+  for (const std::uint64_t stride : {64, 256, 1024, 4096}) {
+    std::set<std::size_t> hit;
+    for (std::uint64_t k = 0; k < 256; ++k) {
+      hit.insert(table.index_of(7 + k * stride));
+    }
+    // 256 draws into 1024 stripes collide a little by birthday math; what
+    // matters is the progression does not collapse. Require at least half
+    // the draws to land on distinct stripes (the old map gave exactly 1
+    // distinct stripe for strides 1024 and 4096).
+    EXPECT_GT(hit.size(), 128u) << "stride " << stride << " aliased";
+  }
 }
 
 }  // namespace
