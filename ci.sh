@@ -6,6 +6,17 @@ cd "$(dirname "$0")"
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
+
+# Checker-blindness gate, before anything else: the deliberately-unfenced
+# use-after-free litmus MUST be flagged racy (with the races attributed to
+# the freed block) by the explorer+DRF pipeline. Zero reported violations
+# would mean reclamation coverage silently went blind — fail fast. The
+# grep guards the guard: gtest exits 0 when a filter matches nothing, so
+# a renamed test must fail here rather than pass vacuously.
+./build/privstm_tests \
+  --gtest_filter='ReclamationExplorer.UnfencedScenariosAreRacyOnFreedBlocksOnly' \
+  | tee /dev/stderr | grep -q '\[  PASSED  \] 1 test'
+
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # Smoke-run the throughput matrix (writes BENCH_tm_throughput.quick.json;
@@ -21,14 +32,17 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/bench_fence_overhead --quick --check
 
 # ASan+UBSan gate over the transactional-heap paths: alloc/free, deferred
-# reclamation, the ADTs that allocate through handles, and the TM
-# semantics/fence suites that drive them. A focused ctest filter keeps the
-# sanitizer pass within CI budget; SKIP_ASAN=1 skips it for quick local
+# reclamation, the ADTs that allocate through handles, the TM
+# semantics/fence suites that drive them, and the handle-based litmus
+# layer (ReclamationExplorer + ReclamationLitmus end to end, plus the
+# explorer's canonical heap model) — language-driven alloc/free/reuse is
+# exactly where the sanitizers pay for themselves. A focused ctest filter
+# keeps the pass within CI budget; SKIP_ASAN=1 skips it for quick local
 # iterations.
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DPRIVSTM_SANITIZE=ON \
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-    -R 'Heap|StripeTable|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence'
+    -R 'Heap|StripeTable|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree'
 fi

@@ -75,6 +75,15 @@ RaceReport find_races(const hist::History& h) {
   return find_races(h, hb);
 }
 
+std::vector<Race> races_on_freed(const hist::History& h,
+                                 const RaceReport& report) {
+  std::vector<Race> out;
+  for (const Race& r : report.races) {
+    if (hist::in_freed_block(h, r.reg)) out.push_back(r);
+  }
+  return out;
+}
+
 std::string RaceReport::to_string(const hist::History& h) const {
   if (drf()) return "data-race free";
   std::ostringstream out;

@@ -43,4 +43,12 @@ RaceReport find_races(const hist::History& h);
 /// DRF(H) — Definition 3.2.
 inline bool is_drf(const hist::History& h) { return find_races(h).drf(); }
 
+/// The use-after-free projection of a race report: races whose register
+/// lies inside a block the history freed (hist::freed_blocks). This is
+/// what the reclamation litmus suite gates on — a racy history whose
+/// races all sit on ordinary shared registers is a different bug than a
+/// race on reclaimed memory.
+std::vector<Race> races_on_freed(const hist::History& h,
+                                 const RaceReport& report);
+
 }  // namespace privstm::drf

@@ -6,6 +6,14 @@
 // transactional ones (§2.2): whether an access is transactional is a
 // property of its *position* (inside or outside a transaction of its
 // thread), not of the action kind.
+//
+// The alloc/free actions extend the paper's Fig 4 interface with the
+// dynamic heap (DESIGN.md §9): alloc(n) answers with the base location of
+// a fresh block, free(x, n) retires it. They are *events*, not memory
+// accesses — conflicts and races (Definition 3.1) remain defined over
+// read/write requests only; alloc/free ride the po/cl happens-before
+// chains and let checkers attribute races to reclaimed blocks
+// (freed_blocks in history.hpp).
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,8 @@ enum class ActionKind : std::uint8_t {
   kWriteReq,    ///< (a, t, write(x, v))
   kReadReq,     ///< (a, t, read(x))
   kFenceBegin,  ///< (a, t, fbegin)
+  kAllocReq,    ///< (a, t, alloc(n)) — value holds the requested cell count
+  kFreeReq,     ///< (a, t, free(x, n)) — reg/value hold the block base/size
   // ---- response actions ------------------------------------------------
   kOk,          ///< (a, t, ok)        — response to txbegin
   kCommitted,   ///< (a, t, committed) — response to txcommit
@@ -38,6 +48,8 @@ enum class ActionKind : std::uint8_t {
   kWriteRet,    ///< (a, t, ret(⊥))    — response to write
   kReadRet,     ///< (a, t, ret(v))    — response to read
   kFenceEnd,    ///< (a, t, fend)
+  kAllocRet,    ///< (a, t, ret(x))    — reg/value hold the block base/size
+  kFreeRet,     ///< (a, t, ret(⊥))    — response to free
 };
 
 constexpr bool is_request(ActionKind k) noexcept {
@@ -48,6 +60,8 @@ constexpr bool is_request(ActionKind k) noexcept {
     case ActionKind::kWriteReq:
     case ActionKind::kReadReq:
     case ActionKind::kFenceBegin:
+    case ActionKind::kAllocReq:
+    case ActionKind::kFreeReq:
       return true;
     default:
       return false;
@@ -66,8 +80,10 @@ struct Action {
   ActionId id = 0;
   ThreadId thread = 0;
   ActionKind kind = ActionKind::kTxBegin;
-  RegId reg = kNoReg;  ///< register for read/write actions
-  Value value = 0;     ///< written value (kWriteReq) or read value (kReadRet)
+  RegId reg = kNoReg;  ///< register for read/write actions; block base for
+                       ///< kAllocRet / kFreeReq / kFreeRet
+  Value value = 0;     ///< written value (kWriteReq), read value (kReadRet),
+                       ///< or block cell count (alloc/free actions)
 
   friend bool operator==(const Action&, const Action&) = default;
 };
@@ -88,6 +104,10 @@ constexpr bool matches_response(ActionKind req, ActionKind resp) noexcept {
       return resp == ActionKind::kReadRet || resp == ActionKind::kAborted;
     case ActionKind::kFenceBegin:
       return resp == ActionKind::kFenceEnd;
+    case ActionKind::kAllocReq:
+      return resp == ActionKind::kAllocRet;
+    case ActionKind::kFreeReq:
+      return resp == ActionKind::kFreeRet;
     default:
       return false;
   }

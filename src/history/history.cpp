@@ -33,6 +33,14 @@ const char* kind_name(ActionKind k) noexcept {
       return "ret";
     case ActionKind::kFenceEnd:
       return "fend";
+    case ActionKind::kAllocReq:
+      return "alloc";
+    case ActionKind::kAllocRet:
+      return "ret(base)";
+    case ActionKind::kFreeReq:
+      return "free";
+    case ActionKind::kFreeRet:
+      return "ret(⊥)";
   }
   return "?";
 }
@@ -49,6 +57,15 @@ std::string to_string(const Action& a) {
       break;
     case ActionKind::kReadRet:
       out << "ret(" << a.value << ')';
+      break;
+    case ActionKind::kAllocReq:
+      out << "alloc(" << a.value << ')';
+      break;
+    case ActionKind::kAllocRet:
+      out << "ret(x" << a.reg << ')';
+      break;
+    case ActionKind::kFreeReq:
+      out << "free(x" << a.reg << ", " << a.value << ')';
       break;
     default:
       out << kind_name(a.kind);
@@ -234,6 +251,22 @@ History make_history(std::vector<Action> actions) {
     next = std::max(next, a.id) + 1;
   }
   return History(std::move(actions));
+}
+
+std::vector<FreedBlock> freed_blocks(const History& h) {
+  std::vector<FreedBlock> out;
+  for (const Action& a : h.actions()) {
+    if (a.kind == ActionKind::kFreeReq) out.push_back({a.reg, a.value});
+  }
+  return out;
+}
+
+bool in_freed_block(const History& h, RegId loc) {
+  for (const Action& a : h.actions()) {
+    if (a.kind != ActionKind::kFreeReq) continue;
+    if (loc >= a.reg && static_cast<Value>(loc - a.reg) < a.value) return true;
+  }
+  return false;
 }
 
 std::vector<std::size_t> match_actions(const History& h) {

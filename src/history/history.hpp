@@ -139,4 +139,21 @@ History make_history(std::vector<Action> actions);
 inline constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
 std::vector<std::size_t> match_actions(const History& h);
 
+/// A heap block the history freed (one per kFreeReq, in execution order).
+struct FreedBlock {
+  RegId base = kNoReg;
+  Value size = 0;  ///< cell count
+
+  friend bool operator==(const FreedBlock&, const FreedBlock&) = default;
+};
+
+/// All blocks freed anywhere in the history. The loc-mapping the
+/// reclamation litmus tests use to attribute a race to reclaimed memory.
+std::vector<FreedBlock> freed_blocks(const History& h);
+
+/// True iff `loc` lies inside a block freed somewhere in the history —
+/// i.e. an access race on `loc` is a use-after-free (or use-before-free of
+/// memory later reclaimed) rather than a plain shared-location race.
+bool in_freed_block(const History& h, RegId loc);
+
 }  // namespace privstm::hist

@@ -86,6 +86,14 @@ class Checker {
           if (a.kind == ActionKind::kFenceBegin && in_txn) {
             fail(i, "fence inside a transaction (condition 9)");
           }
+          if ((a.kind == ActionKind::kAllocReq ||
+               a.kind == ActionKind::kFreeReq) &&
+              in_txn) {
+            // Repo convention, not a paper condition: recorded heap events
+            // are non-transactional so they ride the cl chain and the
+            // freed-block attribution of races stays unambiguous.
+            fail(i, "recorded alloc/free inside a transaction");
+          }
         } else {
           if (!open_request.has_value()) {
             fail(i, "response without a pending request (condition 5)");

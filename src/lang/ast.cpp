@@ -171,8 +171,9 @@ CmdPtr whileloop(BExprPtr cond, CmdPtr body) {
 }
 
 CmdPtr atomic(VarId result, CmdPtr body) {
-  assert(!contains_atomic_or_fence(*body) &&
-         "nested atomic blocks / fences inside transactions are forbidden");
+  assert(!contains_txn_forbidden(*body) &&
+         "nested atomic blocks / fences / alloc / free inside transactions "
+         "are forbidden");
   auto c = make_cmd(Cmd::Kind::kAtomic);
   c->dst = result;
   c->children = {std::move(body)};
@@ -205,6 +206,40 @@ CmdPtr fence_cmd() { return make_cmd(Cmd::Kind::kFence); }
 
 CmdPtr skip() { return seq({}); }
 
+CmdPtr alloc_cmd(VarId dst, ExprPtr n) {
+  auto c = make_cmd(Cmd::Kind::kAlloc);
+  c->dst = dst;
+  c->expr = std::move(n);
+  return c;
+}
+
+CmdPtr alloc_cmd(VarId dst, Value n) { return alloc_cmd(dst, constant(n)); }
+
+CmdPtr free_cmd(ExprPtr handle) {
+  auto c = make_cmd(Cmd::Kind::kFree);
+  c->addr = std::move(handle);
+  return c;
+}
+
+CmdPtr free_cmd(VarId handle) { return free_cmd(var(handle)); }
+
+CmdPtr read_at(VarId dst, VarId handle, ExprPtr index) {
+  return read(dst, add(var(handle), std::move(index)));
+}
+
+CmdPtr read_at(VarId dst, VarId handle, std::size_t index) {
+  return read_at(dst, handle, constant(static_cast<Value>(index)));
+}
+
+CmdPtr write_at(VarId handle, ExprPtr index, ExprPtr value) {
+  return write(add(var(handle), std::move(index)), std::move(value));
+}
+
+CmdPtr write_at(VarId handle, std::size_t index, Value value) {
+  return write_at(handle, constant(static_cast<Value>(index)),
+                  constant(value));
+}
+
 CmdPtr probe(std::int32_t slot, ExprPtr value) {
   assert(slot >= 0 && static_cast<std::size_t>(slot) < kMaxProbes);
   auto c = make_cmd(Cmd::Kind::kProbe);
@@ -213,11 +248,14 @@ CmdPtr probe(std::int32_t slot, ExprPtr value) {
   return c;
 }
 
-bool contains_atomic_or_fence(const Cmd& c) {
-  if (c.kind == Cmd::Kind::kAtomic || c.kind == Cmd::Kind::kFence) return true;
+bool contains_txn_forbidden(const Cmd& c) {
+  if (c.kind == Cmd::Kind::kAtomic || c.kind == Cmd::Kind::kFence ||
+      c.kind == Cmd::Kind::kAlloc || c.kind == Cmd::Kind::kFree) {
+    return true;
+  }
   return std::any_of(c.children.begin(), c.children.end(),
                      [](const CmdPtr& child) {
-                       return child && contains_atomic_or_fence(*child);
+                       return child && contains_txn_forbidden(*child);
                      });
 }
 
@@ -314,6 +352,16 @@ void print_cmd(std::ostream& out, const Cmd& c, int indent) {
       break;
     case Cmd::Kind::kFence:
       out << pad << "fence\n";
+      break;
+    case Cmd::Kind::kAlloc:
+      out << pad << 'v' << c.dst << " := alloc(";
+      print_expr(out, *c.expr);
+      out << ")\n";
+      break;
+    case Cmd::Kind::kFree:
+      out << pad << "free(";
+      print_expr(out, *c.addr);
+      out << ")\n";
       break;
     case Cmd::Kind::kProbe:
       out << pad << "probe[" << c.dst << "] := ";

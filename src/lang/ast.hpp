@@ -1,17 +1,27 @@
-// The mini programming language of §2.1:
+// The mini programming language of §2.1, extended with the dynamic heap
+// of DESIGN.md §9:
 //
 //   C ::= c | C ; C | if (b) C else C | while (b) C
 //       | l := atomic { C } | l := x.read() | x.write(e) | fence
+//       | h := alloc(e) | free(h)
 //
 // Primitive commands c are local-variable assignments l := e. Conditions b
 // and expressions e range over local variables and constants (threads never
 // mention other threads' locals — condition 2 of Definition A.1 holds by
 // construction, since locals are indexed per thread).
 //
+// Handles are plain location ids flowing through locals (and, via
+// transactional writes, through registers — the publication idiom), so
+// handle-indexed accesses `l := h[e].read()` / `h[e].write(v)` are address
+// arithmetic over the existing read/write commands (read_at/write_at
+// below). alloc/free are non-transactional events like fences: forbidden
+// inside atomic blocks, recorded as kAllocReq/kFreeReq interface actions.
+//
 // Atomic-block results are modeled as the distinguished values kCommitted /
 // kAborted assigned to the result variable.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -109,13 +119,15 @@ struct Cmd {
     kRead,    ///< l := x.read()     (x computed from `addr`)
     kWrite,   ///< x.write(e)
     kFence,   ///< fence
+    kAlloc,   ///< h := alloc(e) — h receives the block's base location
+    kFree,    ///< free(h) — h must name a live allocation's base
     kProbe,   ///< harness-only: record e into a probe slot that survives
               ///< abort roll-back (used to observe doomed transactions)
   };
   Kind kind = Kind::kSeq;
-  VarId dst = -1;               ///< kAssign / kAtomic / kRead
-  ExprPtr expr;                 ///< kAssign value / kWrite value
-  ExprPtr addr;                 ///< kRead / kWrite register index
+  VarId dst = -1;               ///< kAssign / kAtomic / kRead / kAlloc
+  ExprPtr expr;                 ///< kAssign value / kWrite value / kAlloc size
+  ExprPtr addr;                 ///< kRead / kWrite location; kFree handle
   BExprPtr cond;                ///< kIf / kWhile
   std::vector<CmdPtr> children; ///< kSeq bodies; kIf {then, else};
                                 ///< kWhile / kAtomic {body}
@@ -134,13 +146,31 @@ CmdPtr write(RegId reg, Value value);
 CmdPtr fence_cmd();
 CmdPtr skip();
 
+/// h := alloc(n): allocate `n` contiguous heap locations; the handle (the
+/// block's base location id) lands in local `dst`.
+CmdPtr alloc_cmd(VarId dst, ExprPtr n);
+CmdPtr alloc_cmd(VarId dst, Value n);
+
+/// free(h): retire the block whose base is the value of `handle`. The
+/// handle must name a live allocation (interpreter/explorer assert).
+CmdPtr free_cmd(ExprPtr handle);
+CmdPtr free_cmd(VarId handle);
+
+/// Handle-indexed accesses: l := h[i].read() and h[i].write(v), where h is
+/// a local holding a handle. Sugar for read/write at address h + i.
+CmdPtr read_at(VarId dst, VarId handle, ExprPtr index);
+CmdPtr read_at(VarId dst, VarId handle, std::size_t index = 0);
+CmdPtr write_at(VarId handle, ExprPtr index, ExprPtr value);
+CmdPtr write_at(VarId handle, std::size_t index, Value value);
+
 /// Number of probe slots per thread (see Cmd::Kind::kProbe).
 inline constexpr std::size_t kMaxProbes = 8;
 CmdPtr probe(std::int32_t slot, ExprPtr value);
 
-/// True if the command (recursively) contains an atomic block or fence —
-/// both are forbidden inside atomic blocks.
-bool contains_atomic_or_fence(const Cmd& c);
+/// True if the command (recursively) contains a command forbidden inside
+/// atomic blocks: a nested atomic block, a fence, or an alloc/free (heap
+/// events are non-transactional, like fences — see the file comment).
+bool contains_txn_forbidden(const Cmd& c);
 
 // ---------------------------------------------------------------------------
 // Programs.

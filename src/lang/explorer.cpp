@@ -22,8 +22,18 @@ struct ThreadState {
   std::vector<Value> probes;
 };
 
+/// One thread's canonical allocation state (see explorer.hpp: addresses
+/// depend only on the owning thread's own alloc/free sequence).
+struct Arena {
+  std::vector<std::pair<RegId, std::uint32_t>> free_list;  ///< LIFO
+  std::size_t bump = 0;  ///< next fresh offset within the arena
+};
+
 struct Machine {
-  std::vector<Value> regs;
+  std::vector<Value> regs;                ///< static prefix
+  std::map<RegId, Value> heap;            ///< written dynamic cells
+  std::map<RegId, std::uint32_t> live;    ///< live blocks: base → size
+  std::vector<Arena> arenas;              ///< per thread
   std::vector<ThreadState> threads;
   std::vector<Action> actions;
   hist::ActionId next_id = 1;
@@ -38,6 +48,7 @@ class Explorer {
     Machine init;
     init.regs.assign(program_.num_registers, hist::kVInit);
     init.threads.resize(program_.threads.size());
+    init.arenas.resize(program_.threads.size());
     for (std::size_t t = 0; t < program_.threads.size(); ++t) {
       init.threads[t].locals.assign(program_.threads[t].num_vars, 0);
       init.threads[t].probes.assign(kMaxProbes, 0);
@@ -99,6 +110,8 @@ class Explorer {
         case Cmd::Kind::kWrite:
         case Cmd::Kind::kFence:
         case Cmd::Kind::kAtomic:
+        case Cmd::Kind::kAlloc:
+        case Cmd::Kind::kFree:
           return;  // shared op: scheduling decision needed
       }
     }
@@ -107,6 +120,62 @@ class Explorer {
   void emit(Machine& m, hist::ThreadId t, ActionKind kind,
             hist::RegId reg = hist::kNoReg, Value value = 0) {
     m.actions.push_back({m.next_id++, t, kind, reg, value});
+  }
+
+  // ---- dynamic heap model (see explorer.hpp file comment) ---------------
+
+  RegId arena_base(std::size_t t) const noexcept {
+    return static_cast<RegId>(program_.num_registers +
+                              t * options_.arena_stride);
+  }
+
+  /// Thread owning the arena `base` belongs to.
+  std::size_t arena_owner(RegId base) const noexcept {
+    return (static_cast<std::size_t>(base) - program_.num_registers) /
+           options_.arena_stride;
+  }
+
+  Value load_loc(const Machine& m, RegId reg) const {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r < m.regs.size()) return m.regs[r];
+    const auto it = m.heap.find(reg);
+    return it == m.heap.end() ? hist::kVInit : it->second;
+  }
+
+  void store_loc(Machine& m, RegId reg, Value v) const {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r < m.regs.size()) {
+      m.regs[r] = v;
+    } else {
+      m.heap[reg] = v;
+    }
+  }
+
+  /// Canonical allocation: exact-size LIFO reuse from the caller's own
+  /// arena, else bump. Fresh-or-recycled cells are vinit (the real
+  /// allocator guarantees the same). kNoReg on arena overflow (the
+  /// branch is then abandoned as truncated).
+  RegId heap_alloc(Machine& m, std::size_t t, std::uint32_t n) {
+    Arena& arena = m.arenas[t];
+    RegId base = hist::kNoReg;
+    for (std::size_t k = arena.free_list.size(); k-- > 0;) {
+      if (arena.free_list[k].second == n) {
+        base = arena.free_list[k].first;
+        arena.free_list.erase(arena.free_list.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+    }
+    if (base == hist::kNoReg) {
+      if (arena.bump + n > options_.arena_stride) return hist::kNoReg;
+      base = arena_base(t) + static_cast<RegId>(arena.bump);
+      arena.bump += n;
+    }
+    m.live[base] = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      m.heap.erase(base + static_cast<RegId>(i));
+    }
+    return base;
   }
 
   /// Execute the body of an atomic block to completion against the current
@@ -146,9 +215,7 @@ class Explorer {
       case Cmd::Kind::kRead: {
         const auto reg = static_cast<RegId>(eval(*c.addr, locals));
         auto it = buffer.find(reg);
-        const Value v = it != buffer.end()
-                            ? it->second
-                            : m.regs[static_cast<std::size_t>(reg)];
+        const Value v = it != buffer.end() ? it->second : load_loc(m, reg);
         emit(m, t, ActionKind::kReadReq, reg);
         emit(m, t, ActionKind::kReadRet, reg, v);
         locals[static_cast<std::size_t>(c.dst)] = v;
@@ -164,7 +231,10 @@ class Explorer {
       }
       case Cmd::Kind::kAtomic:
       case Cmd::Kind::kFence:
-        assert(false && "nested atomic / fence inside a transaction");
+      case Cmd::Kind::kAlloc:
+      case Cmd::Kind::kFree:
+        assert(false &&
+               "nested atomic / fence / alloc / free inside a transaction");
         return true;
     }
     return true;
@@ -178,6 +248,7 @@ class Explorer {
     Outcome outcome;
     outcome.history = hist::History(m.actions);
     outcome.registers = m.regs;
+    outcome.heap = m.heap;
     for (const ThreadState& ts : m.threads) {
       outcome.locals.push_back(ts.locals);
       outcome.probes.push_back(ts.probes);
@@ -209,7 +280,7 @@ class Explorer {
           Machine next = m;
           ThreadState& ts = next.threads[t];
           const auto reg = static_cast<RegId>(eval(*c.addr, ts.locals));
-          const Value v = next.regs[static_cast<std::size_t>(reg)];
+          const Value v = load_loc(next, reg);
           emit(next, tid, ActionKind::kReadReq, reg);
           emit(next, tid, ActionKind::kReadRet, reg, v);
           ts.locals[static_cast<std::size_t>(c.dst)] = v;
@@ -224,7 +295,47 @@ class Explorer {
           const Value v = eval(*c.expr, ts.locals);
           emit(next, tid, ActionKind::kWriteReq, reg, v);
           emit(next, tid, ActionKind::kWriteRet, reg);
-          next.regs[static_cast<std::size_t>(reg)] = v;
+          store_loc(next, reg, v);
+          ts.stack.pop_back();
+          dfs(std::move(next));
+          break;
+        }
+        case Cmd::Kind::kAlloc: {
+          Machine next = m;
+          ThreadState& ts = next.threads[t];
+          const Value n = eval(*c.expr, ts.locals);
+          assert(n > 0 && "zero-sized alloc in a litmus program");
+          const RegId base =
+              heap_alloc(next, t, static_cast<std::uint32_t>(n));
+          if (base == hist::kNoReg) {
+            // Arena overflow: abandon the branch, like a loop bound.
+            result_.truncated = true;
+            break;
+          }
+          emit(next, tid, ActionKind::kAllocReq, hist::kNoReg, n);
+          emit(next, tid, ActionKind::kAllocRet, base, n);
+          ts.locals[static_cast<std::size_t>(c.dst)] =
+              static_cast<Value>(base);
+          ts.stack.pop_back();
+          dfs(std::move(next));
+          break;
+        }
+        case Cmd::Kind::kFree: {
+          Machine next = m;
+          ThreadState& ts = next.threads[t];
+          const auto base = static_cast<RegId>(eval(*c.addr, ts.locals));
+          const auto it = next.live.find(base);
+          assert(it != next.live.end() && "free() of a non-live handle");
+          if (it == next.live.end()) {  // tolerated in release: no-op free
+            ts.stack.pop_back();
+            dfs(std::move(next));
+            break;
+          }
+          const std::uint32_t size = it->second;
+          next.live.erase(it);
+          next.arenas[arena_owner(base)].free_list.push_back({base, size});
+          emit(next, tid, ActionKind::kFreeReq, base, size);
+          emit(next, tid, ActionKind::kFreeRet, base, size);
           ts.stack.pop_back();
           dfs(std::move(next));
           break;
@@ -254,7 +365,7 @@ class Explorer {
             if (commit && body_ok) {
               emit(next, tid, ActionKind::kCommitted);
               for (const auto& [reg, v] : buffer) {
-                next.regs[static_cast<std::size_t>(reg)] = v;
+                store_loc(next, reg, v);
               }
               ts.locals[static_cast<std::size_t>(c.dst)] = kCommitted;
             } else {

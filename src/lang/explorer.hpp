@@ -3,14 +3,30 @@
 // (Definition 3.3) — the programmer's side of the Fundamental Property.
 //
 // Under strong atomicity the schedulable units are whole transactions,
-// single NT accesses and fences; local computation commutes and is folded
-// into the next shared step. For every atomic block the TM may
-// nondeterministically refuse to commit, so each block forks into
-// {committed, aborted-at-commit} outcomes (earlier abort points produce
-// prefix histories whose races are subsumed; see DESIGN.md).
+// single NT accesses, fences and heap alloc/free events; local computation
+// commutes and is folded into the next shared step. For every atomic block
+// the TM may nondeterministically refuse to commit, so each block forks
+// into {committed, aborted-at-commit} outcomes (earlier abort points
+// produce prefix histories whose races are subsumed; see DESIGN.md).
+//
+// Dynamic heap model. The idealized TM's heap is canonicalized by
+// *per-thread arenas*: thread t's k-th allocation gets an address that
+// depends only on t's own allocation/free sequence (a bump pointer inside
+// t's arena plus an exact-size LIFO free list), never on how other
+// threads' allocations interleave with it. This is a symmetry reduction
+// on allocation order — interleavings that differ only in which thread
+// allocated first reach identical states instead of address-permuted
+// copies, keeping exploration tractable (regression-pinned in
+// tests/explorer_handle_test.cpp). Under strong atomicity free() needs no
+// grace period (no transaction is mid-flight at a scheduling point), so a
+// freed block is immediately reusable by its arena — which is exactly
+// what the alloc-reuse-ABA litmus relies on. Reclamation *races* are the
+// DRF checker's job, not the heap model's: an unfenced use-after-free
+// shows up as a race between the access actions on the freed location.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -25,6 +41,11 @@ struct ExploreOptions {
   std::size_t max_outcomes = 200000;
   /// Explore TM-chosen aborts at commit (fork per atomic block).
   bool explore_aborts = true;
+  /// Heap locations reserved per thread arena (canonical allocation
+  /// addresses; see file comment). A thread whose live + freed
+  /// allocations outgrow its arena ends exploration of that branch with
+  /// `truncated` set.
+  std::size_t arena_stride = 64;
 };
 
 struct Outcome {
@@ -32,6 +53,9 @@ struct Outcome {
   std::vector<std::vector<Value>> locals;
   std::vector<std::vector<Value>> probes;
   std::vector<Value> registers;
+  /// Final values of dynamically allocated heap cells that were ever
+  /// written (registers covers only the static prefix).
+  std::map<RegId, Value> heap;
 };
 
 struct ExplorationResult {

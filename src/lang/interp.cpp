@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cassert>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "runtime/backoff.hpp"
 #include "runtime/barrier.hpp"
@@ -14,14 +16,44 @@ namespace {
 
 enum class Status : std::uint8_t { kOk, kTxAborted, kLoopBound };
 
+/// Live allocations of one execution, shared across program threads: a
+/// handle is just a base location id in a local, so free(h) recovers the
+/// TxHandle (base + size) here. Handles may travel between threads
+/// through registers (publication), hence the lock.
+class AllocTable {
+ public:
+  void insert(const tm::TxHandle& h) {
+    std::lock_guard<std::mutex> guard(mu_);
+    live_[static_cast<Value>(h.base)] = h;
+  }
+
+  /// Remove and return the live handle based at `base`; asserts (and in
+  /// release returns an invalid handle) when the program frees a location
+  /// it never allocated or frees twice.
+  tm::TxHandle take(Value base) {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = live_.find(base);
+    assert(it != live_.end() && "free() of a non-live handle");
+    if (it == live_.end()) return tm::kNullTxHandle;
+    const tm::TxHandle h = it->second;
+    live_.erase(it);
+    return h;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<Value, tm::TxHandle> live_;
+};
+
 class ThreadInterp {
  public:
   ThreadInterp(tm::TmThread& session, std::vector<Value>& locals,
-               std::vector<Value>& probes, const ExecOptions& options,
-               std::uint64_t seed)
+               std::vector<Value>& probes, AllocTable& allocs,
+               const ExecOptions& options, std::uint64_t seed)
       : session_(session),
         locals_(locals),
         probes_(probes),
+        allocs_(allocs),
         options_(options),
         rng_(seed) {}
 
@@ -37,6 +69,13 @@ class ThreadInterp {
     if (options_.jitter_max_spins == 0) return;
     const std::uint64_t spins = rng_.below(options_.jitter_max_spins);
     for (std::uint64_t i = 0; i < spins; ++i) rt::cpu_relax();
+    // One yield per ~16 ops on average: on a single-core box a pure
+    // cpu_relax spin burns its whole OS quantum before the partner thread
+    // can make the progress the spin is waiting for, so bounded
+    // transactional spin loops (the litmus handshakes) time out. The
+    // occasional yield keeps them inside their bounds without
+    // serializing the interleavings the jitter is there to diversify.
+    if (rng_.below(16) == 0) std::this_thread::yield();
   }
 
   RegId reg_of(const Expr& addr) const {
@@ -121,6 +160,26 @@ class ThreadInterp {
         return Status::kOk;
       }
 
+      case Cmd::Kind::kAlloc: {
+        assert(!in_tx && "alloc inside a transaction");
+        jitter();
+        const Value n = eval(*c.expr, locals_);
+        const tm::TxHandle h =
+            session_.tm_alloc(static_cast<std::size_t>(n));
+        allocs_.insert(h);
+        locals_[static_cast<std::size_t>(c.dst)] =
+            static_cast<Value>(h.base);
+        return Status::kOk;
+      }
+
+      case Cmd::Kind::kFree: {
+        assert(!in_tx && "free inside a transaction");
+        jitter();
+        const tm::TxHandle h = allocs_.take(eval(*c.addr, locals_));
+        if (h.valid()) session_.tm_free(h);
+        return Status::kOk;
+      }
+
       case Cmd::Kind::kFence:
         assert(!in_tx && "fence inside a transaction");
         jitter();
@@ -143,6 +202,7 @@ class ThreadInterp {
   tm::TmThread& session_;
   std::vector<Value>& locals_;
   std::vector<Value>& probes_;
+  AllocTable& allocs_;
   const ExecOptions& options_;
   rt::Xoshiro256 rng_;
   bool loop_bound_hit_ = false;
@@ -165,6 +225,7 @@ ExecResult execute(const Program& program, tm::TransactionalMemory& tm,
   hist::Recorder* rec = options.record ? &recorder : nullptr;
 
   std::atomic<bool> any_loop_bound{false};
+  AllocTable allocs;
   rt::SpinBarrier barrier(n);
   std::vector<std::thread> workers;
   workers.reserve(n);
@@ -173,7 +234,7 @@ ExecResult execute(const Program& program, tm::TransactionalMemory& tm,
       auto session = tm.make_thread(static_cast<hist::ThreadId>(t), rec);
       std::uint64_t seed_state = options.seed + 0x9e3779b97f4a7c15ULL * (t + 1);
       ThreadInterp interp(*session, result.locals[t], result.probes[t],
-                          options, rt::splitmix64(seed_state));
+                          allocs, options, rt::splitmix64(seed_state));
       barrier.arrive_and_wait();  // maximize overlap between threads
       interp.run(*program.threads[t].body);
       if (interp.loop_bound_hit()) {

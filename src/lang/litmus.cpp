@@ -257,9 +257,335 @@ LitmusSpec make_fig_ro(bool with_fence) {
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// Reclamation litmus catalog (see litmus.hpp). Common layout: register 0
+// publishes the handle (kRPtr), register 1 carries the mutator→owner ack
+// (kRAck), register 2 the privatization flag (kRFlag) where used. Value
+// tags live in the 15xx–18xx range: far above any canonical heap address
+// a litmus-sized program can produce (explorer arenas start at
+// num_registers and span arena_stride per thread; the real heap's bump
+// pointer starts at num_registers), so the unique-writes assumption holds
+// even though handles themselves are written to registers.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr RegId kRPtr = 0;
+constexpr RegId kRAck = 1;
+constexpr RegId kRFlag = 2;
+constexpr std::size_t kReclaimRegisters = 3;
+
+/// probe slot 0 of thread 0: the reclaim step actually executed.
+constexpr std::int32_t kProbeReclaimed = 0;
+
+/// `while (watch == 0 && cnt < limit) { l := atomic { watch := reg.read() };
+/// cnt++ }` — the handshake spin: transactional, so it never races, and
+/// each iteration is one schedulable unit for the explorer.
+CmdPtr spin_read(VarId l, VarId watch, VarId cnt, RegId reg, Value limit) {
+  return seq(
+      {assign(cnt, constant(0)),
+       whileloop(
+           band(eq(var(watch), constant(0)), lt(var(cnt), constant(limit))),
+           seq({atomic(l, read(watch, reg)),
+                assign(cnt, add(var(cnt), constant(1)))}))});
+}
+
+CmdPtr committed(VarId l, CmdPtr then_branch) {
+  return ifthen(eq(var(l), constant(kCommitted)), std::move(then_branch));
+}
+
+// Shared skeleton of the catalog, single-sourced because it encodes an
+// hb invariant that is easy to break by copy-editing: the handshake is
+// two-phase on purpose — the mutator acks BEFORE its racing access. An
+// access the owner has transactionally heard about is ordered before the
+// reclaim by the publication edge (xpo;txwr through the ack read — the
+// paper's Fig 6 "privatization by agreement", no fence needed), so a
+// pre-ack access can never race. The racing access therefore comes after
+// the ack, guarded by the privatization flag exactly like Fig 1's
+// transactions: the guard makes the fenced variant DRF (bf orders
+// pre-fence transactions before the reclaim; post-privatization
+// transactions see the flag and stay away), while the unfenced variant
+// leaves the guarded access and the owner's uninstrumented reclaim
+// accesses unordered — the race. The ack only widens the window so
+// real-TM runs hit it on nearly every run instead of a jitter lottery.
+
+/// Owner thread of every scenario: `h := alloc(1)`; publish h through
+/// kRPtr; await the mutator's ack; privatize via kRFlag; and on the
+/// fully-committed path run the optional fence plus the
+/// scenario-specific reclaim commands (`body(b, h)` may declare further
+/// locals on `b`), capped by the kProbeReclaimed probe every
+/// postcondition guards on.
+ThreadProgram reclaim_owner(
+    bool with_fence, Value ack, Value priv, Value spin_limit,
+    const std::function<std::vector<CmdPtr>(ThreadBuilder&, VarId)>& body) {
+  ThreadBuilder b;
+  const VarId h = b.local("h");
+  const VarId lp = b.local("lp");
+  const VarId lf = b.local("lf");
+  const VarId la = b.local("la");
+  const VarId a = b.local("a");
+  const VarId cnt = b.local("cnt");
+  std::vector<CmdPtr> reclaim;
+  if (with_fence) reclaim.push_back(fence_cmd());
+  for (CmdPtr& c : body(b, h)) reclaim.push_back(std::move(c));
+  reclaim.push_back(probe(kProbeReclaimed, constant(1)));
+  CmdPtr t0 = seq(
+      {alloc_cmd(h, 1), atomic(lp, write(constant(kRPtr), var(h))),
+       committed(
+           lp,
+           seq({spin_read(la, a, cnt, kRAck, spin_limit),
+                ifthen(eq(var(a), constant(ack)),
+                       seq({atomic(lf, write(constant(kRFlag),
+                                             constant(priv))),
+                            committed(lf, seq(std::move(reclaim)))}))}))});
+  return std::move(b).finish(std::move(t0));
+}
+
+/// Mutator/reader thread: spin for the published handle, then the
+/// scenario body (`body(b, p)`), which must keep its racing access
+/// behind the ack + flag guard per the hb note above.
+ThreadProgram reclaim_mutator(
+    Value spin_limit,
+    const std::function<CmdPtr(ThreadBuilder&, VarId)>& body) {
+  ThreadBuilder b;
+  const VarId p = b.local("p");
+  const VarId lq = b.local("lq");
+  const VarId cnt = b.local("cnt1");
+  CmdPtr after = body(b, p);
+  return std::move(b).finish(
+      seq({spin_read(lq, p, cnt, kRPtr, spin_limit),
+           ifthen(ne(var(p), constant(0)), std::move(after))}));
+}
+
+/// `lk := atomic { ack.write(tag) }; if committed, next` — the first
+/// handshake phase of a mutator body.
+CmdPtr ack_then(ThreadBuilder& b, Value ack, CmdPtr next) {
+  const VarId lk = b.local("lk");
+  return seq({atomic(lk, write(constant(kRAck), constant(ack))),
+              committed(lk, std::move(next))});
+}
+
+/// The racing access of the write-shaped scenarios: one transaction that
+/// re-checks the privatization flag and writes through the handle only
+/// while unprivatized (Fig 1's guarded shape). Declares locals "lw"/"f"
+/// (exposed for postconditions); callers needing a second write-result
+/// local must pick other names.
+CmdPtr flag_guarded_write(ThreadBuilder& b, VarId p, Value tag,
+                          VarId* lw_out = nullptr, VarId* f_out = nullptr) {
+  const VarId lw = b.local("lw");
+  const VarId f = b.local("f");
+  if (lw_out != nullptr) *lw_out = lw;
+  if (f_out != nullptr) *f_out = f;
+  return atomic(lw, seq({read(f, kRFlag),
+                         ifthen(eq(var(f), constant(0)),
+                                write(var(p), constant(tag)))}));
+}
+
+}  // namespace
+
+LitmusSpec make_reclaim_uaf(bool with_fence, Value spin_limit) {
+  constexpr Value kMut = 1511;    // mutator's write into the shared node
+  constexpr Value kAck = 1512;    // handshake ack
+  constexpr Value kReuse = 1513;  // owner's uninstrumented reuse write
+  constexpr Value kPriv = 1514;   // privatization flag set
+
+  LitmusSpec spec;
+  spec.name = with_fence ? "reclaim_uaf_fenced" : "reclaim_uaf_unfenced";
+  spec.description =
+      "Use-after-free: owner allocs + publishes a node; the mutator acks, "
+      "then writes the node while unprivatized; owner privatizes, [fence;] "
+      "frees and reuses the memory non-transactionally";
+
+  // Owner reclaim: free, uninstrumented reuse write, NT readback.
+  spec.program.threads.push_back(reclaim_owner(
+      with_fence, kAck, kPriv, spin_limit,
+      [&](ThreadBuilder& b, VarId h) {
+        const VarId vf = b.local("vf");
+        return std::vector<CmdPtr>{
+            free_cmd(h),
+            write_at(h, 0, kReuse),  // NT: the use-after-free
+            read_at(vf, h, 0),       // NT readback
+            probe(1, var(vf))};
+      }));
+  // Mutator: ack, then the flag-guarded write.
+  spec.program.threads.push_back(
+      reclaim_mutator(spin_limit, [&](ThreadBuilder& b, VarId p) {
+        return ack_then(b, kAck, flag_guarded_write(b, p, kMut));
+      }));
+  spec.program.num_registers = kReclaimRegisters;
+  spec.postcondition = [](const LitmusState& st) {
+    // { reuse happened ⇒ the NT readback sees the owner's value } — a
+    // delayed mutator commit scribbling over reclaimed memory breaks it.
+    return st.probes[0][kProbeReclaimed] == 0 || st.probes[0][1] == kReuse;
+  };
+  return spec;
+}
+
+LitmusSpec make_reclaim_free_during_reader(bool with_fence,
+                                           Value spin_limit) {
+  constexpr Value kAck = 1611;    // handshake ack
+  constexpr Value kPriv = 1612;   // privatization flag set
+  constexpr Value kReuse = 1613;  // owner's reuse write
+
+  LitmusSpec spec;
+  spec.name = with_fence ? "reclaim_reader_fenced" : "reclaim_reader_unfenced";
+  spec.description =
+      "Free during reader: a flag-guarded reader transaction reads the "
+      "shared node while the owner privatizes, [fence;] frees and reuses — "
+      "the unfenced reuse races with the reader's transactional read";
+
+  // Owner reclaim: free, then the uninstrumented reuse write.
+  spec.program.threads.push_back(reclaim_owner(
+      with_fence, kAck, kPriv, spin_limit,
+      [&](ThreadBuilder&, VarId h) {
+        return std::vector<CmdPtr>{free_cmd(h), write_at(h, 0, kReuse)};
+      }));
+  // Reader: ack, then the flag-guarded read transaction, with the doomed
+  // linger of fig 1b — probe slot 0 records whether a zombie reader ever
+  // observed the reused value.
+  spec.program.threads.push_back(
+      reclaim_mutator(spin_limit, [&](ThreadBuilder& b, VarId p) {
+        const VarId lr = b.local("lr");
+        const VarId f = b.local("f");
+        const VarId v = b.local("v");
+        const VarId cnt2 = b.local("cnt2");
+        CmdPtr observe =
+            ifthen(eq(var(v), constant(kReuse)), probe(0, constant(1)));
+        CmdPtr linger = seq(
+            {assign(cnt2, constant(0)),
+             whileloop(band(eq(var(v), constant(kReuse)),
+                            lt(var(cnt2), constant(4))),
+                       seq({read_at(v, p, 0), observe,
+                            assign(cnt2, add(var(cnt2), constant(1)))}))});
+        CmdPtr guarded_read = atomic(
+            lr, seq({read(f, kRFlag),
+                     ifthen(eq(var(f), constant(0)),
+                            seq({read_at(v, p, 0), observe, linger}))}));
+        return ack_then(b, kAck, std::move(guarded_read));
+      }));
+  spec.program.num_registers = kReclaimRegisters;
+  spec.postcondition = [](const LitmusState& st) {
+    // Under strong atomicity a reader that saw flag = 0 runs entirely
+    // before the reuse: it can never observe the reused value.
+    return st.probes[1][0] == 0;
+  };
+  return spec;
+}
+
+LitmusSpec make_reclaim_aba(bool with_fence, Value spin_limit) {
+  constexpr Value kMut1 = 1711;   // mutator's pre-ack write
+  constexpr Value kMut2 = 1712;   // mutator's stale-handle write
+  constexpr Value kAck = 1713;    // handshake ack
+  constexpr Value kPriv = 1714;   // privatization flag set
+  constexpr Value kReuse = 1715;  // owner's write through the NEW handle
+
+  LitmusSpec spec;
+  spec.name = with_fence ? "reclaim_aba_fenced" : "reclaim_aba_unfenced";
+  spec.description =
+      "Alloc-reuse ABA: owner frees the node and immediately re-allocs "
+      "(same block), then writes through the new handle while the mutator "
+      "still holds — and may still write through — the stale one";
+
+  // Owner reclaim: free, re-alloc (canonically aliasing the freed
+  // block), write + read back through the NEW handle. Probes 2/3 are the
+  // aliasing witness.
+  spec.program.threads.push_back(reclaim_owner(
+      with_fence, kAck, kPriv, spin_limit,
+      [&](ThreadBuilder& b, VarId h1) {
+        const VarId h2 = b.local("h2");
+        const VarId vf = b.local("vf");
+        return std::vector<CmdPtr>{
+            free_cmd(h1),
+            alloc_cmd(h2, 1),
+            probe(2, var(h2)),
+            probe(3, var(h1)),
+            write_at(h2, 0, kReuse),  // NT via the new handle
+            read_at(vf, h2, 0),
+            probe(1, var(vf))};
+      }));
+  // Mutator: writes while shared (pre-ack — agreement-ordered, benign),
+  // acks, then tries the stale-handle write behind the flag guard.
+  spec.program.threads.push_back(
+      reclaim_mutator(spin_limit, [&](ThreadBuilder& b, VarId p) {
+        const VarId lpre = b.local("lpre");
+        const VarId lk = b.local("lk");
+        return seq(
+            {atomic(lpre, write(var(p), constant(kMut1))),
+             committed(lpre, atomic(lk, write(constant(kRAck),
+                                              constant(kAck)))),
+             flag_guarded_write(b, p, kMut2)});
+      }));
+  spec.program.num_registers = kReclaimRegisters;
+  spec.postcondition = [](const LitmusState& st) {
+    // { reuse happened ⇒ the readback through the new handle sees the
+    // owner's value } — a stale-handle write landing after the re-alloc
+    // is the ABA corruption.
+    return st.probes[0][kProbeReclaimed] == 0 || st.probes[0][1] == kReuse;
+  };
+  return spec;
+}
+
+LitmusSpec make_reclaim_privatize_then_free(bool with_fence,
+                                            Value spin_limit) {
+  constexpr Value kMut = 1811;   // mutator's write into the shared node
+  constexpr Value kAck = 1812;   // handshake ack
+  constexpr Value kPriv = 1813;  // privatization flag set
+
+  LitmusSpec spec;
+  spec.name =
+      with_fence ? "reclaim_privfree_fenced" : "reclaim_privfree_unfenced";
+  spec.description =
+      "Privatize-then-free: owner unlinks the node transactionally, "
+      "[fence;] drains it with an uninstrumented read and frees — the "
+      "unfenced drain races with the mutator's delayed commit";
+
+  // Owner reclaim: NT drain of the privatized node, then free.
+  spec.program.threads.push_back(reclaim_owner(
+      with_fence, kAck, kPriv, spin_limit,
+      [&](ThreadBuilder& b, VarId h) {
+        const VarId v = b.local("v");
+        return std::vector<CmdPtr>{read_at(v, h, 0), probe(1, var(v)),
+                                   free_cmd(h)};
+      }));
+  // Mutator: ack, then the flag-guarded write (result/flag locals feed
+  // the postcondition).
+  VarId lw = -1;
+  VarId f = -1;
+  spec.program.threads.push_back(
+      reclaim_mutator(spin_limit, [&](ThreadBuilder& b, VarId p) {
+        return ack_then(b, kAck, flag_guarded_write(b, p, kMut, &lw, &f));
+      }));
+  spec.program.num_registers = kReclaimRegisters;
+  spec.postcondition = [lw, f](const LitmusState& st) {
+    // { drain happened ∧ the mutator's guarded write committed ⇒ the
+    // drain observed it } — a delayed writeback landing after the drain
+    // breaks it (Fig 1a on reclaimed memory). A write blocked by the
+    // privatization guard (f ≠ 0) or an aborted attempt is legitimate.
+    if (st.probes[0][kProbeReclaimed] == 0) return true;
+    const Value lwv = st.locals[1][static_cast<std::size_t>(lw)];
+    const Value fv = st.locals[1][static_cast<std::size_t>(f)];
+    if (lwv != kCommitted || fv != 0) return true;
+    return st.probes[0][1] == kMut;
+  };
+  return spec;
+}
+
+std::vector<LitmusSpec> reclamation_litmus(bool with_fence,
+                                           Value spin_limit) {
+  return {make_reclaim_uaf(with_fence, spin_limit),
+          make_reclaim_free_during_reader(with_fence, spin_limit),
+          make_reclaim_aba(with_fence, spin_limit),
+          make_reclaim_privatize_then_free(with_fence, spin_limit)};
+}
+
 std::vector<LitmusSpec> all_litmus() {
-  return {make_fig1a(true), make_fig1b(true), make_fig2(),
-          make_fig3(),      make_fig6(2000),  make_fig_ro(true)};
+  std::vector<LitmusSpec> specs = {make_fig1a(true), make_fig1b(true),
+                                   make_fig2(),      make_fig3(),
+                                   make_fig6(2000),  make_fig_ro(true)};
+  for (LitmusSpec& spec : reclamation_litmus(true)) {
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
@@ -271,6 +597,7 @@ LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
   config.fence_policy = policy;
   config.fence_mode = options.fence_mode;
   config.commit_pause_spins = options.commit_pause_spins;
+  config.alloc = options.alloc;
 
   for (std::size_t run = 0; run < options.runs; ++run) {
     auto tmi = tm::make_tm(kind, config);

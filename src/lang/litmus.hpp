@@ -63,6 +63,68 @@ LitmusSpec make_fig6(Value spin_limit = 100000);
 /// fence after A's RO transaction.
 LitmusSpec make_fig_ro(bool with_fence);
 
+// ---------------------------------------------------------------------------
+// Reclamation litmus catalog (handle-based; the dynamic heap of
+// DESIGN.md §9). These programs allocate real heap blocks, publish the
+// handle through a register, and reclaim — each in a deliberately
+// fence-sensitive way. The explorer + DRF checker are the source of
+// truth: every unfenced variant has racy strongly-atomic outcomes whose
+// races land inside a freed block (drf::races_on_freed), every fenced
+// variant is DRF in all outcomes. A register handshake (mutator work →
+// ack → owner reclaim) makes the race *deterministic* on real TMs, not a
+// jitter lottery, so the backend suite can assert it on every
+// handshake-complete run.
+//
+// Probe conventions (probes survive abort roll-back):
+//   * thread 0, slot 0 — "reclaim step completed" (free + reuse / drain
+//     actually executed; guards every postcondition),
+//   * spec-specific slots documented per maker below.
+//
+// `spin_limit` bounds the handshake spin loops (each iteration is one
+// atomic block): keep it 1–2 for exhaustive exploration, give real-TM
+// runs a few thousand.
+// ---------------------------------------------------------------------------
+
+/// Use-after-free: the mutator transactionally writes a shared node; the
+/// owner (after the ack handshake) frees it and reuses the memory with
+/// uninstrumented accesses. Without the fence the reuse races with the
+/// mutator's (possibly delayed) commit on the freed location; with it,
+/// every pre-reclaim transaction is bf-ordered before the reuse.
+/// Probes: t0 slot 1 = NT readback of the reused cell (postcondition:
+/// reuse happened ⇒ readback sees the owner's value, the §1 corruption
+/// otherwise).
+LitmusSpec make_reclaim_uaf(bool with_fence, Value spin_limit = 2000);
+
+/// Free during an in-flight reader: a reader transaction, guarded by the
+/// privatization flag, reads the node while it is shared; the owner
+/// privatizes, frees and reuses. The unfenced reuse races with the
+/// reader's transactional read; the doomed-reader linger (fig 1b style)
+/// additionally probes whether a zombie reader ever observes the reused
+/// value. Probes: t1 slot 0 = doomed observation (postcondition: never).
+LitmusSpec make_reclaim_free_during_reader(bool with_fence,
+                                           Value spin_limit = 2000);
+
+/// Alloc-reuse ABA: free then immediately re-alloc — the fresh handle
+/// aliases the freed block (deterministically in the explorer's
+/// canonical heap, and on real TMs under the uncached
+/// `{magazine_size = 0, limbo_batch = 1}` allocator). A stale-handle
+/// transactional write then races with uninstrumented accesses through
+/// the *new* handle unless fenced. Probes: t0 slot 1 = NT readback,
+/// slot 2 = new handle, slot 3 = old handle (aliasing witness).
+LitmusSpec make_reclaim_aba(bool with_fence, Value spin_limit = 2000);
+
+/// Privatize-then-free: the owner unlinks the node transactionally,
+/// drains it with an uninstrumented read, then frees. The unfenced drain
+/// races with the mutator's delayed commit (the paper's Fig 1a shape, on
+/// reclaimed memory). Probes: t0 slot 1 = drained value (postcondition:
+/// handshake done ⇒ the drain observed the mutator's committed write).
+LitmusSpec make_reclaim_privatize_then_free(bool with_fence,
+                                            Value spin_limit = 2000);
+
+/// All four reclamation scenarios, one fence polarity.
+std::vector<LitmusSpec> reclamation_litmus(bool with_fence,
+                                           Value spin_limit = 2000);
+
 /// The canonical (fenced where applicable) suite.
 std::vector<LitmusSpec> all_litmus();
 
@@ -82,6 +144,10 @@ struct LitmusRunOptions {
   /// Run programmer-placed fences asynchronously (issue + await) instead
   /// of synchronously — see ExecOptions::async_fences.
   bool async_fences = false;
+  /// Heap allocator tuning for the TM under test. The reclamation specs
+  /// that rely on deterministic block reuse (alloc-reuse ABA) run with
+  /// `{.magazine_size = 0, .limbo_batch = 1}`.
+  tm::AllocConfig alloc{};
 };
 
 struct LitmusRunStats {

@@ -36,6 +36,8 @@ const char* counter_name(Counter c) noexcept {
       return "alloc_shared_refills";
     case Counter::kLimboBatchRetired:
       return "limbo_batches_retired";
+    case Counter::kAllocCompaction:
+      return "alloc_compactions";
     case Counter::kCount:
       break;
   }

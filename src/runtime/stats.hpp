@@ -33,6 +33,14 @@ enum class Counter : std::size_t {
                         ///< magazine hits never count here
   kLimboBatchRetired,   ///< freed-block batches whose grace period
                         ///< elapsed (one ticket covers a whole batch)
+  kAllocCompaction,     ///< SizeClassStore::compact runs — the
+                        ///< stop-the-store O(free blocks) spill of every
+                        ///< class bin into the extent map, done under the
+                        ///< central lock only when a request cannot be
+                        ///< served any other way. Same-size churn must
+                        ///< never tick this (asserted in alloc_test);
+                        ///< watch it before considering incremental
+                        ///< compaction (ROADMAP).
   kCount,
 };
 

@@ -100,6 +100,9 @@ RegId TxAllocator::alloc_slow(ThreadCache* cache, std::size_t cls,
   limbo_.retire(store_, cells_);
   ++refills_;
   qm_.count(0, rt::Counter::kAllocSharedRefill);
+  // Compactions only happen inside store takes (this section holds the
+  // only take paths); surface them as the kAllocCompaction counter.
+  const std::uint64_t compactions_before = store_.compaction_count();
   const RegId base = take_locked(storage, cls);
   if (cache != nullptr && cls != kHugeClass) {
     // Batch-refill the magazine so the next misses-per-class are 1 in
@@ -119,6 +122,10 @@ RegId TxAllocator::alloc_slow(ThreadCache* cache, std::size_t cls,
       }
       mag.push_back(extra);
     }
+  }
+  for (std::uint64_t n = store_.compaction_count() - compactions_before;
+       n > 0; --n) {
+    qm_.count(0, rt::Counter::kAllocCompaction);
   }
   return base;
 }
@@ -306,6 +313,11 @@ std::uint64_t TxAllocator::refill_count() const {
 std::uint64_t TxAllocator::batch_retired_count() const {
   std::lock_guard<rt::SpinLock> guard(central_lock_);
   return limbo_.batches_retired();
+}
+
+std::uint64_t TxAllocator::compaction_count() const {
+  std::lock_guard<rt::SpinLock> guard(central_lock_);
+  return store_.compaction_count();
 }
 
 std::size_t TxAllocator::free_cells() const {

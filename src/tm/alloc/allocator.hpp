@@ -106,6 +106,7 @@ class TxAllocator {
   std::uint64_t magazine_hit_count() const;
   std::uint64_t refill_count() const;  ///< central-lock refills/allocs
   std::uint64_t batch_retired_count() const;
+  std::uint64_t compaction_count() const;  ///< SizeClassStore::compact runs
   std::size_t free_cells() const;      ///< cells in the shared extent store
   /// One-past-the-end of ever-allocated location ids (bump pointer).
   std::size_t allocated_end() const;

@@ -209,7 +209,12 @@ class SizeClassStore {
   }
 
   /// Spill every bin into the extent map, coalescing adjacent blocks.
+  /// Counted: this is the store's stop-the-world event — O(free blocks)
+  /// under the allocator's central lock — and a same-size workload must
+  /// never trigger it (the owning allocator surfaces the count as
+  /// rt::Counter::kAllocCompaction).
   void compact() {
+    ++compactions_;
     for (std::size_t c = 0; c < kNumClasses; ++c) {
       for (const RegId base : bins_[c]) extents_.insert(base, class_size(c));
       bins_[c].clear();
@@ -217,10 +222,13 @@ class SizeClassStore {
     bin_cells_ = 0;
   }
 
+  /// Drop all contents and zero the compaction count (the allocator's
+  /// reset path — observability counters restart with the store).
   void clear() {
     for (auto& bin : bins_) bin.clear();
     bin_cells_ = 0;
     extents_.clear();
+    compactions_ = 0;
   }
 
   std::size_t free_cells() const noexcept {
@@ -228,10 +236,14 @@ class SizeClassStore {
   }
   const ExtentMap& extents() const noexcept { return extents_; }
 
+  /// compact() runs since construction / the last clear().
+  std::uint64_t compaction_count() const noexcept { return compactions_; }
+
  private:
   std::array<std::vector<RegId>, kNumClasses> bins_;
   std::size_t bin_cells_ = 0;  ///< total cells across all bins
   ExtentMap extents_;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace privstm::tm::alloc

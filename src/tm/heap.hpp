@@ -129,6 +129,11 @@ class TxHeap {
   std::uint64_t batch_retired_count() const {
     return allocator_.batch_retired_count();
   }
+  /// Stop-the-store bin spills (SizeClassStore::compact; also counted as
+  /// rt::Counter::kAllocCompaction). Same-size churn must stay at zero.
+  std::uint64_t compaction_count() const {
+    return allocator_.compaction_count();
+  }
   std::size_t free_cells() const { return allocator_.free_cells(); }
   /// One-past-the-end of ever-allocated location ids (bump pointer).
   std::size_t allocated_end() const { return allocator_.allocated_end(); }

@@ -75,6 +75,30 @@ struct TmConfig {
   /// `{.magazine_size = 0, .limbo_batch = 1}` reproduces the PR 3
   /// single-lock allocator's deterministic recycling behavior.
   AllocConfig alloc;
+
+  /// Smallest/largest auto-sized stripe table (auto_size_stripes below).
+  static constexpr std::size_t kMinAutoStripes = 64;
+  static constexpr std::size_t kMaxAutoStripes = std::size_t{1} << 20;
+
+  /// Size `lock_stripes` from the expected peak number of live heap cells
+  /// (static prefix + allocated blocks). Targets ~2 stripes per cell —
+  /// under the Fibonacci mixing hash that keeps the expected number of
+  /// colliding live cells per stripe below 1/2, so the false-conflict
+  /// rate stays in the low percent under full contention (regression:
+  /// tests/stripe_sweep_test.cpp) — rounded to the power of two the
+  /// stripe table would use anyway, clamped to
+  /// [kMinAutoStripes, kMaxAutoStripes] (a 2^20 table is 64 MiB of
+  /// cache-line-padded locks; past that, collisions beat footprint).
+  /// Returns the chosen count.
+  std::size_t auto_size_stripes(std::size_t expected_cells) noexcept {
+    std::size_t want = expected_cells >= kMaxAutoStripes / 2
+                           ? kMaxAutoStripes
+                           : expected_cells * 2;
+    std::size_t n = kMinAutoStripes;
+    while (n < want) n <<= 1;
+    lock_stripes = n;
+    return n;
+  }
 };
 
 class TransactionalMemory;
@@ -281,6 +305,29 @@ class TmThread {
   /// Block until an async fence completes (must be outside transactions).
   void fence_wait(rt::FenceTicket ticket) { fencer_.fence_wait(ticket); }
 
+  /// Recorded heap allocation: like TransactionalMemory::tm_alloc, but the
+  /// event enters this session's history stream (kAllocReq/kAllocRet) so
+  /// the DRF checker can attribute races to reclaimed blocks. Must be
+  /// called outside transactions (recorded heap events are
+  /// non-transactional by convention; the well-formedness checker flags
+  /// violations).
+  TxHandle tm_alloc(std::size_t n) {
+    rec_.request(hist::ActionKind::kAllocReq, hist::kNoReg,
+                 static_cast<Value>(n));
+    const TxHandle h = heap_.alloc(n);
+    rec_.response(hist::ActionKind::kAllocRet, h.base, h.size);
+    return h;
+  }
+
+  /// Recorded privatization-safe free (kFreeReq/kFreeRet); same
+  /// outside-transactions convention as tm_alloc. The grace-period
+  /// semantics are the heap's (TxHeap::free).
+  void tm_free(TxHandle h) {
+    rec_.request(hist::ActionKind::kFreeReq, h.base, h.size);
+    heap_.free(h);
+    rec_.response(hist::ActionKind::kFreeRet, h.base, h.size);
+  }
+
   ThreadId thread_id() const noexcept { return thread_; }
 
  protected:
@@ -302,6 +349,7 @@ class TmThread {
   rt::ThreadRegistry& registry_;  ///< the TM's shared registry
   rt::ThreadSlotGuard slot_;
   FenceSession fencer_;
+  TxHeap& heap_;  ///< the TM's shared heap (recorded tm_alloc/tm_free)
 };
 
 /// A TM instance: shared state plus a session factory.
@@ -385,7 +433,8 @@ inline TmThread::TmThread(TransactionalMemory& tm, ThreadId thread,
       registry_(tm.quiescence().registry()),
       slot_(registry_),
       fencer_(tm.quiescence(), recorder, rec_, thread,
-              static_cast<std::size_t>(slot_.slot())) {}
+              static_cast<std::size_t>(slot_.slot())),
+      heap_(tm.heap()) {}
 
 // ---------------------------------------------------------------------------
 // Structured transaction helpers.

@@ -270,6 +270,43 @@ TEST(AllocChurn, MixedSizeChurnBoundsTheBumpPointer) {
   EXPECT_GT(tmi->heap().reclaimed_count(), 0u);
 }
 
+TEST(AllocChurn, SameSizeChurnNeverCompacts) {
+  // The design promise of the bins-in-front-of-extents store: a steady
+  // same-size workload is served bin→magazine→bin forever and never pays
+  // for extent merging. kAllocCompaction staying at zero is the
+  // regression pin (it is the store's stop-the-world event).
+  auto tmi = make_tm_with();
+  std::vector<TxHandle> live(32);
+  for (int round = 0; round < 64; ++round) {
+    for (auto& h : live) {
+      if (h.valid()) tmi->tm_free(h);
+      h = tmi->tm_alloc(8);
+    }
+  }
+  tmi->heap().drain_limbo();
+  EXPECT_EQ(tmi->heap().compaction_count(), 0u);
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kAllocCompaction), 0u);
+  EXPECT_GT(tmi->heap().reclaimed_count(), 0u);  // churn actually recycled
+}
+
+TEST(AllocChurn, CrossClassReuseCompactsOnceAndIsCounted) {
+  // The positive control for the counter: two adjacent class-4 blocks are
+  // freed, then a class-8 request arrives. The bins hold enough cells but
+  // no extent fits, so the store must compact (spilling the bins into the
+  // extent map merges the neighbors) — exactly one stop-the-store event,
+  // visible through both the heap accessor and the stats counter.
+  auto tmi = make_tm_with({.magazine_size = 0, .limbo_batch = 1});
+  const TxHandle a = tmi->tm_alloc(4);
+  const TxHandle b = tmi->tm_alloc(4);
+  ASSERT_EQ(b.base, a.base + 4) << "bump allocation not adjacent";
+  tmi->tm_free(a);
+  tmi->tm_free(b);
+  const TxHandle merged = tmi->tm_alloc(8);
+  EXPECT_EQ(merged.base, a.base) << "cross-class reuse failed";
+  EXPECT_EQ(tmi->heap().compaction_count(), 1u);
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kAllocCompaction), 1u);
+}
+
 TEST(AllocChurn, HugeBlocksBypassClassesAndStillRecycle) {
   auto tmi = make_tm_with();
   const std::size_t huge = ta::kMaxClassSize + 100;

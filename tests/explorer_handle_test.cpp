@@ -1,0 +1,194 @@
+// The explorer's dynamic heap model: canonical per-thread-arena
+// allocation (symmetry reduction on allocation order), LIFO exact-size
+// reuse, vinit on (re-)allocation, arena-overflow truncation, and the
+// alloc/free history actions. The canonicalization tests regression-pin
+// the symmetry reduction: programs differing only in how allocations
+// interleave must explore the same canonical state set, and cross-thread
+// allocation order must never split states.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "lang/explorer.hpp"
+
+namespace privstm {
+namespace {
+
+using namespace privstm::lang;
+
+Program one_thread(ThreadBuilder b, CmdPtr body, std::size_t regs = 2) {
+  Program p;
+  p.num_registers = regs;
+  p.threads.push_back(std::move(b).finish(std::move(body)));
+  return p;
+}
+
+TEST(ExplorerHandles, AllocReturnsCanonicalBaseAndVinitCells) {
+  ThreadBuilder b;
+  const VarId h = b.local("h");
+  const VarId v0 = b.local("v0");
+  const VarId v1 = b.local("v1");
+  Program p = one_thread(
+      std::move(b), seq({alloc_cmd(h, 2), read_at(v0, h, 0),
+                         write_at(h, 1, 42), read_at(v1, h, 1)}));
+  const auto exploration = explore_atomic(p);
+  ASSERT_EQ(exploration.outcomes.size(), 1u);
+  const Outcome& outcome = exploration.outcomes[0];
+  // Thread 0's arena starts right after the static prefix.
+  EXPECT_EQ(outcome.locals[0][0], p.num_registers);
+  EXPECT_EQ(outcome.locals[0][1], hist::kVInit);  // fresh cell is vinit
+  EXPECT_EQ(outcome.locals[0][2], 42u);
+  const auto base = static_cast<RegId>(outcome.locals[0][0]);
+  EXPECT_EQ(outcome.heap.at(base + 1), 42u);
+}
+
+TEST(ExplorerHandles, FreeThenAllocReusesLifoExactSize) {
+  ThreadBuilder b;
+  const VarId h1 = b.local("h1");
+  const VarId h2 = b.local("h2");
+  const VarId h3 = b.local("h3");
+  const VarId h4 = b.local("h4");
+  // Free order h2 then h1: the next same-size alloc takes h1 (LIFO), the
+  // one after that h2.
+  Program p = one_thread(
+      std::move(b),
+      seq({alloc_cmd(h1, 1), alloc_cmd(h2, 1), free_cmd(h2), free_cmd(h1),
+           alloc_cmd(h3, 1), alloc_cmd(h4, 1)}));
+  const auto exploration = explore_atomic(p);
+  ASSERT_EQ(exploration.outcomes.size(), 1u);
+  const auto& locals = exploration.outcomes[0].locals[0];
+  EXPECT_EQ(locals[2], locals[0]) << "LIFO reuse must hand back h1 first";
+  EXPECT_EQ(locals[3], locals[1]);
+}
+
+TEST(ExplorerHandles, ReusedBlockCellsResetToVinit) {
+  ThreadBuilder b;
+  const VarId h1 = b.local("h1");
+  const VarId h2 = b.local("h2");
+  const VarId v = b.local("v");
+  Program p = one_thread(
+      std::move(b), seq({alloc_cmd(h1, 1), write_at(h1, 0, 99),
+                         free_cmd(h1), alloc_cmd(h2, 1), read_at(v, h2, 0)}));
+  const auto exploration = explore_atomic(p);
+  ASSERT_EQ(exploration.outcomes.size(), 1u);
+  const auto& locals = exploration.outcomes[0].locals[0];
+  EXPECT_EQ(locals[1], locals[0]);             // reused the block
+  EXPECT_EQ(locals[2], hist::kVInit);          // but cells are fresh
+}
+
+TEST(ExplorerHandles, CrossThreadAllocOrderDoesNotSplitStates) {
+  // Two unsynchronized threads, each allocating and writing its own
+  // block: every interleaving must agree on both block addresses — the
+  // whole point of the per-thread-arena canonicalization. (With a shared
+  // bump pointer, addresses would depend on which thread allocated
+  // first and the outcome set would split.)
+  ThreadBuilder b0;
+  const VarId hA = b0.local("hA");
+  ThreadBuilder b1;
+  const VarId hB = b1.local("hB");
+  Program p;
+  p.num_registers = 2;
+  p.threads.push_back(std::move(b0).finish(
+      seq({alloc_cmd(hA, 1), write_at(hA, 0, 901)})));
+  p.threads.push_back(std::move(b1).finish(
+      seq({alloc_cmd(hB, 2), write_at(hB, 0, 902)})));
+
+  ExploreOptions options;
+  options.arena_stride = 16;
+  const auto exploration = explore_atomic(p, options);
+  EXPECT_FALSE(exploration.truncated);
+  ASSERT_FALSE(exploration.outcomes.empty());
+  std::set<std::tuple<Value, Value, std::map<RegId, Value>>> states;
+  for (const Outcome& outcome : exploration.outcomes) {
+    states.insert({outcome.locals[0][0], outcome.locals[1][0],
+                   outcome.heap});
+  }
+  EXPECT_EQ(states.size(), 1u)
+      << "allocation interleaving leaked into the canonical state";
+  const auto& [a, bq, heap] = *states.begin();
+  EXPECT_EQ(a, p.num_registers);                        // thread 0 arena
+  EXPECT_EQ(bq, p.num_registers + options.arena_stride);  // thread 1 arena
+  (void)heap;
+}
+
+TEST(ExplorerHandles, AllocInterleavingVariantsExploreSameCanonicalStates) {
+  // The regression pin for the symmetry reduction: two programs
+  // differing only in WHERE thread 0's allocation sits relative to its
+  // shared register write — i.e. which global allocation interleavings
+  // can arise — must explore exactly the same canonical final states.
+  auto make = [](bool alloc_first) {
+    ThreadBuilder b0;
+    const VarId h = b0.local("h");
+    ThreadBuilder b1;
+    const VarId g = b1.local("g");
+    std::vector<CmdPtr> t0 =
+        alloc_first
+            ? std::vector<CmdPtr>{alloc_cmd(h, 1), write(0, 901),
+                                  write_at(h, 0, 903)}
+            : std::vector<CmdPtr>{write(0, 901), alloc_cmd(h, 1),
+                                  write_at(h, 0, 903)};
+    Program p;
+    p.num_registers = 2;
+    p.threads.push_back(std::move(b0).finish(seq(std::move(t0))));
+    p.threads.push_back(std::move(b1).finish(
+        seq({alloc_cmd(g, 1), write(1, 902), write_at(g, 0, 904)})));
+    return p;
+  };
+
+  using State = std::tuple<Value, Value, std::vector<Value>,
+                           std::map<RegId, Value>>;
+  auto canonical_states = [](const Program& p) {
+    std::set<State> states;
+    const auto exploration = explore_atomic(p);
+    EXPECT_FALSE(exploration.truncated);
+    for (const Outcome& outcome : exploration.outcomes) {
+      states.insert({outcome.locals[0][0], outcome.locals[1][0],
+                     outcome.registers, outcome.heap});
+    }
+    return states;
+  };
+
+  const auto states_a = canonical_states(make(true));
+  const auto states_b = canonical_states(make(false));
+  EXPECT_EQ(states_a, states_b);
+  // And the canonical state is unique: the allocation addresses never
+  // depend on the interleaving at all.
+  EXPECT_EQ(states_a.size(), 1u);
+}
+
+TEST(ExplorerHandles, ArenaOverflowTruncatesExploration) {
+  ThreadBuilder b;
+  const VarId h = b.local("h");
+  Program p = one_thread(std::move(b), alloc_cmd(h, 8));
+  ExploreOptions options;
+  options.arena_stride = 4;
+  const auto exploration = explore_atomic(p, options);
+  EXPECT_TRUE(exploration.truncated);
+  EXPECT_TRUE(exploration.outcomes.empty());
+}
+
+TEST(ExplorerHandles, HistoriesRecordAllocAndFree) {
+  ThreadBuilder b;
+  const VarId h = b.local("h");
+  Program p = one_thread(std::move(b),
+                         seq({alloc_cmd(h, 3), free_cmd(h)}));
+  const auto exploration = explore_atomic(p);
+  ASSERT_EQ(exploration.outcomes.size(), 1u);
+  const hist::History& history = exploration.outcomes[0].history;
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(history[0].kind, hist::ActionKind::kAllocReq);
+  EXPECT_EQ(history[0].value, 3u);
+  EXPECT_EQ(history[1].kind, hist::ActionKind::kAllocRet);
+  EXPECT_EQ(history[2].kind, hist::ActionKind::kFreeReq);
+  EXPECT_EQ(history[3].kind, hist::ActionKind::kFreeRet);
+  const auto freed = hist::freed_blocks(history);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0].base, history[1].reg);
+  EXPECT_EQ(freed[0].size, 3u);
+  EXPECT_TRUE(hist::in_freed_block(history, freed[0].base + 2));
+  EXPECT_FALSE(hist::in_freed_block(history, freed[0].base + 3));
+}
+
+}  // namespace
+}  // namespace privstm

@@ -18,6 +18,16 @@ using namespace privstm::lang;
 LitmusSpec explorer_variant(LitmusSpec spec) {
   // Use the small-spin fig6 for exploration.
   if (spec.name == "fig6_agreement") return make_fig6(3);
+  // Reclamation specs default to real-TM-sized handshake spins; swap in
+  // the single-attempt variants so exploration stays exhaustive.
+  if (spec.name.rfind("reclaim_", 0) == 0) {
+    for (const bool with_fence : {true, false}) {
+      for (LitmusSpec& small : reclamation_litmus(with_fence, 1)) {
+        if (small.name == spec.name) return small;
+      }
+    }
+    ADD_FAILURE() << "no small-spin variant for " << spec.name;
+  }
   return spec;
 }
 

@@ -188,12 +188,58 @@ TEST(Interp, JitterKeepsSemantics) {
 TEST(Interp, ToStringRendersProgram) {
   ThreadBuilder b;
   const VarId l = b.local("l");
+  const VarId h = b.local("h");
   const CmdPtr body = seq({atomic(l, seq({write(0, 5), read(l, 0)})),
-                           fence_cmd(), probe(1, constant(2))});
+                           fence_cmd(), probe(1, constant(2)),
+                           alloc_cmd(h, 4), free_cmd(h)});
   const std::string text = to_string(*body);
   EXPECT_NE(text.find("atomic"), std::string::npos);
   EXPECT_NE(text.find("fence"), std::string::npos);
   EXPECT_NE(text.find("probe[1]"), std::string::npos);
+  EXPECT_NE(text.find("alloc(4)"), std::string::npos);
+  EXPECT_NE(text.find("free("), std::string::npos);
+}
+
+TEST(Interp, AllocFreeDrivesTheRealHeapAndRecords) {
+  // End to end on a real TM: alloc grows the heap past the static
+  // prefix, handle-indexed accesses hit the allocated cells (both
+  // transactionally and not), free retires the block, and the recorded
+  // history carries the alloc/free actions with the right block
+  // geometry.
+  ThreadBuilder b;
+  const VarId h = b.local("h");
+  const VarId l = b.local("l");
+  const VarId v0 = b.local("v0");
+  const VarId v1 = b.local("v1");
+  Program p;
+  p.num_registers = 2;
+  p.threads.push_back(std::move(b).finish(
+      seq({alloc_cmd(h, 2),
+           atomic(l, seq({write_at(h, 0, 31), read_at(v0, h, 0)})),
+           write_at(h, 1, 32),  // NT
+           read_at(v1, h, 1),   // NT
+           free_cmd(h)})));
+  auto tmi = glock(2);
+  const auto result = execute(p, *tmi, {.record = true});
+
+  const Value base = result.locals[0][0];
+  EXPECT_GE(base, 2u);  // past the static prefix
+  EXPECT_EQ(result.locals[0][2], 31u);
+  EXPECT_EQ(result.locals[0][3], 32u);
+  EXPECT_EQ(tmi->heap().free_count(), 1u);
+  // The program's free has (at the latest) been retired by the worker's
+  // thread-exit flush — no transactions were active — so the cells are
+  // back to vinit and the block is reusable.
+  tmi->heap().drain_limbo();
+  EXPECT_EQ(tmi->peek(static_cast<RegId>(base)), hist::kVInit);
+  EXPECT_EQ(tmi->heap().limbo_size(), 0u);
+
+  const auto report = hist::check_wellformed(result.recorded.history);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  const auto freed = hist::freed_blocks(result.recorded.history);
+  ASSERT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0].base, static_cast<RegId>(base));
+  EXPECT_EQ(freed[0].size, 2u);
 }
 
 }  // namespace
