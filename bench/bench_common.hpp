@@ -130,6 +130,12 @@ struct ThroughputRow {
   double abort_rate = 0.0;    ///< aborts / (commits + aborts)
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+  /// Schema 4 contention-manager telemetry (run_tx_retry, DESIGN.md §10):
+  /// how hard the retry loop worked per successful transaction, and whether
+  /// the irrevocable escape hatch ever fired under this workload.
+  double retries_per_commit = 0.0;  ///< aborted attempts per commit
+  std::uint64_t backoffs = 0;       ///< Counter::kTxRetryBackoff
+  std::uint64_t escalations = 0;    ///< Counter::kTxEscalated
 };
 
 /// Run one timed mix phase on a fresh TM instance and collect a row.
@@ -157,6 +163,12 @@ inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
   const double attempts = static_cast<double>(row.commits + row.aborts);
   row.abort_rate =
       attempts > 0.0 ? static_cast<double>(row.aborts) / attempts : 0.0;
+  row.retries_per_commit =
+      row.commits > 0 ? static_cast<double>(row.aborts) /
+                            static_cast<double>(row.commits)
+                      : 0.0;
+  row.backoffs = tmi->stats().total(rt::Counter::kTxRetryBackoff);
+  row.escalations = tmi->stats().total(rt::Counter::kTxEscalated);
   return row;
 }
 
@@ -169,16 +181,18 @@ struct BaselineRow {
   double ops_per_sec;
 };
 
-/// Emit the rows as a stable, diff-friendly JSON document. Schema 3 adds
-/// the `alloc` config block (the heap-allocator knobs the run used) and
-/// an optional `alloc_free_baseline` reference series.
+/// Emit the rows as a stable, diff-friendly JSON document. Schema 3 added
+/// the `alloc` config block (the heap-allocator knobs the run used) and an
+/// optional `alloc_free_baseline` reference series; schema 4 adds the
+/// contention-manager telemetry per row (`retries_per_commit`, `backoffs`,
+/// `escalations` — run_tx_retry now drives every mix worker through the CM).
 inline bool write_throughput_json(
     const std::string& path, const std::vector<ThroughputRow>& rows,
     const tm::AllocConfig& alloc, const char* baseline_note = nullptr,
     const std::vector<BaselineRow>& baseline = {}) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 3,\n"
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 4,\n"
       << "  \"alloc\": {\"magazine_size\": " << alloc.magazine_size
       << ", \"batch_depth\": " << alloc.limbo_batch
       << ", \"max_class_size\": " << alloc.max_class_size << "},\n";
@@ -203,7 +217,10 @@ inline bool write_throughput_json(
         << ", \"registers\": " << r.registers << ", \"txn_size\": "
         << r.txn_size << ", \"ops_per_sec\": " << r.ops_per_sec
         << ", \"abort_rate\": " << r.abort_rate << ", \"commits\": "
-        << r.commits << ", \"aborts\": " << r.aborts << "}"
+        << r.commits << ", \"aborts\": " << r.aborts
+        << ", \"retries_per_commit\": " << r.retries_per_commit
+        << ", \"backoffs\": " << r.backoffs
+        << ", \"escalations\": " << r.escalations << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

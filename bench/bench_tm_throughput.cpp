@@ -429,6 +429,12 @@ MatrixResult run_matrix(bool quick) {
           r.abort_rate =
               attempts > 0.0 ? static_cast<double>(r.aborts) / attempts
                              : 0.0;
+          r.retries_per_commit =
+              r.commits > 0 ? static_cast<double>(r.aborts) /
+                                  static_cast<double>(r.commits)
+                            : 0.0;
+          r.backoffs = tmi->stats().total(rt::Counter::kTxRetryBackoff);
+          r.escalations = tmi->stats().total(rt::Counter::kTxEscalated);
           r.ops_per_sec =
               secs > 0.0
                   ? static_cast<double>(threads) * cell.rounds / secs

@@ -17,6 +17,14 @@ cmake --build build -j"$(nproc)"
   --gtest_filter='ReclamationExplorer.UnfencedScenariosAreRacyOnFreedBlocksOnly' \
   | tee /dev/stderr | grep -q '\[  PASSED  \] 1 test'
 
+# Fault-injection smoke gate, same shape: the seeded injector must actually
+# fire (kFaultInjected > 0 is asserted inside the test — "the plan's rates
+# must actually fire") and replay identically. An injection suite that
+# injects nothing would leave the whole conformance matrix vacuous.
+./build/privstm_tests \
+  --gtest_filter='FaultInjection.SingleSessionWorkloadReplaysExactly' \
+  | tee /dev/stderr | grep -q '\[  PASSED  \] 1 test'
+
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 # Smoke-run the throughput matrix (writes BENCH_tm_throughput.quick.json;
@@ -45,4 +53,19 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
     -R 'Heap|StripeTable|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree'
+fi
+
+# ThreadSanitizer gate (third sanitizer config — TSan cannot coexist with
+# ASan in one binary): the cross-thread synchronization paths this PR
+# stresses hardest — the serial gate's close/drain/reopen handshake, the
+# contention-manager storms, fault-injected backend commits, fences and
+# quiescence, and the concurrent allocator. A focused filter keeps the
+# (TSan-slowed) pass within CI budget; SKIP_TSAN=1 skips it locally.
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DPRIVSTM_SANITIZE=thread \
+    -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j"$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt'
 fi

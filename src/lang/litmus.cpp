@@ -598,8 +598,14 @@ LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
   config.fence_mode = options.fence_mode;
   config.commit_pause_spins = options.commit_pause_spins;
   config.alloc = options.alloc;
+  config.fault = options.fault;
 
   for (std::size_t run = 0; run < options.runs; ++run) {
+    // Each run draws a fresh (but derived, hence reproducible) injection
+    // stream, like the interpreter's per-run schedule seed below.
+    if (options.fault.enabled()) {
+      config.fault.seed = options.fault.seed + run;
+    }
     auto tmi = tm::make_tm(kind, config);
     ExecOptions exec_options;
     exec_options.record = options.check_strong_opacity;
@@ -616,6 +622,8 @@ LitmusRunStats run_litmus(const LitmusSpec& spec, tm::TmKind kind,
     stats.committed_txns += tmi->stats().total(rt::Counter::kTxCommit);
     stats.aborted_txns += tmi->stats().total(rt::Counter::kTxAbort);
     stats.fences += tmi->stats().total(rt::Counter::kFence);
+    stats.faults_injected +=
+        tmi->stats().total(rt::Counter::kFaultInjected);
 
     if (options.check_strong_opacity) {
       ++stats.histories_checked;

@@ -148,6 +148,11 @@ struct LitmusRunOptions {
   /// that rely on deterministic block reuse (alloc-reuse ABA) run with
   /// `{.magazine_size = 0, .limbo_batch = 1}`.
   tm::AllocConfig alloc{};
+  /// Deterministic fault-injection plan for the TM under test
+  /// (runtime/fault.hpp): the conformance matrix re-runs the Fig 1
+  /// scenarios with spurious aborts / lost CASes / bounded delays armed
+  /// and asserts the checkers stay green. Default: off.
+  rt::FaultConfig fault{};
 };
 
 struct LitmusRunStats {
@@ -156,6 +161,11 @@ struct LitmusRunStats {
   std::size_t committed_txns = 0;
   std::size_t aborted_txns = 0;
   std::size_t fences = 0;
+  /// Faults the injector actually fired across all runs (all sites);
+  /// the ci.sh smoke gate requires this to be nonzero when a fault plan
+  /// is armed — an injected-fault suite that injects nothing is as
+  /// worthless as a checker that cannot see bugs.
+  std::size_t faults_injected = 0;
   // Populated when check_strong_opacity:
   std::size_t histories_checked = 0;
   std::size_t racy_histories = 0;   ///< outside H|DRF — vacuous for the TM

@@ -1,0 +1,17 @@
+#include "runtime/contention.hpp"
+
+namespace privstm::rt {
+
+const char* cm_policy_name(CmPolicy policy) noexcept {
+  switch (policy) {
+    case CmPolicy::kImmediate:
+      return "immediate";
+    case CmPolicy::kBackoff:
+      return "backoff";
+    case CmPolicy::kKarma:
+      return "karma";
+  }
+  return "?";
+}
+
+}  // namespace privstm::rt

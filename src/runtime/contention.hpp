@@ -1,0 +1,126 @@
+// Contention management for transactional retry loops (DESIGN.md §10).
+//
+// "On the Cost of Concurrency in Transactional Memory" (PAPERS.md) frames
+// the trade-off a contention manager navigates: retrying immediately
+// maximizes single-thread progress but lets symmetric conflicts livelock;
+// backing off wastes cycles when the conflict was transient. This manager
+// offers three policies, chosen per run_tx_retry call while the *state*
+// (PRNG stream, abort streak, karma) lives with the session:
+//
+//   * kImmediate — retry at once. The pre-PR-6 behavior; fine for
+//     low-contention workloads and as the baseline the tests compare.
+//   * kBackoff  — bounded randomized exponential backoff: after the k-th
+//     consecutive abort, wait a uniform number of cpu_relax spins from
+//     [1, kUnitSpins << min(k, kMaxExponent)]. Randomization (Xoshiro256)
+//     breaks the symmetry of write-write storms; the bound keeps the
+//     worst-case pause at ~16k spins so tail latency stays analyzable.
+//   * kKarma    — karma-style priority: every aborted attempt is lost work
+//     and accrues one karma point (sessions can also be fed a backend's
+//     TxnStamp abort history via add_karma, see tm.hpp's
+//     seed_karma_from_stamps). A session's earned priority is
+//     log2(karma+1), and it backs off like kBackoff but with its exponent
+//     *reduced* by that priority — long-suffering transactions retry almost
+//     immediately while fresh rivals yield the window. Karma halves on
+//     every commit so priority reflects recent, not ancient, losses.
+//
+// None of the policies guarantees progress against a persistently failing
+// body; that is the escalation path's job (runtime/serial_gate.hpp), driven
+// by run_tx_retry's attempt budget.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "runtime/backoff.hpp"
+#include "runtime/rng.hpp"
+
+namespace privstm::rt {
+
+enum class CmPolicy : std::uint8_t {
+  kImmediate = 0,  ///< retry at once (pre-PR-6 behavior)
+  kBackoff,        ///< bounded randomized exponential backoff
+  kKarma,          ///< backoff discounted by accrued abort-history priority
+};
+
+const char* cm_policy_name(CmPolicy policy) noexcept;
+
+inline constexpr std::size_t kCmPolicyCount = 3;
+
+class ContentionManager {
+ public:
+  /// Base window (spins) for one abort; doubles per consecutive abort.
+  static constexpr std::uint32_t kUnitSpins = 16;
+  /// Exponent cap: the largest window is kUnitSpins << kMaxExponent
+  /// (16384 spins), bounding every pause.
+  static constexpr std::uint32_t kMaxExponent = 10;
+
+  explicit ContentionManager(
+      std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+      : rng_(seed) {}
+
+  /// Record a failed attempt and pause per `policy`. Returns the number of
+  /// spins waited (0 under kImmediate or a fully discounted kKarma pause) —
+  /// callers count nonzero pauses as Counter::kTxRetryBackoff.
+  std::uint64_t on_abort(CmPolicy policy) noexcept {
+    ++streak_;
+    ++total_aborts_;
+    ++karma_;  // one attempt of work lost
+    std::uint32_t exponent =
+        streak_ < kMaxExponent ? streak_ : kMaxExponent;
+    switch (policy) {
+      case CmPolicy::kImmediate:
+        return 0;
+      case CmPolicy::kBackoff:
+        break;
+      case CmPolicy::kKarma: {
+        const std::uint32_t priority = log2_floor(karma_ + 1);
+        exponent = exponent > priority ? exponent - priority : 0;
+        if (exponent == 0) return 0;
+        break;
+      }
+    }
+    const std::uint64_t window = std::uint64_t{kUnitSpins} << exponent;
+    const std::uint64_t spins = rng_.below(window) + 1;
+    pause(spins);
+    return spins;
+  }
+
+  /// Record a successful commit: the streak ends and karma decays, so
+  /// priority tracks recent losses rather than accumulating forever.
+  void on_commit() noexcept {
+    streak_ = 0;
+    karma_ >>= 1;
+  }
+
+  /// Credit externally observed lost work (e.g. a backend's TxnStamp abort
+  /// history) toward this session's priority.
+  void add_karma(std::uint64_t lost_work) noexcept { karma_ += lost_work; }
+
+  std::uint64_t karma() const noexcept { return karma_; }
+  std::uint64_t total_aborts() const noexcept { return total_aborts_; }
+  std::uint32_t streak() const noexcept { return streak_; }
+
+ private:
+  static std::uint32_t log2_floor(std::uint64_t v) noexcept {
+    std::uint32_t r = 0;
+    while (v >>= 1) ++r;
+    return r;
+  }
+
+  /// Busy-wait `spins` cpu_relax iterations, yielding the core once per
+  /// 1024 so a long pause cannot starve the thread that must make progress
+  /// for us to stop aborting.
+  static void pause(std::uint64_t spins) noexcept {
+    for (std::uint64_t i = 0; i < spins; ++i) {
+      if ((i & 1023u) == 1023u) std::this_thread::yield();
+      cpu_relax();
+    }
+  }
+
+  Xoshiro256 rng_;
+  std::uint32_t streak_ = 0;       ///< consecutive aborts, reset on commit
+  std::uint64_t karma_ = 0;        ///< decayed lost-work tally
+  std::uint64_t total_aborts_ = 0;
+};
+
+}  // namespace privstm::rt

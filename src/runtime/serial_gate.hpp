@@ -1,0 +1,106 @@
+// The irrevocable serial mode: a glock-style global mutual-exclusion path
+// any backend can escalate into when optimistic retry stops making progress
+// (DESIGN.md §10).
+//
+// Protocol:
+//
+//   enter(slot):  1. take the escalator mutex (at most one irrevocable
+//                    transaction at a time);
+//                 2. close the gate by publishing `slot` as the owner —
+//                    from now on every other session blocks in wait()
+//                    *before* marking itself active;
+//                 3. quiescence handshake: drain in-flight optimistic
+//                    transactions with the registry's epoch-counter scan
+//                    (the same grace-period primitive behind transactional
+//                    fences), so the escalated transaction starts against
+//                    a quiescent TM.
+//   exit():       reopen the gate and release the mutex (demotion).
+//
+// The gate is a PROGRESS mechanism, not a safety mechanism. Escalated
+// attempts run through the owning backend's normal transaction machinery —
+// TL2 still locks stripes and validates, NOrec still seqlocks — so safety
+// (opacity, strong atomicity for DRF programs) rests exactly where it
+// always did, and the recorded histories of escalated commits go through
+// the same checkers as everyone else's. What the gate buys is a bounded
+// straggler count: a thread that loaded an open gate but had not yet bumped
+// its activity word when the drain scanned it can slip one transaction
+// through, but its *next* tx_begin re-checks the gate and blocks. With N
+// sessions at most N stragglers exist per escalation, so at most N
+// escalated attempts can fail before the owner runs truly alone and (absent
+// a body that aborts itself) must commit. That bound is why wait() sits
+// before the activity bump: a blocked thread is quiescent, so the drain
+// never waits on a thread the gate itself is blocking (no deadlock), and
+// the escalator's own tx_begin passes because it owns the gate.
+//
+// The drain always uses FenceMode::kEpochCounter: the paper-boolean scan
+// can starve under back-to-back transactions, and a starving handshake
+// would turn the progress path into a hazard of its own.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/backoff.hpp"
+#include "runtime/spinlock.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace privstm::rt {
+
+class SerialGate {
+ public:
+  explicit SerialGate(ThreadRegistry& registry) noexcept
+      : registry_(registry) {}
+
+  SerialGate(const SerialGate&) = delete;
+  SerialGate& operator=(const SerialGate&) = delete;
+
+  /// Escalate: serialize against other escalators, close the gate for
+  /// `slot`, drain in-flight optimistic transactions. The caller must be
+  /// outside any transaction (between retry attempts).
+  void enter(int slot) noexcept {
+    mutex_.lock();
+    owner_.store(slot, std::memory_order_release);
+    registry_.quiesce(FenceMode::kEpochCounter);
+    escalations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Demote: reopen the gate. Must pair with enter() on the same thread.
+  void exit() noexcept {
+    owner_.store(kOpen, std::memory_order_release);
+    mutex_.unlock();
+  }
+
+  /// Block while the gate is closed by another slot. Backends call this
+  /// first thing in tx_begin, BEFORE bumping the activity word (see file
+  /// comment). The owner passes through so its own escalated transaction
+  /// can run.
+  void wait(int slot) const noexcept {
+    int owner = owner_.load(std::memory_order_acquire);
+    if (owner == kOpen || owner == slot) return;
+    Backoff backoff;
+    do {
+      backoff.pause();
+      owner = owner_.load(std::memory_order_acquire);
+    } while (owner != kOpen && owner != slot);
+  }
+
+  bool closed() const noexcept {
+    return owner_.load(std::memory_order_acquire) != kOpen;
+  }
+
+  /// Total enter() calls (diagnostics; per-thread escalation counts live
+  /// in StatsDomain as Counter::kTxEscalated).
+  std::uint64_t escalations() const noexcept {
+    return escalations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kOpen = -1;
+
+  ThreadRegistry& registry_;
+  SpinLock mutex_;  ///< escalator mutual exclusion
+  std::atomic<int> owner_{kOpen};
+  std::atomic<std::uint64_t> escalations_{0};
+};
+
+}  // namespace privstm::rt

@@ -38,6 +38,12 @@ const char* counter_name(Counter c) noexcept {
       return "limbo_batches_retired";
     case Counter::kAllocCompaction:
       return "alloc_compactions";
+    case Counter::kTxRetryBackoff:
+      return "tx_retry_backoffs";
+    case Counter::kTxEscalated:
+      return "tx_escalated";
+    case Counter::kFaultInjected:
+      return "faults_injected";
     case Counter::kCount:
       break;
   }

@@ -41,6 +41,12 @@ enum class Counter : std::size_t {
                         ///< never tick this (asserted in alloc_test);
                         ///< watch it before considering incremental
                         ///< compaction (ROADMAP).
+  kTxRetryBackoff,      ///< contention-manager pauses taken between retry
+                        ///< attempts (run_tx_retry; kBackoff/kKarma only)
+  kTxEscalated,         ///< retry loops that escalated to the irrevocable
+                        ///< serial mode (rt::SerialGate)
+  kFaultInjected,       ///< faults injected by rt::FaultInjector (spurious
+                        ///< aborts + lost CASes + bounded delays, all sites)
   kCount,
 };
 

@@ -93,6 +93,12 @@ TxHandle TxAllocator::alloc(std::size_t n) {
 RegId TxAllocator::alloc_slow(ThreadCache* cache, std::size_t cls,
                               std::uint32_t storage) {
   std::lock_guard<rt::SpinLock> guard(central_lock_);
+  // Injection site: a bounded delay here stretches the central-lock hold
+  // time, the allocator's only cross-thread choke point (slot 0 by the
+  // same single-stream convention as the refill counters below).
+  if (fault_ != nullptr) {
+    fault_->maybe_delay(0, rt::FaultSite::kAllocRefill);
+  }
   // Opportunistic housekeeping while we hold the lock anyway: seal our
   // pending frees (they may recycle into this very refill) and retire
   // whatever grace periods have elapsed.

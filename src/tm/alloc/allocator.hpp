@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/fault.hpp"
 #include "runtime/quiescence.hpp"
 #include "runtime/spinlock.hpp"
 #include "tm/alloc/handle.hpp"
@@ -95,6 +96,13 @@ class TxAllocator {
   /// Callers must be quiescent and must drop outstanding handles.
   void reset();
 
+  /// Arm (or disarm, with null) fault injection on the shared-refill path
+  /// (FaultSite::kAllocRefill). Called by the owning TM at construction,
+  /// before any session can allocate.
+  void set_fault_injector(rt::FaultInjector* fault) noexcept {
+    fault_ = fault;
+  }
+
   const AllocConfig& config() const noexcept { return config_; }
 
   // Observability (tests and bench reports). Aggregates cover detached
@@ -136,6 +144,7 @@ class TxAllocator {
   void revalidate_cache(alloc::ThreadCache& cache);
 
   rt::QuiescenceManager& qm_;
+  rt::FaultInjector* fault_ = nullptr;  ///< armed shared-refill injection
   const std::size_t static_prefix_;
   const std::size_t max_locations_;
   std::atomic<Value>* const cells_;

@@ -23,8 +23,19 @@ GlobalLockThread::GlobalLockThread(GlobalLockTm& tm, ThreadId thread,
 GlobalLockThread::~GlobalLockThread() = default;
 
 bool GlobalLockThread::tx_begin() {
+  // Block while an escalated (irrevocable) transaction holds the serial
+  // gate — before tx_enter, so a gated thread is quiescent and the
+  // escalator's drain never waits on it (runtime/serial_gate.hpp). The
+  // escalated thread itself passes (it owns the gate) and then takes the
+  // global mutex below like any other transaction.
+  serial_gate_wait();
   registry_.tx_enter(slot_.slot());
   rec_.request(ActionKind::kTxBegin);
+  // Injection site: a bounded delay in front of the global mutex — the
+  // whole-TM choke point this backend serializes through.
+  if (fault_ != nullptr) {
+    fault_->maybe_delay(stat_slot(), rt::FaultSite::kLockAcquire);
+  }
   tm_.mutex_.lock();
   wset_.clear();
   rec_.response(ActionKind::kOk);
@@ -55,6 +66,25 @@ bool GlobalLockThread::tx_write(RegId reg, Value value) {
 
 TxResult GlobalLockThread::tx_commit() {
   rec_.request(ActionKind::kTxCommit);
+  // Injection site: a spurious abort at commit — the buffered write set is
+  // dropped before anything reaches memory and the mutex is released, the
+  // same shape as tx_abort (a lock-based TM may abort too, e.g. on
+  // deadlock detection in richer designs; the history stays legal).
+  if (fault_ != nullptr &&
+      fault_->inject_abort(stat_slot(), rt::FaultSite::kCommit)) {
+    wset_.clear();
+    tm_.mutex_.unlock();
+    rec_.response(ActionKind::kAborted);
+    tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                    Counter::kTxAbort);
+    registry_.tx_exit(slot_.slot());
+    return TxResult::kAborted;
+  }
+  // Injected delay inside the critical section: stretches the serial
+  // window every other session is queued behind.
+  if (fault_ != nullptr) {
+    fault_->maybe_delay(stat_slot(), rt::FaultSite::kCommit);
+  }
   // Flush inside the critical section: serialization (and hence opacity /
   // strong atomicity for DRF programs) is exactly as with the historical
   // in-place store at tx_write time.

@@ -113,6 +113,12 @@ class TxHeap {
   /// outstanding handles.
   void reset() { allocator_.reset(); }
 
+  /// Arm fault injection on the allocator's shared-refill path (null
+  /// disarms); forwarded from the owning TM at construction.
+  void set_fault_injector(rt::FaultInjector* fault) noexcept {
+    allocator_.set_fault_injector(fault);
+  }
+
   std::size_t static_prefix() const noexcept { return static_prefix_; }
 
   // Allocator observability (tests and bench reports) — see allocator.hpp.

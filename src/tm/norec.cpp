@@ -27,6 +27,10 @@ NOrecThread::NOrecThread(NOrec& tm, ThreadId thread, hist::Recorder* recorder)
 NOrecThread::~NOrecThread() = default;
 
 bool NOrecThread::tx_begin() {
+  // Block while an escalated (irrevocable) transaction holds the serial
+  // gate — before tx_enter, so a gated thread is quiescent and the
+  // escalator's drain never waits on it (runtime/serial_gate.hpp).
+  serial_gate_wait();
   registry_.tx_enter(slot_.slot());
   rec_.request(ActionKind::kTxBegin);
   snapshot_ = tm_.seqlock_.read_begin();  // wait until no writer in flight
@@ -82,6 +86,15 @@ bool NOrecThread::tx_read(RegId reg, Value& out) {
       }
     }
   }
+  // Injection site: a spurious read-validation abort, indistinguishable
+  // from a failed value-based revalidation (the clean-abort path below).
+  if (fault_ != nullptr &&
+      fault_->inject_abort(stat_slot(), rt::FaultSite::kReadValidation)) {
+    tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
+                    Counter::kTxReadValidationFail);
+    abort_in_flight();
+    return false;
+  }
   Value v = cells_[static_cast<std::size_t>(reg)].load(
       std::memory_order_acquire);
   while (!tm_.seqlock_.read_validate(snapshot_)) {
@@ -111,6 +124,14 @@ bool NOrecThread::tx_write(RegId reg, Value value) {
 TxResult NOrecThread::tx_commit() {
   rec_.request(ActionKind::kTxCommit);
 
+  // Injection site: a spurious abort at commit entry, before the seqlock
+  // is contended — txcommit answered by aborted is a legal history shape.
+  if (fault_ != nullptr &&
+      fault_->inject_abort(stat_slot(), rt::FaultSite::kCommit)) {
+    abort_in_flight();
+    return TxResult::kAborted;
+  }
+
   if (wset_.empty()) {
     // Read-only: reads were validated when taken; nothing to publish.
     rec_.response(ActionKind::kCommitted);
@@ -120,13 +141,27 @@ TxResult NOrecThread::tx_commit() {
     return TxResult::kCommitted;
   }
 
-  while (!tm_.seqlock_.try_write_lock(snapshot_)) {
+  // Injection site: one lost seqlock CAS per commit attempt at most — the
+  // attempt is skipped (taking it and discarding a success would leave the
+  // seqlock write-locked forever) and the commit revalidates exactly as
+  // after a genuine race loss. Bounded to one so a high injection rate
+  // cannot livelock the acquire/revalidate loop.
+  bool cas_loss_injected = false;
+  while ((fault_ != nullptr && !cas_loss_injected &&
+          (cas_loss_injected = fault_->inject_cas_loss(
+               stat_slot(), rt::FaultSite::kLockAcquire))) ||
+         !tm_.seqlock_.try_write_lock(snapshot_)) {
     if (!revalidate()) {
       tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                       Counter::kTxReadValidationFail);
       abort_in_flight();
       return TxResult::kAborted;
     }
+  }
+  // Injected delay with the seqlock held: the widened delayed-commit
+  // window every concurrent reader must revalidate across.
+  if (fault_ != nullptr) {
+    fault_->maybe_delay(stat_slot(), rt::FaultSite::kCommit);
   }
   // Sole writer: flush the write set in first-write program order, with
   // the last value per register winning.

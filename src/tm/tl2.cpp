@@ -58,6 +58,10 @@ std::vector<Tl2::TxnStamp> Tl2::timestamp_log() const {
 }
 
 bool Tl2Thread::tx_begin() {
+  // Block while an escalated (irrevocable) transaction holds the serial
+  // gate — before tx_enter, so a gated thread is quiescent and the
+  // escalator's drain never waits on it (runtime/serial_gate.hpp).
+  serial_gate_wait();
   // Set active[t] *before* logging txbegin: a fence whose fbegin is
   // recorded after our txbegin must then observe us active and wait,
   // keeping condition 10 of Definition A.1 true in the recorded history.
@@ -125,8 +129,15 @@ bool Tl2Thread::tx_read(RegId reg, Value& out) {
   const VersionedLock::Word w1 = vlock.load(std::memory_order_acquire);
   const Value value = heap_.cell(reg).load(std::memory_order_acquire);
   const VersionedLock::Word w2 = vlock.load(std::memory_order_acquire);
+  // Injected read-validation faults ride the genuine invalid path below:
+  // the abort is indistinguishable from a spurious stripe collision, so
+  // the recorded history stays one the protocol could have produced.
+  const bool injected =
+      fault_ != nullptr &&
+      fault_->inject_abort(stat_slot(), rt::FaultSite::kReadValidation);
   const bool invalid = VersionedLock::is_locked(w1) || w1 != w2 ||
-                       rver_ < VersionedLock::version_of(w1);  // line 21
+                       rver_ < VersionedLock::version_of(w1) ||  // line 21
+                       injected;
   if (invalid && !tm_.config().unsafe_skip_validation) {
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxReadValidationFail);
@@ -161,6 +172,16 @@ void Tl2Thread::release_stripes() {
 TxResult Tl2Thread::tx_commit() {
   rec_.request(ActionKind::kTxCommit);
 
+  // Injection site: a spurious abort at commit entry, before any stripe
+  // is locked — shaped like a validation failure the checker already
+  // accepts (txcommit answered by aborted is a legal history).
+  if (fault_ != nullptr &&
+      fault_->inject_abort(stat_slot(), rt::FaultSite::kCommit)) {
+    abort_in_flight();
+    auto_fence(false);
+    return TxResult::kAborted;
+  }
+
   // Collapse the write set to one (location, final value) entry in
   // first-write program order: write-back then flushes in the order the
   // program issued its (first) writes, which is the order the paper's
@@ -194,6 +215,14 @@ TxResult Tl2Thread::tx_commit() {
     }
     if (already) continue;
     auto& vlock = tm_.stripes_.stripe(s);
+    // Injection site: a lost CAS race — the attempt is skipped entirely
+    // (performing it and ignoring a success would leak the stripe lock)
+    // and the commit takes its normal lock-failed abort path.
+    if (fault_ != nullptr &&
+        fault_->inject_cas_loss(stat_slot(), rt::FaultSite::kLockAcquire)) {
+      lock_failed = true;
+      break;
+    }
     VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
     if (!vlock.try_lock(expected, token_)) {
       lock_failed = true;
@@ -249,7 +278,12 @@ TxResult Tl2Thread::tx_commit() {
   // Write back (lines 51–54), pausing before each store when the harness
   // asks: this is exactly the "commit-pending with locks held" window in
   // which the delayed-commit problem of Fig 1(a) lives. Stripes are
-  // released with the new version after all values landed.
+  // released with the new version after all values landed. An injected
+  // delay here widens that window with the stripes held — the exact
+  // schedule the privatization fences must survive.
+  if (fault_ != nullptr) {
+    fault_->maybe_delay(stat_slot(), rt::FaultSite::kCommit);
+  }
   for (const auto& [reg, value] : writeback) {
     for (std::uint32_t i = 0; i < tm_.config().commit_pause_spins; ++i) {
       rt::cpu_relax();

@@ -80,6 +80,10 @@ Tl2FusedThread::Tl2FusedThread(Tl2Fused& tm, ThreadId thread,
 Tl2FusedThread::~Tl2FusedThread() { tm_.detach_stamp_buffer(&stamps_); }
 
 bool Tl2FusedThread::tx_begin() {
+  // Block while an escalated (irrevocable) transaction holds the serial
+  // gate — before the activity bump, so a gated thread is quiescent and
+  // the escalator's drain never waits on it (runtime/serial_gate.hpp).
+  serial_gate_wait();
   // Set active[t] *before* logging txbegin, exactly as the faithful backend:
   // a fence whose fbegin is recorded after our txbegin must observe us
   // active and wait (condition 10 of Definition A.1).
@@ -173,8 +177,13 @@ bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
   const VersionedLock::Word w1 = vlock.load(std::memory_order_acquire);
   const Value value = cells_[r].load(std::memory_order_acquire);
   const VersionedLock::Word w2 = vlock.load(std::memory_order_acquire);
+  // Injected read-validation faults ride the genuine invalid path (shaped
+  // like a spurious stripe collision) — same site as the faithful backend.
+  const bool injected =
+      fault_ != nullptr &&
+      fault_->inject_abort(stat_slot_, rt::FaultSite::kReadValidation);
   const bool invalid = VersionedLock::is_locked(w1) || w1 != w2 ||
-                       rver_ < VersionedLock::version_of(w1);
+                       rver_ < VersionedLock::version_of(w1) || injected;
   if (invalid && !unsafe_skip_validation_) {
     tm_.stats().add(stat_slot_, Counter::kTxReadValidationFail);
     abort_in_flight();
@@ -220,6 +229,17 @@ void Tl2FusedThread::release_stripes() {
 TxResult Tl2FusedThread::tx_commit() {
   rec_.request(ActionKind::kTxCommit);
 
+  // Injection site: a spurious abort at commit entry, before the read-only
+  // fast path and before any stripe is locked — so the injected regime
+  // also exercises read-only abort histories the clock-free path never
+  // produces on its own.
+  if (fault_ != nullptr &&
+      fault_->inject_abort(stat_slot_, rt::FaultSite::kCommit)) {
+    abort_in_flight();
+    auto_fence(false);
+    return TxResult::kAborted;
+  }
+
   if (wset_.empty()) {
     // Read-only fast path: every read validated against rver as it happened,
     // so the snapshot is already consistent — no locks, no validation pass
@@ -250,6 +270,14 @@ TxResult Tl2FusedThread::tx_commit() {
     const std::size_t s = rt::StripeTable::mix_index(
         static_cast<std::size_t>(entry.reg), stripe_shift_);
     auto& vlock = *stripe_base_[s];
+    // Injection site: a lost CAS race — skip the attempt (performing it
+    // and ignoring a success would leak the stripe lock) and take the
+    // normal lock-failed abort path.
+    if (fault_ != nullptr &&
+        fault_->inject_cas_loss(stat_slot_, rt::FaultSite::kLockAcquire)) {
+      lock_failed = true;
+      break;
+    }
     VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
     if (VersionedLock::is_locked(expected)) {
       if (VersionedLock::owner_of(expected) == token_) continue;  // ours
@@ -307,7 +335,11 @@ TxResult Tl2FusedThread::tx_commit() {
   // Write back: value stores, then one release store per stripe that
   // publishes the new version and releases the lock at once. The optional
   // pause widens the delayed-commit window for the Fig 1(a) litmus
-  // harness, exactly as in the faithful backend.
+  // harness, exactly as in the faithful backend; an injected delay widens
+  // it further with the stripes held.
+  if (fault_ != nullptr) {
+    fault_->maybe_delay(stat_slot_, rt::FaultSite::kCommit);
+  }
   for (const WriteEntry& entry : wset_) {
     for (std::uint32_t i = 0; i < commit_pause_spins_; ++i) {
       rt::cpu_relax();

@@ -25,13 +25,18 @@
 #include <memory>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "history/action.hpp"
 #include "history/recorder.hpp"
+#include "runtime/contention.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/quiescence.hpp"
+#include "runtime/serial_gate.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_registry.hpp"
 #include "tm/heap.hpp"
+#include "tm/txn_stamp.hpp"
 
 namespace privstm::tm {
 
@@ -75,6 +80,13 @@ struct TmConfig {
   /// `{.magazine_size = 0, .limbo_batch = 1}` reproduces the PR 3
   /// single-lock allocator's deterministic recycling behavior.
   AllocConfig alloc;
+  /// Deterministic fault-injection plan (runtime/fault.hpp): seeded,
+  /// per-thread, site-addressed spurious aborts / lost CASes / bounded
+  /// delays across every backend's protocol steps plus the allocator's
+  /// shared-refill path. Default: everything off (hot paths pay one
+  /// pointer test). Conformance suites use this to prove injected-fault
+  /// histories stay opaque/DRF (DESIGN.md §10).
+  rt::FaultConfig fault;
 
   /// Smallest/largest auto-sized stripe table (auto_size_stripes below).
   static constexpr std::size_t kMinAutoStripes = 64;
@@ -127,14 +139,18 @@ class FenceSession {
   /// `rec` is the owning session's recording handle (fbegin/fend of
   /// synchronous fences interleave with the thread's other actions);
   /// `recorder` is kept to lazily open the async shadow stream.
+  /// `fault` may be null (injection disabled); armed, fence entries become
+  /// a bounded-delay injection site (FaultSite::kFence).
   FenceSession(rt::QuiescenceManager& qm, hist::Recorder* recorder,
                hist::Recorder::Handle& rec, ThreadId thread,
-               std::size_t stat_slot) noexcept
+               std::size_t stat_slot,
+               rt::FaultInjector* fault = nullptr) noexcept
       : qm_(qm),
         recorder_(recorder),
         rec_(rec),
         thread_(thread),
         stat_slot_(stat_slot),
+        fault_(fault),
         policy_(qm.policy()) {}
 
   FenceSession(const FenceSession&) = delete;
@@ -203,6 +219,9 @@ class FenceSession {
  private:
   void do_fence() {
     rec_.request(hist::ActionKind::kFenceBegin);
+    if (fault_ != nullptr) {
+      fault_->maybe_delay(stat_slot_, rt::FaultSite::kFence);
+    }
     qm_.fence(stat_slot_);
     rec_.response(hist::ActionKind::kFenceEnd);
   }
@@ -250,6 +269,7 @@ class FenceSession {
   std::array<bool, kMaxOutstandingFences> arec_made_{};
   ThreadId thread_;
   std::size_t stat_slot_;
+  rt::FaultInjector* fault_;
   const FencePolicy policy_;
   std::array<rt::FenceTicket, kMaxOutstandingFences> outstanding_{};
 };
@@ -330,6 +350,38 @@ class TmThread {
 
   ThreadId thread_id() const noexcept { return thread_; }
 
+  /// Per-session contention-manager state (backoff stream, abort streak,
+  /// karma) consumed by run_tx_retry; the *policy* is chosen per call via
+  /// TxRetryOptions, the state persists across calls so karma priority
+  /// reflects the session's whole abort history.
+  rt::ContentionManager& contention() noexcept { return cm_; }
+
+  // run_tx_retry internals — public so the free-function retry helpers can
+  // reach them; not part of the user-facing session API.
+
+  /// Count one contention-manager pause (Counter::kTxRetryBackoff).
+  void note_retry_backoff() noexcept {
+    stats_.add(stat_slot(), rt::Counter::kTxRetryBackoff);
+  }
+
+  /// Escalate this session into the irrevocable serial mode: close the
+  /// serial gate (quiescence handshake drains in-flight optimistic
+  /// transactions), suspend this slot's fault injection (the irrevocable
+  /// attempt is the progress guarantee of last resort) and count
+  /// Counter::kTxEscalated. Must be called between transactions; pair with
+  /// escalate_exit().
+  void escalate_enter() noexcept {
+    gate_.enter(slot_.slot());
+    if (fault_ != nullptr) fault_->suspend(stat_slot());
+    stats_.add(stat_slot(), rt::Counter::kTxEscalated);
+  }
+
+  /// Demote back to optimistic execution: reopen the gate, resume faults.
+  void escalate_exit() noexcept {
+    if (fault_ != nullptr) fault_->resume(stat_slot());
+    gate_.exit();
+  }
+
  protected:
   /// Registers a slot with `tm`'s quiescence registry and wires the shared
   /// fence session; defined after TransactionalMemory below.
@@ -344,12 +396,23 @@ class TmThread {
     return static_cast<std::size_t>(slot_.slot());
   }
 
+  /// First thing in every backend's tx_begin: block while another
+  /// session's escalated (irrevocable) transaction holds the serial gate.
+  /// Must run BEFORE the activity word is bumped — a blocked thread is
+  /// quiescent, so the escalator's drain never waits on a thread the gate
+  /// itself is blocking (serial_gate.hpp has the progress argument).
+  void serial_gate_wait() const noexcept { gate_.wait(slot_.slot()); }
+
   ThreadId thread_;
   hist::Recorder::Handle rec_;
   rt::ThreadRegistry& registry_;  ///< the TM's shared registry
   rt::ThreadSlotGuard slot_;
+  rt::StatsDomain& stats_;        ///< the TM's shared counter domain
+  rt::SerialGate& gate_;          ///< the TM's irrevocable serial gate
+  rt::FaultInjector* fault_;      ///< null when injection is disabled
   FenceSession fencer_;
   TxHeap& heap_;  ///< the TM's shared heap (recorded tm_alloc/tm_free)
+  rt::ContentionManager cm_;
 };
 
 /// A TM instance: shared state plus a session factory.
@@ -397,6 +460,18 @@ class TransactionalMemory {
   const TmConfig& config() const noexcept { return config_; }
   rt::StatsDomain& stats() noexcept { return stats_; }
 
+  /// The instance's fault injector (disabled unless TmConfig::fault arms
+  /// it); fault_ptr() is the hot-path form — null when disabled so every
+  /// injection site costs one pointer test.
+  rt::FaultInjector& fault() noexcept { return fault_; }
+  rt::FaultInjector* fault_ptr() noexcept {
+    return fault_.enabled() ? &fault_ : nullptr;
+  }
+
+  /// The irrevocable serial mode's gate (runtime/serial_gate.hpp), shared
+  /// by every session; run_tx_retry escalates through it.
+  rt::SerialGate& serial_gate() noexcept { return serial_gate_; }
+
   /// The shared value store + allocator (all backends).
   TxHeap& heap() noexcept { return heap_; }
   const TxHeap& heap() const noexcept { return heap_; }
@@ -408,20 +483,30 @@ class TransactionalMemory {
  protected:
   explicit TransactionalMemory(TmConfig config)
       : config_(config),
+        fault_(config_.fault, stats_),
         quiescence_(stats_, config_.fence_policy, config_.fence_mode),
-        heap_(config_.num_registers, quiescence_, config_.alloc) {}
+        serial_gate_(quiescence_.registry()),
+        heap_(config_.num_registers, quiescence_, config_.alloc) {
+    // The allocator's shared-refill path is an injection site too
+    // (FaultSite::kAllocRefill); hand it the injector only when armed.
+    heap_.set_fault_injector(fault_ptr());
+  }
 
-  /// Shared part of reset(): stats and the heap — cell values, free
-  /// extents, limbo batches, and every thread's allocator magazines
-  /// (cleared via the allocator's registry epoch; quiescence required).
+  /// Shared part of reset(): stats, the fault injector's streams, and the
+  /// heap — cell values, free extents, limbo batches, and every thread's
+  /// allocator magazines (cleared via the allocator's registry epoch;
+  /// quiescence required).
   void reset_base() {
     stats_.reset();
+    fault_.reset();
     heap_.reset();
   }
 
   TmConfig config_;
   rt::StatsDomain stats_;
+  rt::FaultInjector fault_;
   rt::QuiescenceManager quiescence_;
+  rt::SerialGate serial_gate_;
   TxHeap heap_;
 };
 
@@ -432,9 +517,16 @@ inline TmThread::TmThread(TransactionalMemory& tm, ThreadId thread,
                     : hist::Recorder::Handle{}),
       registry_(tm.quiescence().registry()),
       slot_(registry_),
+      stats_(tm.stats()),
+      gate_(tm.serial_gate()),
+      fault_(tm.fault_ptr()),
       fencer_(tm.quiescence(), recorder, rec_, thread,
-              static_cast<std::size_t>(slot_.slot())),
-      heap_(tm.heap()) {}
+              static_cast<std::size_t>(slot_.slot()), fault_),
+      heap_(tm.heap()),
+      // Deterministic per-slot backoff stream: sessions on the same slot
+      // across runs draw identical pause sequences.
+      cm_(0x9e3779b97f4a7c15ULL +
+          static_cast<std::uint64_t>(slot_.slot())) {}
 
 // ---------------------------------------------------------------------------
 // Structured transaction helpers.
@@ -459,6 +551,16 @@ class TxScope {
     if (!thread_.tx_write(reg, value)) aborted_ = true;
   }
 
+  /// Explicit user abort from inside a body: the transaction is finished
+  /// (TmThread::tx_abort) and every later access through this scope is a
+  /// no-op, so bodies stay straight-line. run_tx treats the attempt as
+  /// aborted without calling tx_commit.
+  void abort() noexcept {
+    if (aborted_) return;
+    thread_.tx_abort();
+    aborted_ = true;
+  }
+
   bool aborted() const noexcept { return aborted_; }
 
  private:
@@ -477,12 +579,98 @@ TxResult run_tx(TmThread& thread, F&& body) {
   return thread.tx_commit();
 }
 
-/// Retry until commit; returns the number of attempts.
+enum class TxRetryStatus : std::uint8_t {
+  kCommitted,  ///< an attempt committed
+  kGaveUp,     ///< max_attempts exhausted without a commit
+};
+
+/// Retry policy knobs for run_tx_retry (DESIGN.md §10).
+struct TxRetryOptions {
+  /// Inter-attempt wait policy (runtime/contention.hpp).
+  rt::CmPolicy policy = rt::CmPolicy::kBackoff;
+  /// Total attempt budget, escalated attempts included; 0 = unbounded.
+  /// With a bound, a persistently failing body (e.g. one that calls
+  /// TxScope::abort every time) returns kGaveUp instead of spinning
+  /// forever — the pre-PR-6 unbounded-loop hazard.
+  std::size_t max_attempts = 0;
+  /// Consecutive failed attempts before escalating to the irrevocable
+  /// serial mode (runtime/serial_gate.hpp); 0 = never escalate. The
+  /// default keeps legacy callers safe from livelock: past 64 failures a
+  /// symmetric conflict storm is no longer plausibly transient.
+  std::size_t escalate_after = 64;
+};
+
+struct TxRetryResult {
+  TxRetryStatus status = TxRetryStatus::kCommitted;
+  std::size_t attempts = 0;
+  bool escalated = false;  ///< the loop entered the serial mode
+
+  bool committed() const noexcept {
+    return status == TxRetryStatus::kCommitted;
+  }
+};
+
+/// Retry `body` under the session's contention manager until it commits,
+/// the attempt budget runs out (kGaveUp), or — past escalate_after failed
+/// attempts — by escalating into the irrevocable serial mode: the serial
+/// gate closes, in-flight optimistic transactions drain, and the body
+/// retries under global mutual exclusion (no backoff, fault injection
+/// suspended) until it commits or exhausts max_attempts. Escalated
+/// attempts run the backend's normal protocol, so their recorded histories
+/// go through the same opacity/DRF checkers as optimistic ones; the gate
+/// is reopened (demotion) before returning either way.
+template <typename F>
+TxRetryResult run_tx_retry(TmThread& thread, F&& body,
+                           const TxRetryOptions& options) {
+  rt::ContentionManager& cm = thread.contention();
+  TxRetryResult result;
+  bool serial = false;
+  for (std::size_t attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    if (run_tx(thread, body) == TxResult::kCommitted) {
+      cm.on_commit();
+      break;
+    }
+    if (options.max_attempts != 0 && attempt >= options.max_attempts) {
+      result.status = TxRetryStatus::kGaveUp;
+      break;
+    }
+    if (serial) continue;  // gate held: retry immediately
+    if (options.escalate_after != 0 && attempt >= options.escalate_after) {
+      serial = true;
+      result.escalated = true;
+      thread.escalate_enter();
+      continue;
+    }
+    if (cm.on_abort(options.policy) != 0) thread.note_retry_backoff();
+  }
+  if (serial) thread.escalate_exit();
+  return result;
+}
+
+/// Retry until commit; returns the number of attempts. Legacy form — now a
+/// wrapper over the options-taking overload, so every raw retry loop in
+/// the repo picks up randomized backoff and the livelock escape hatch
+/// (default TxRetryOptions) without touching its call sites.
 template <typename F>
 std::size_t run_tx_retry(TmThread& thread, F&& body) {
-  std::size_t attempts = 1;
-  while (run_tx(thread, body) != TxResult::kCommitted) ++attempts;
-  return attempts;
+  return run_tx_retry(thread, std::forward<F>(body), TxRetryOptions{})
+      .attempts;
+}
+
+/// Feed a backend's collected TxnStamp abort history into a contention
+/// manager as karma: each aborted stamp is one lost attempt of work, so a
+/// session resuming after a crash/handoff inherits the priority its losses
+/// earned (the karma policy's "fed by TxnStamp abort history" hook;
+/// exercised in tests/contention_test.cpp).
+inline std::uint64_t seed_karma_from_stamps(
+    rt::ContentionManager& cm, const std::vector<TxnStamp>& stamps) {
+  std::uint64_t lost = 0;
+  for (const TxnStamp& stamp : stamps) {
+    if (!stamp.committed) ++lost;
+  }
+  cm.add_karma(lost);
+  return lost;
 }
 
 // ---------------------------------------------------------------------------
