@@ -136,6 +136,14 @@ struct ThroughputRow {
   double retries_per_commit = 0.0;  ///< aborted attempts per commit
   std::uint64_t backoffs = 0;       ///< Counter::kTxRetryBackoff
   std::uint64_t escalations = 0;    ///< Counter::kTxEscalated
+  /// Schema 5 sharding telemetry (DESIGN.md §11): the store shard count
+  /// the run used, how often a magazine refill was served by a *sibling*
+  /// shard's bins (Counter::kAllocShardSteal), and how many commit stamps
+  /// were adopted from a rival committer's clock CAS instead of minted
+  /// (Counter::kClockStampShared — only the TL2 family mints stamps).
+  std::size_t shards = 0;
+  std::uint64_t shard_steals = 0;   ///< Counter::kAllocShardSteal
+  std::uint64_t clock_shared = 0;   ///< Counter::kClockStampShared
 };
 
 /// Run one timed mix phase on a fresh TM instance and collect a row.
@@ -169,44 +177,63 @@ inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
                       : 0.0;
   row.backoffs = tmi->stats().total(rt::Counter::kTxRetryBackoff);
   row.escalations = tmi->stats().total(rt::Counter::kTxEscalated);
+  row.shards = tmi->heap().shard_count();
+  row.shard_steals = tmi->stats().total(rt::Counter::kAllocShardSteal);
+  row.clock_shared = tmi->stats().total(rt::Counter::kClockStampShared);
   return row;
 }
 
 /// A reference measurement embedded alongside the live rows — schema 3
 /// records the previous allocator's `alloc-free` cells (re-measured on
-/// the same box) so the before/after is readable straight from the file.
+/// the same box) so the before/after is readable straight from the file;
+/// schema 5's `pr6_baseline` series reuses the shape with a workload tag.
 struct BaselineRow {
   const char* backend;
   std::size_t threads;
   double ops_per_sec;
+  const char* workload = "alloc-free";
 };
 
 /// Emit the rows as a stable, diff-friendly JSON document. Schema 3 added
 /// the `alloc` config block (the heap-allocator knobs the run used) and an
-/// optional `alloc_free_baseline` reference series; schema 4 adds the
+/// optional `alloc_free_baseline` reference series; schema 4 added the
 /// contention-manager telemetry per row (`retries_per_commit`, `backoffs`,
-/// `escalations` — run_tx_retry now drives every mix worker through the CM).
+/// `escalations` — run_tx_retry now drives every mix worker through the
+/// CM); schema 5 adds the per-row sharding telemetry (`shards`,
+/// `shard_steals`, `clock_shared`), the `shards` knob in the alloc block,
+/// and an optional `pr6_baseline` series (the pre-sharding allocator and
+/// clock, re-measured on the same box) for the before/after.
 inline bool write_throughput_json(
     const std::string& path, const std::vector<ThroughputRow>& rows,
     const tm::AllocConfig& alloc, const char* baseline_note = nullptr,
-    const std::vector<BaselineRow>& baseline = {}) {
+    const std::vector<BaselineRow>& baseline = {},
+    const char* pr6_note = nullptr,
+    const std::vector<BaselineRow>& pr6_baseline = {}) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 4,\n"
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 5,\n"
       << "  \"alloc\": {\"magazine_size\": " << alloc.magazine_size
       << ", \"batch_depth\": " << alloc.limbo_batch
-      << ", \"max_class_size\": " << alloc.max_class_size << "},\n";
-  if (!baseline.empty()) {
-    out << "  \"alloc_free_baseline\": {\n    \"note\": \""
-        << (baseline_note != nullptr ? baseline_note : "") << "\",\n"
-        << "    \"rows\": [\n";
-    for (std::size_t i = 0; i < baseline.size(); ++i) {
-      const auto& b = baseline[i];
-      out << "      {\"backend\": \"" << b.backend << "\", \"threads\": "
-          << b.threads << ", \"ops_per_sec\": " << b.ops_per_sec << "}"
-          << (i + 1 < baseline.size() ? "," : "") << "\n";
+      << ", \"max_class_size\": " << alloc.max_class_size
+      << ", \"shards\": " << alloc.effective_shards() << "},\n";
+  const auto emit_series = [&out](const char* name, const char* note,
+                                  const std::vector<BaselineRow>& series) {
+    out << "  \"" << name << "\": {\n    \"note\": \""
+        << (note != nullptr ? note : "") << "\",\n    \"rows\": [\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const auto& b = series[i];
+      out << "      {\"backend\": \"" << b.backend << "\", \"workload\": \""
+          << b.workload << "\", \"threads\": " << b.threads
+          << ", \"ops_per_sec\": " << b.ops_per_sec << "}"
+          << (i + 1 < series.size() ? "," : "") << "\n";
     }
     out << "    ]\n  },\n";
+  };
+  if (!baseline.empty()) {
+    emit_series("alloc_free_baseline", baseline_note, baseline);
+  }
+  if (!pr6_baseline.empty()) {
+    emit_series("pr6_baseline", pr6_note, pr6_baseline);
   }
   out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -220,7 +247,10 @@ inline bool write_throughput_json(
         << r.commits << ", \"aborts\": " << r.aborts
         << ", \"retries_per_commit\": " << r.retries_per_commit
         << ", \"backoffs\": " << r.backoffs
-        << ", \"escalations\": " << r.escalations << "}"
+        << ", \"escalations\": " << r.escalations
+        << ", \"shards\": " << r.shards
+        << ", \"shard_steals\": " << r.shard_steals
+        << ", \"clock_shared\": " << r.clock_shared << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

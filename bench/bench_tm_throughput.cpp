@@ -349,6 +349,13 @@ struct MatrixResult {
   /// Σ Counter::kLimboBatchRetired over the allocator-heavy cells — the
   /// CI smoke asserts batched reclamation actually ran (> 0 in --quick).
   std::uint64_t limbo_batches = 0;
+  /// Σ Counter::kAllocShardSteal over the mixed-churn cells — the CI
+  /// smoke asserts the sibling-steal tier actually served refills there
+  /// (> 0 in --quick; see DESIGN.md §11).
+  std::uint64_t churn_shard_steals = 0;
+  /// Σ Counter::kClockStampShared over the clock-share-probe cells — the
+  /// CI smoke asserts the GV4 share path ran end to end (> 0 in --quick).
+  std::uint64_t probe_clock_shared = 0;
 };
 
 MatrixResult run_matrix(bool quick) {
@@ -435,6 +442,11 @@ MatrixResult run_matrix(bool quick) {
                             : 0.0;
           r.backoffs = tmi->stats().total(rt::Counter::kTxRetryBackoff);
           r.escalations = tmi->stats().total(rt::Counter::kTxEscalated);
+          r.shards = tmi->heap().shard_count();
+          r.shard_steals =
+              tmi->stats().total(rt::Counter::kAllocShardSteal);
+          r.clock_shared =
+              tmi->stats().total(rt::Counter::kClockStampShared);
           r.ops_per_sec =
               secs > 0.0
                   ? static_cast<double>(threads) * cell.rounds / secs
@@ -442,6 +454,9 @@ MatrixResult run_matrix(bool quick) {
           if (r.ops_per_sec > best.ops_per_sec) best = r;
           result.limbo_batches +=
               tmi->stats().total(rt::Counter::kLimboBatchRetired);
+          if (std::strcmp(cell.label, "mixed-churn") == 0) {
+            result.churn_shard_steals += r.shard_steals;
+          }
         }
         rows.push_back(best);
         const auto& r = rows.back();
@@ -450,6 +465,64 @@ MatrixResult run_matrix(bool quick) {
                   << " abort_rate=" << r.abort_rate << "\n";
       }
     }
+  }
+
+  // GV4 clock-share probe: organic stamp sharing needs two committers
+  // inside one load→CAS window, which timesliced threads on a
+  // single-core box never produce — so the probe cells arm the
+  // kClockAdvance fault site at a low rate (a staged rival advancing the
+  // clock for real, the same state transition a concurrent committer
+  // causes) and drive the write-heavy mix through it. The row's
+  // clock_shared then tracks the share path end to end on any box;
+  // ops_per_sec carries the fault-injection overhead and is NOT
+  // comparable with the unfaulted write-heavy cells.
+  for (const tm::TmKind kind : {tm::TmKind::kTl2, tm::TmKind::kTl2Fused}) {
+    MixParams p;
+    p.threads = 2;
+    p.read_pct = kWriteHeavy.read_pct;
+    p.registers = kWriteHeavy.registers;
+    p.txn_size = kWriteHeavy.txn_size;
+    p.txns_per_thread = quick ? 500 : 4000;
+    tm::TmConfig config;
+    config.num_registers = p.registers;
+    config.fault.cas_loss_permille = 20;  // ~2% of writer commits staged
+    config.fault.sites = rt::fault_site_bit(rt::FaultSite::kClockAdvance);
+    auto tmi = tm::make_tm(kind, config);
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t committed = run_mix_phase(*tmi, p, /*seed=*/11);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    ThroughputRow r;
+    r.backend = tm::tm_kind_name(kind);
+    r.workload = "clock-share-probe";
+    r.threads = p.threads;
+    r.read_pct = p.read_pct;
+    r.registers = p.registers;
+    r.txn_size = p.txn_size;
+    r.commits = tmi->stats().total(rt::Counter::kTxCommit);
+    r.aborts = tmi->stats().total(rt::Counter::kTxAbort);
+    const double attempts = static_cast<double>(r.commits + r.aborts);
+    r.abort_rate =
+        attempts > 0.0 ? static_cast<double>(r.aborts) / attempts : 0.0;
+    r.retries_per_commit =
+        r.commits > 0
+            ? static_cast<double>(r.aborts) / static_cast<double>(r.commits)
+            : 0.0;
+    r.backoffs = tmi->stats().total(rt::Counter::kTxRetryBackoff);
+    r.escalations = tmi->stats().total(rt::Counter::kTxEscalated);
+    r.shards = tmi->heap().shard_count();
+    r.shard_steals = tmi->stats().total(rt::Counter::kAllocShardSteal);
+    r.clock_shared = tmi->stats().total(rt::Counter::kClockStampShared);
+    r.ops_per_sec =
+        secs > 0.0 ? static_cast<double>(committed) / secs : 0.0;
+    result.probe_clock_shared += r.clock_shared;
+    rows.push_back(r);
+    std::cout << "matrix clock-share-probe backend=" << r.backend
+              << " threads=" << r.threads
+              << " clock_shared=" << r.clock_shared
+              << " ops/s=" << r.ops_per_sec << "\n";
   }
   return result;
 }
@@ -470,6 +543,24 @@ const std::vector<BaselineRow> kAllocFreeBaseline = {
     {"norec", 4, 5093490}, {"glock", 4, 4987330},
     {"tl2", 8, 3787750},  {"tl2fused", 8, 4086380},
     {"norec", 8, 4485980}, {"glock", 8, 4657710},
+};
+
+/// The pre-sharding allocator + fetch_add-clock configuration (PR 6,
+/// commit 9ed7537), re-measured on the same box right before the sharded
+/// store / batched clock landed: the "before" of the schema-5 before/after
+/// on the two cells the sharding PR is chartered to move at 8 threads.
+constexpr const char* kPr6BaselineNote =
+    "PR 6 unsharded free store + fetch_add clock (commit 9ed7537), same "
+    "box, full-mode write-heavy and mixed-churn cells, measured 2026-08-07";
+const std::vector<BaselineRow> kPr6Baseline = {
+    {"tl2", 8, 3567650, "write-heavy"},
+    {"tl2fused", 8, 5178870, "write-heavy"},
+    {"norec", 8, 5883450, "write-heavy"},
+    {"glock", 8, 7310110, "write-heavy"},
+    {"tl2", 8, 4180600, "mixed-churn"},
+    {"tl2fused", 8, 4913810, "mixed-churn"},
+    {"norec", 8, 6469910, "mixed-churn"},
+    {"glock", 8, 6528770, "mixed-churn"},
 };
 
 /// Report the headline ratio the fused backend is chartered to deliver:
@@ -519,7 +610,8 @@ int main(int argc, char** argv) {
   if (privstm::bench::write_throughput_json(
           path, rows, privstm::tm::AllocConfig{},
           privstm::bench::kAllocFreeBaselineNote,
-          privstm::bench::kAllocFreeBaseline)) {
+          privstm::bench::kAllocFreeBaseline,
+          privstm::bench::kPr6BaselineNote, privstm::bench::kPr6Baseline)) {
     std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
   } else {
     std::cerr << "failed to write " << path << "\n";
@@ -537,6 +629,25 @@ int main(int argc, char** argv) {
   }
   std::cout << "limbo batches retired across alloc cells: "
             << result.limbo_batches << "\n";
+  // Sharded-store gate: mixed-churn spreads freed blocks across every
+  // store shard, so its refills must steal from siblings at least once —
+  // zero means the steal tier silently stopped running in front of the
+  // central lock (or the store degenerated to one shard).
+  if (quick && result.churn_shard_steals == 0) {
+    std::cerr << "FAIL: no sibling-shard steals across the mixed-churn "
+                 "smoke cells (kAllocShardSteal == 0)\n";
+    return 1;
+  }
+  std::cout << "shard steals across mixed-churn cells: "
+            << result.churn_shard_steals << "\n";
+  // GV4 share-path gate: the staged-rival probe cells must adopt stamps.
+  if (quick && result.probe_clock_shared == 0) {
+    std::cerr << "FAIL: the clock-share probe cells adopted no stamps "
+                 "(kClockStampShared == 0)\n";
+    return 1;
+  }
+  std::cout << "clock stamps shared across probe cells: "
+            << result.probe_clock_shared << "\n";
 
   if (!quick) {
     int bench_argc = static_cast<int>(args.size());

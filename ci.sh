@@ -30,8 +30,12 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # Smoke-run the throughput matrix (writes BENCH_tm_throughput.quick.json;
 # the committed full matrix comes from a run without --quick). The quick
 # run also self-asserts that the alloc-free / mixed-churn cells retired at
-# least one batched-limbo grace period (Counter::kLimboBatchRetired > 0),
-# failing CI if deferred reclamation silently stops flowing in batches.
+# least one batched-limbo grace period (Counter::kLimboBatchRetired > 0)
+# and that the mixed-churn cells stole at least one block from a sibling
+# shard (Counter::kAllocShardSteal > 0) — failing CI if deferred
+# reclamation stops flowing in batches or the sharded free store silently
+# degenerates to never-stealing (i.e. the steal tier stopped running in
+# front of the central lock).
 ./build/bench_tm_throughput --quick
 
 # Smoke-run the multi-privatizer fence matrix (writes
@@ -52,7 +56,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-    -R 'Heap|StripeTable|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree'
+    -R 'Heap|StripeTable|StripeRegion|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree|Clock'
 fi
 
 # ThreadSanitizer gate (third sanitizer config — TSan cannot coexist with
@@ -67,5 +71,5 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j"$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt'
+    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt|Clock'
 fi

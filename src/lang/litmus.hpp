@@ -106,8 +106,9 @@ LitmusSpec make_reclaim_free_during_reader(bool with_fence,
 
 /// Alloc-reuse ABA: free then immediately re-alloc — the fresh handle
 /// aliases the freed block (deterministically in the explorer's
-/// canonical heap, and on real TMs under the uncached
-/// `{magazine_size = 0, limbo_batch = 1}` allocator). A stale-handle
+/// canonical heap, and on real TMs under the uncached, unsharded
+/// `{magazine_size = 0, limbo_batch = 1, shards = 1}` allocator). A
+/// stale-handle
 /// transactional write then races with uninstrumented accesses through
 /// the *new* handle unless fenced. Probes: t0 slot 1 = NT readback,
 /// slot 2 = new handle, slot 3 = old handle (aliasing witness).
@@ -146,7 +147,9 @@ struct LitmusRunOptions {
   bool async_fences = false;
   /// Heap allocator tuning for the TM under test. The reclamation specs
   /// that rely on deterministic block reuse (alloc-reuse ABA) run with
-  /// `{.magazine_size = 0, .limbo_batch = 1}`.
+  /// `{.magazine_size = 0, .limbo_batch = 1, .shards = 1}` — caching,
+  /// batching and the sharded steal tier each break recycle-on-next-alloc
+  /// determinism on their own.
   tm::AllocConfig alloc{};
   /// Deterministic fault-injection plan for the TM under test
   /// (runtime/fault.hpp): the conformance matrix re-runs the Fig 1

@@ -16,6 +16,8 @@ const char* fault_site_name(FaultSite site) noexcept {
       return "fence";
     case FaultSite::kAllocRefill:
       return "alloc_refill";
+    case FaultSite::kClockAdvance:
+      return "clock_advance";
   }
   return "?";
 }

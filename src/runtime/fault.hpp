@@ -51,9 +51,10 @@ enum class FaultSite : std::uint8_t {
   kCommit,           ///< commit entry and the locked write-back window
   kFence,            ///< quiescence fence entry (FenceSession::do_fence)
   kAllocRefill,      ///< allocator central-lock shared-refill path
+  kClockAdvance,     ///< commit-stamp mint: the GV4 clock-CAS window
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 6;
 
 const char* fault_site_name(FaultSite site) noexcept;
 

@@ -1,12 +1,33 @@
 // The TL2 global version clock (`clock` in Fig 9).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
 #include "runtime/cacheline.hpp"
 
 namespace privstm::rt {
+
+/// How a TL2-family backend mints commit stamps (TmConfig::clock_mode).
+enum class ClockMode : std::uint8_t {
+  /// Unconditional fetch_add per writer commit — the faithful Fig 9 shape.
+  kFetchAdd = 0,
+  /// GV4 commit batching: one CAS attempt; on failure adopt the stamp the
+  /// failed CAS reloaded (see advance_if_stale for the soundness argument).
+  /// Single-threaded the CAS never fails, so this is behavior-identical to
+  /// kFetchAdd there — which is why it is safe as the default even for the
+  /// deterministic model-checked configurations.
+  kBatched,
+  /// kBatched minting plus per-shard *sample* cells: transaction-begin
+  /// reads hit a padded per-shard copy of the clock instead of the
+  /// committers' line. A stale cell can only make rver smaller, which is
+  /// always safe (more validation aborts, never fewer), so this trades
+  /// spurious aborts under heavy cross-shard traffic for zero begin-time
+  /// bouncing. Opt-in: programs that assert postconditions without
+  /// retrying aborted transactions should not run under it.
+  kShardedSample,
+};
 
 /// Monotone global counter. `sample()` is the transaction-begin read
 /// (rver := clock); `advance()` is the commit-time
@@ -18,6 +39,10 @@ class alignas(kCacheLine) GlobalClock {
  public:
   using Stamp = std::uint64_t;
 
+  /// Upper bound on per-shard sample cells (kShardedSample mode). Matches
+  /// tm::alloc::kMaxAllocShards — one cell per allocator shard.
+  static constexpr std::size_t kMaxSampleShards = 8;
+
   Stamp sample() const noexcept {
     return now_.load(std::memory_order_acquire);
   }
@@ -27,30 +52,80 @@ class alignas(kCacheLine) GlobalClock {
     return now_.fetch_add(1, std::memory_order_acq_rel) + 1;
   }
 
-  /// GV4/GV5-style commit stamp (used by the fused TL2 backend): one CAS
-  /// attempt to advance the clock; if it fails because another committer
-  /// already moved the clock past us, *share* the fresh stamp the failed
-  /// CAS observed instead of retrying. Sharing is safe for TL2: concurrent
-  /// committers that end up with equal stamps necessarily have disjoint
-  /// write sets (overlapping ones collide on a write lock first), and any
-  /// reader that began before either committed sees rver < stamp and
-  /// aborts on validation. Under contention this turns the clock from a
-  /// fetch_add-per-writer hotspot into at most one cache-line transfer per
-  /// *batch* of concurrent commits.
-  Stamp advance_if_stale() noexcept {
-    Stamp seen = now_.load(std::memory_order_acquire);
+  /// The GV4 CAS step against a pre-sampled clock value `seen`: try to
+  /// install seen+1; if another committer moved the clock past us first,
+  /// *share* the fresh stamp the failed CAS reloaded instead of retrying
+  /// (`shared` reports which branch ran, for Counter::kClockStampShared).
+  ///
+  /// Sharing is safe for TL2 because the committer calling this already
+  /// holds ALL of its write locks: a concurrent committer whose CAS won
+  /// with the same-or-smaller stamp necessarily has a disjoint write set
+  /// (overlapping ones collide on a write lock first), and any reader
+  /// whose rver equals the shared stamp sampled the clock *after* our
+  /// locks were taken — so it either validates against our post-unlock
+  /// version (complete writes) or aborts on the locked stripe, never
+  /// observes a fracture. Under contention this turns the clock from a
+  /// fetch_add-per-writer hotspot into at most one cache-line transfer
+  /// per *batch* of concurrent commits.
+  ///
+  /// Split out from advance_if_stale so tests can force the share branch
+  /// deterministically by passing a deliberately stale `seen`.
+  Stamp advance_from(Stamp seen, bool& shared) noexcept {
     const Stamp next = seen + 1;
     if (now_.compare_exchange_strong(seen, next, std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
+      shared = false;
       return next;
     }
+    shared = true;
     return seen;  // the failed CAS reloaded a strictly fresher stamp
   }
 
-  void reset() noexcept { now_.store(0, std::memory_order_release); }
+  /// GV4/GV5-style commit stamp: one CAS attempt to advance the clock,
+  /// sharing the reloaded stamp on failure (see advance_from).
+  Stamp advance_if_stale(bool& shared) noexcept {
+    return advance_from(now_.load(std::memory_order_acquire), shared);
+  }
+
+  Stamp advance_if_stale() noexcept {
+    bool shared = false;
+    return advance_from(now_.load(std::memory_order_acquire), shared);
+  }
+
+  /// Transaction-begin read against shard `shard`'s padded sample cell
+  /// (kShardedSample mode). The cell trails the real clock — it is only
+  /// refreshed by commits routed through the same shard — which is safe:
+  /// a smaller rver can only add validation aborts, never admit a stale
+  /// read (the stripe-version check is against wver, not rver).
+  Stamp sample_sharded(std::size_t shard) const noexcept {
+    return cells_[shard]->load(std::memory_order_acquire);
+  }
+
+  /// Publish a freshly minted/shared commit stamp to shard `shard`'s
+  /// sample cell so its readers start from it. Monotonicity per cell is
+  /// free: every publisher writes a stamp >= the cell's current value
+  /// modulo racing publishers, and a lost older stamp only lowers rver.
+  void publish_sharded(std::size_t shard, Stamp stamp) noexcept {
+    cells_[shard]->store(stamp, std::memory_order_release);
+  }
+
+  /// Re-sync shard `shard`'s cell with the real clock — the abort-path
+  /// antidote to staleness (an aborted reader refreshes its shard before
+  /// retrying, so a dormant shard cannot spin forever on old stamps).
+  void refresh_sharded(std::size_t shard) noexcept {
+    cells_[shard]->store(now_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+  }
+
+  void reset() noexcept {
+    now_.store(0, std::memory_order_release);
+    for (auto& c : cells_) c->store(0, std::memory_order_release);
+  }
 
  private:
   std::atomic<Stamp> now_{0};
+  /// Per-shard sample cells, each on its own line (kShardedSample only).
+  std::array<CacheAligned<std::atomic<Stamp>>, kMaxSampleShards> cells_{};
 };
 
 }  // namespace privstm::rt

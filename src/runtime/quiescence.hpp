@@ -128,8 +128,9 @@ class QuiescenceManager {
   /// Count an event against this manager's stats domain — for collaborators
   /// that share the domain (tm::FenceSession counts its async-overflow
   /// degradation here).
-  void count(std::size_t stat_slot, Counter c) noexcept {
-    stats_.add(stat_slot, c);
+  void count(std::size_t stat_slot, Counter c,
+             std::uint64_t n = 1) noexcept {
+    stats_.add(stat_slot, c, n);
   }
 
   /// Epoch-reclamation hooks (the tm/alloc limbo list). A ticket's

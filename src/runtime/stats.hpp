@@ -33,20 +33,29 @@ enum class Counter : std::size_t {
                         ///< magazine hits never count here
   kLimboBatchRetired,   ///< freed-block batches whose grace period
                         ///< elapsed (one ticket covers a whole batch)
-  kAllocCompaction,     ///< SizeClassStore::compact runs — the
-                        ///< stop-the-store O(free blocks) spill of every
-                        ///< class bin into the extent map, done under the
-                        ///< central lock only when a request cannot be
-                        ///< served any other way. Same-size churn must
-                        ///< never tick this (asserted in alloc_test);
-                        ///< watch it before considering incremental
-                        ///< compaction (ROADMAP).
+  kAllocCompaction,     ///< incremental compaction steps — each is a
+                        ///< *bounded* spill of shard-bin blocks into the
+                        ///< extent map (kCompactionSpillBudget blocks per
+                        ///< trigger, resumed round-robin across shards),
+                        ///< taken under the central lock only when a
+                        ///< request cannot be served any other way.
+                        ///< Same-size churn must never tick this
+                        ///< (asserted in alloc_test).
   kTxRetryBackoff,      ///< contention-manager pauses taken between retry
                         ///< attempts (run_tx_retry; kBackoff/kKarma only)
   kTxEscalated,         ///< retry loops that escalated to the irrevocable
                         ///< serial mode (rt::SerialGate)
   kFaultInjected,       ///< faults injected by rt::FaultInjector (spurious
                         ///< aborts + lost CASes + bounded delays, all sites)
+  kClockStampShared,    ///< commit stamps adopted from another committer's
+                        ///< CAS (GlobalClock::advance_if_stale share
+                        ///< branch) instead of minted by our own RMW —
+                        ///< each one is a clock cache-line transfer saved
+  kAllocShardSteal,     ///< magazine refills served by a *sibling* shard's
+                        ///< bins after the home shard came up empty —
+                        ///< sharding working as designed (a steal is still
+                        ///< cheaper than falling through to the global
+                        ///< extent map)
   kCount,
 };
 

@@ -21,6 +21,17 @@
 // high bits, which the shift keeps, so stride-aligned patterns spread as
 // well as dense ones (regression-tested in heap_test's StripeTable suite).
 //
+// Region partitioning (DESIGN.md §11): with `regions` > 1 the table splits
+// into equal power-of-two regions and a location's region is chosen by
+// hashing its 64-cell *window* (loc >> kRegionWindowBits) — so a whole
+// allocator block lands in one region, and blocks served by different
+// allocator shards tend to validate and lock disjoint cache-line ranges.
+// Within a region the original mix spreads locations as before. Correctness
+// is unchanged: region choice is a pure function of the location, so every
+// writer and reader of `loc` still meets at the same stripe; the split only
+// re-partitions which stripes a given address range can occupy. regions=1
+// is bit-for-bit the PR 4 single-table mapping.
+//
 // Stripes are cache-line padded: the table is written on every commit
 // lock/release, and unrelated-stripe traffic must not false-share.
 #pragma once
@@ -41,6 +52,12 @@ class StripeTable {
   /// before the final shift ever truncates.
   static constexpr std::uint64_t kFibMix = 0x9E3779B97F4A7C15ull;
 
+  /// Locations are grouped into 2^6-cell windows for region selection, so
+  /// every cell of a size-class block (max class 4096 = 64 windows) spans
+  /// few windows and small blocks (the common case) occupy exactly one —
+  /// a block's fields validate inside a single region.
+  static constexpr unsigned kRegionWindowBits = 6;
+
   /// Stripe of `loc` in a table of 2^(64 - shift) stripes. Static so TM
   /// hot paths that cache the table geometry in locals/members (the
   /// fused backend) compute the exact same mapping as index_of().
@@ -48,31 +65,74 @@ class StripeTable {
     return static_cast<std::size_t>((loc * kFibMix) >> shift);
   }
 
-  /// `stripes` is rounded up to a power of two (minimum 2) so the map is
-  /// one multiply and one shift. Collisions only ever *add* conflicts
-  /// (see file comment); a pathological workload can still be tuned via
-  /// TmConfig::lock_stripes.
-  explicit StripeTable(std::size_t stripes) {
+  /// The full mapping, cacheable by value in backend hot paths (both TL2
+  /// backends keep a copy next to the stripe base pointer). index() must
+  /// agree exactly with StripeTable::index_of — asserted in shard_test.
+  struct Geometry {
+    unsigned within_shift = 63;  ///< 64 - log2(stripes per region)
+    unsigned per_bits = 1;       ///< log2(stripes per region)
+    unsigned region_shift = 64;  ///< 64 - log2(regions); 64 ⇔ regions=1
+    unsigned region_bits = 0;    ///< log2(regions)
+
+    std::size_t index(std::uint64_t loc) const noexcept {
+      std::size_t idx =
+          static_cast<std::size_t>((loc * kFibMix) >> within_shift);
+      if (region_bits != 0) {
+        const auto region = static_cast<std::size_t>(
+            ((loc >> kRegionWindowBits) * kFibMix) >> region_shift);
+        idx |= region << per_bits;
+      }
+      return idx;
+    }
+  };
+
+  /// `stripes` is the TOTAL table size, rounded up to a power of two
+  /// (minimum 2) so the map is one multiply and one shift; `regions` is
+  /// likewise rounded to a power of two and clamped so each region keeps
+  /// at least two stripes. Collisions only ever *add* conflicts (see file
+  /// comment); a pathological workload can still be tuned via
+  /// TmConfig::lock_stripes / stripe_regions.
+  explicit StripeTable(std::size_t stripes, std::size_t regions = 1) {
     std::size_t n = 2;
     unsigned bits = 1;
     while (n < stripes) {
       n <<= 1;
       ++bits;
     }
+    std::size_t r = 1;
+    unsigned rbits = 0;
+    while ((r << 1) <= regions && rbits + 1 < bits) {
+      r <<= 1;
+      ++rbits;
+    }
     table_ = std::vector<CacheAligned<VersionedLock>>(n);
-    shift_ = 64 - bits;
+    geometry_.per_bits = bits - rbits;
+    geometry_.within_shift = 64 - geometry_.per_bits;
+    geometry_.region_bits = rbits;
+    geometry_.region_shift = 64 - rbits;  // only read when region_bits != 0
+    regions_ = r;
   }
 
   StripeTable(const StripeTable&) = delete;
   StripeTable& operator=(const StripeTable&) = delete;
 
   std::size_t stripe_count() const noexcept { return table_.size(); }
-  /// Right-shift applied after the multiply (64 - log2(stripe_count)).
-  unsigned shift() const noexcept { return shift_; }
+  /// Power-of-two region count the table was partitioned into (1 = none).
+  std::size_t region_count() const noexcept { return regions_; }
+  /// Right-shift applied after the within-region multiply.
+  unsigned shift() const noexcept { return geometry_.within_shift; }
+  const Geometry& geometry() const noexcept { return geometry_; }
 
   /// Stripe index of location `loc`.
   std::size_t index_of(std::uint64_t loc) const noexcept {
-    return mix_index(loc, shift_);
+    return geometry_.index(loc);
+  }
+
+  /// Region of location `loc` (0 when the table is unpartitioned).
+  std::size_t region_of(std::uint64_t loc) const noexcept {
+    if (geometry_.region_bits == 0) return 0;
+    return static_cast<std::size_t>(
+        ((loc >> kRegionWindowBits) * kFibMix) >> geometry_.region_shift);
   }
 
   VersionedLock& stripe(std::size_t index) noexcept { return *table_[index]; }
@@ -86,7 +146,7 @@ class StripeTable {
   }
 
   /// Raw entry array (cache-line stride) for hot paths that cache the
-  /// base pointer and shift in locals/members.
+  /// base pointer and geometry in locals/members.
   CacheAligned<VersionedLock>* data() noexcept { return table_.data(); }
 
   /// Clear every stripe to version 0, unlocked. Callers must be quiescent.
@@ -96,7 +156,8 @@ class StripeTable {
 
  private:
   std::vector<CacheAligned<VersionedLock>> table_;
-  unsigned shift_ = 63;
+  Geometry geometry_;
+  std::size_t regions_ = 1;
 };
 
 }  // namespace privstm::rt

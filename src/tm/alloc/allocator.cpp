@@ -1,6 +1,7 @@
 #include "tm/alloc/allocator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +27,30 @@ Rounded round_request(std::size_t n, std::uint32_t max_class) noexcept {
   return {kHugeClass, static_cast<std::uint32_t>(n)};
 }
 
+constexpr std::size_t kUnsetShard = static_cast<std::size_t>(-1);
+
+/// Process-wide home-shard ordinals: each thread draws one on first use
+/// and keeps it for life, so its home is stable across allocator
+/// instances (the instance masks the ordinal by its own shard count).
+std::atomic<std::size_t> g_home_counter{0};
+thread_local std::size_t t_home_ordinal = kUnsetShard;
+thread_local std::size_t t_home_override = kUnsetShard;
+
 }  // namespace
+
+std::size_t TxAllocator::home_shard() const noexcept {
+  if (t_home_override != kUnsetShard) {
+    return t_home_override & (shard_count_ - 1);
+  }
+  if (t_home_ordinal == kUnsetShard) {
+    t_home_ordinal = g_home_counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_home_ordinal & (shard_count_ - 1);
+}
+
+void TxAllocator::bind_home_shard(std::size_t shard) noexcept {
+  t_home_override = shard;  // kNoHomeShard == kUnsetShard unpins
+}
 
 TxAllocator::TxAllocator(std::size_t static_prefix, std::size_t max_locations,
                          rt::QuiescenceManager& qm,
@@ -36,6 +60,8 @@ TxAllocator::TxAllocator(std::size_t static_prefix, std::size_t max_locations,
       max_locations_(max_locations),
       cells_(cells),
       config_(config),
+      shard_count_(config.effective_shards()),
+      shard_bits_(static_cast<unsigned>(std::bit_width(shard_count_) - 1)),
       limbo_(qm),
       bump_(static_prefix) {
   if (static_prefix > max_locations) std::abort();  // configuration error
@@ -90,59 +116,219 @@ TxHandle TxAllocator::alloc(std::size_t n) {
   return TxHandle{base, static_cast<std::uint32_t>(n)};
 }
 
+std::size_t TxAllocator::take_from_shards(std::size_t home,
+                                          std::uint32_t storage,
+                                          std::size_t cls, std::size_t want,
+                                          RegId& first,
+                                          std::vector<RegId>* mag,
+                                          bool count_refill) {
+  std::size_t got = 0;
+  {
+    AllocShard& h = shards_[home];
+    std::lock_guard<rt::SpinLock> g(h.lock);
+    if (count_refill) {
+      // Slot = home shard id, written only under this shard's lock: the
+      // per-slot single-writer discipline StatsDomain requires.
+      qm_.count(home, rt::Counter::kAllocSharedRefill);
+    }
+    while (got < want) {
+      const RegId b = h.bins.take(storage, cls);
+      if (b == hist::kNoReg) break;
+      if (first == hist::kNoReg) {
+        first = b;
+      } else {
+        mag->push_back(b);
+      }
+      ++got;
+    }
+    publish_mirrors(h);
+  }
+  // Home dry (or short): steal from siblings in ring order. Each steal
+  // holds exactly one sibling lock; the victim's slot counts the steal.
+  const std::uint32_t cls_bit = std::uint32_t{1} << cls;
+  for (std::size_t d = 1; d < shard_count_ && got < want; ++d) {
+    const std::size_t victim = (home + d) & (shard_count_ - 1);
+    AllocShard& s = shards_[victim];
+    // Occupancy hint: skip siblings that a moment ago provably had no
+    // blocks of this class rather than paying a lock round-trip to learn
+    // the same thing. A stale hint only costs a futile probe or a missed
+    // steal (the request then falls through to the central tier).
+    if ((s.occupancy.load(std::memory_order_relaxed) & cls_bit) == 0) {
+      continue;
+    }
+    std::lock_guard<rt::SpinLock> g(s.lock);
+    std::uint64_t stolen = 0;
+    while (got < want) {
+      const RegId b = s.bins.take(storage, cls);
+      if (b == hist::kNoReg) break;
+      if (first == hist::kNoReg) {
+        first = b;
+      } else {
+        mag->push_back(b);
+      }
+      ++got;
+      ++stolen;
+    }
+    if (stolen != 0) {
+      s.steals += stolen;
+      qm_.count(victim, rt::Counter::kAllocShardSteal, stolen);
+    }
+    publish_mirrors(s);
+  }
+  return got;
+}
+
 RegId TxAllocator::alloc_slow(ThreadCache* cache, std::size_t cls,
                               std::uint32_t storage) {
+  refills_.fetch_add(1, std::memory_order_relaxed);
+  const bool binned = cls != kHugeClass;
+  std::vector<RegId>* mag =
+      (cache != nullptr && binned) ? &cache->mags_[cls] : nullptr;
+  const std::size_t want =
+      mag != nullptr
+          ? std::min(config_.magazine_size,
+                     std::max<std::size_t>(1, kRefillCellBudget / storage))
+          : 1;
+  RegId first = hist::kNoReg;
+  std::size_t got = 0;
+  const std::size_t home = home_shard();
+  if (binned) {
+    // Tier 1+2: home bins, then sibling steal — no central lock. Serving
+    // the request is what matters; a partial magazine is fine.
+    got = take_from_shards(home, storage, cls, want, first, mag, true);
+    if (first != hist::kNoReg) return first;
+  } else {
+    // Huge requests skip the shard tier, but the refill tick follows the
+    // same slot-under-home-lock discipline as the binned path (counting
+    // under the central lock instead would race shard 0's writer).
+    AllocShard& h = shards_[home];
+    std::lock_guard<rt::SpinLock> g(h.lock);
+    qm_.count(home, rt::Counter::kAllocSharedRefill);
+  }
+  // Tier 3: the central lock — seal + retire housekeeping, extent map,
+  // bounded compaction, bump pointer.
   std::lock_guard<rt::SpinLock> guard(central_lock_);
   // Injection site: a bounded delay here stretches the central-lock hold
-  // time, the allocator's only cross-thread choke point (slot 0 by the
-  // same single-stream convention as the refill counters below).
+  // time, the allocator's cross-thread choke point of last resort.
   if (fault_ != nullptr) {
     fault_->maybe_delay(0, rt::FaultSite::kAllocRefill);
   }
-  // Opportunistic housekeeping while we hold the lock anyway: seal our
-  // pending frees (they may recycle into this very refill) and retire
-  // whatever grace periods have elapsed.
   if (cache != nullptr) seal_batch_locked(*cache);
-  limbo_.retire(store_, cells_);
-  ++refills_;
-  qm_.count(0, rt::Counter::kAllocSharedRefill);
-  // Compactions only happen inside store takes (this section holds the
-  // only take paths); surface them as the kAllocCompaction counter.
-  const std::uint64_t compactions_before = store_.compaction_count();
-  const RegId base = take_locked(storage, cls);
-  if (cache != nullptr && cls != kHugeClass) {
-    // Batch-refill the magazine so the next misses-per-class are 1 in
-    // `want`; scaled by the cell budget so big classes don't hoard. The
-    // prefetch is optional: near arena exhaustion it stops short rather
-    // than aborting the way an unsatisfiable *request* does.
-    const std::size_t want = std::min(
-        config_.magazine_size,
-        std::max<std::size_t>(1, kRefillCellBudget / storage));
-    auto& mag = cache->mags_[cls];
-    while (mag.size() + 1 < want) {
-      RegId extra = store_.take(storage, cls);
-      if (extra == hist::kNoReg) {
-        if (bump_ + storage > max_locations_) break;  // prefetch is optional
-        extra = static_cast<RegId>(bump_);
-        bump_ += storage;
+  retire_limbo_locked();
+  if (binned) {
+    // Retired blocks just landed in the shard bins; retry the whole tier
+    // (shard locks nest under the central lock — see the lock order in
+    // the file comment).
+    got = take_from_shards(home, storage, cls, want, first, mag, false);
+    if (first != hist::kNoReg && got >= want) return first;
+  }
+  while (got < want) {
+    RegId b = extents_.take(storage);
+    if (b == hist::kNoReg && got == 0 && shard_bin_cells() >= storage) {
+      // Compaction runs only for the request itself (never the optional
+      // prefetch), only when the bins provably hold enough cells, and one
+      // bounded, counted step at a time until the take fits or the bins
+      // run dry.
+      while (compact_step_locked() != 0) {
+        b = extents_.take(storage);
+        if (b != hist::kNoReg) break;
       }
-      mag.push_back(extra);
     }
+    if (b == hist::kNoReg) {
+      if (bump_ + storage > max_locations_) {
+        if (got > 0) break;  // the prefetch is optional…
+        std::abort();        // …the request is not (configuration error)
+      }
+      b = static_cast<RegId>(bump_);
+      bump_ += storage;
+    }
+    if (first == hist::kNoReg) {
+      first = b;
+    } else {
+      mag->push_back(b);
+    }
+    ++got;
   }
-  for (std::uint64_t n = store_.compaction_count() - compactions_before;
-       n > 0; --n) {
-    qm_.count(0, rt::Counter::kAllocCompaction);
-  }
-  return base;
+  return first;
 }
 
-RegId TxAllocator::take_locked(std::uint32_t storage, std::size_t cls) {
-  const RegId base = store_.take(storage, cls);
-  if (base != hist::kNoReg) return base;
-  if (bump_ + storage > max_locations_) std::abort();  // configuration error
-  const auto fresh = static_cast<RegId>(bump_);
-  bump_ += storage;
-  return fresh;
+void TxAllocator::put_shared_locked(RegId base, std::uint32_t storage,
+                                    std::size_t cls) {
+  if (cls == kHugeClass) {
+    extents_.insert(base, storage);
+    return;
+  }
+  AllocShard& s = shards_[shard_of(base)];
+  std::lock_guard<rt::SpinLock> g(s.lock);
+  s.bins.put(base, storage, cls);
+  publish_mirrors(s);
+}
+
+std::size_t TxAllocator::retire_limbo_locked() {
+  retired_.clear();
+  const std::size_t n = limbo_.retire(retired_);
+  if (retired_.empty()) return n;
+  // Pass 1 (no shard locks): restore cells, route huge blocks straight to
+  // the extent map, and note which shards the binned blocks belong to.
+  std::uint64_t shard_mask = 0;
+  for (const LimboBlock& b : retired_) {
+    const auto base = static_cast<std::size_t>(b.base);
+    // Recycled cells must read as vinit again: a fresh-from-bump block
+    // and a recycled one are indistinguishable to transactions.
+    for (std::uint32_t i = 0; i < b.storage; ++i) {
+      cells_[base + i].store(hist::kVInit, std::memory_order_relaxed);
+    }
+    if (b.cls == kHugeClass) {
+      extents_.insert(b.base, b.storage);
+    } else {
+      shard_mask |= std::uint64_t{1} << shard_of(b.base);
+    }
+  }
+  // Pass 2: one lock acquisition per *shard* with retired blocks — a
+  // batch of same-shard blocks (the common churn shape) pays a single
+  // lock round-trip, not one per block.
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    if ((shard_mask & (std::uint64_t{1} << s)) == 0) continue;
+    AllocShard& sh = shards_[s];
+    std::lock_guard<rt::SpinLock> g(sh.lock);
+    for (const LimboBlock& b : retired_) {
+      if (b.cls != kHugeClass && shard_of(b.base) == s) {
+        sh.bins.put(b.base, b.storage, b.cls);
+      }
+    }
+    publish_mirrors(sh);
+  }
+  retired_.clear();
+  return n;
+}
+
+std::size_t TxAllocator::compact_step_locked() {
+  std::size_t spilled = 0;
+  for (std::size_t probe = 0; probe < shard_count_; ++probe) {
+    AllocShard& s = shards_[compact_cursor_];
+    std::lock_guard<rt::SpinLock> g(s.lock);
+    spilled += s.bins.spill(extents_, kCompactionSpillBudget - spilled);
+    publish_mirrors(s);
+    if (s.bins.cells() != 0) break;  // budget spent mid-shard; resume here
+    compact_cursor_ = (compact_cursor_ + 1) % shard_count_;
+    if (spilled >= kCompactionSpillBudget) break;
+  }
+  if (spilled != 0) {
+    ++compactions_;
+    qm_.count(0, rt::Counter::kAllocCompaction);
+  }
+  return spilled;
+}
+
+std::size_t TxAllocator::shard_bin_cells() const {
+  // Lock-free: sums the per-shard mirrors instead of taking every shard
+  // lock. alloc_slow consults this on each central-tier extent miss, so
+  // the shard tier must not be stopped just to size up compaction.
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    sum += shards_[i].cell_mirror.load(std::memory_order_relaxed);
+  }
+  return sum;
 }
 
 void TxAllocator::free(TxHandle h) {
@@ -163,7 +349,7 @@ void TxAllocator::free(TxHandle h) {
         r.cls == kHugeClass) {
       std::lock_guard<rt::SpinLock> guard(central_lock_);
       seal_batch_locked(cache);
-      limbo_.retire(store_, cells_);
+      retire_limbo_locked();
     }
     return;
   }
@@ -172,7 +358,7 @@ void TxAllocator::free(TxHandle h) {
   std::vector<LimboBlock> single{
       {h.base, r.storage, static_cast<std::uint32_t>(r.cls)}};
   limbo_.seal(std::move(single));
-  limbo_.retire(store_, cells_);
+  retire_limbo_locked();
 }
 
 void TxAllocator::seal_batch_locked(ThreadCache& cache) {
@@ -188,7 +374,7 @@ std::size_t TxAllocator::drain_limbo() {
   if (cache != nullptr) revalidate_cache(*cache);
   std::lock_guard<rt::SpinLock> guard(central_lock_);
   if (cache != nullptr) seal_batch_locked(*cache);
-  return limbo_.retire(store_, cells_);
+  return retire_limbo_locked();
 }
 
 void TxAllocator::reset() {
@@ -207,12 +393,21 @@ void TxAllocator::reset() {
   }
   std::lock_guard<rt::SpinLock> guard(central_lock_);
   limbo_.clear();
-  store_.clear();
+  extents_.clear();
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<rt::SpinLock> g(shards_[i].lock);
+    shards_[i].bins.clear();
+    shards_[i].steals = 0;
+    publish_mirrors(shards_[i]);
+  }
+  compactions_ = 0;
+  compact_cursor_ = 0;
+  retired_.clear();
   // Only [0, bump_) can ever have been written (all accesses go through
   // allocated locations or the static prefix).
   std::memset(static_cast<void*>(cells_), 0, bump_ * sizeof(Value));
   bump_ = static_prefix_;
-  refills_ = 0;
+  refills_.store(0, std::memory_order_relaxed);
   base_allocs_.store(0, std::memory_order_relaxed);
   base_frees_.store(0, std::memory_order_relaxed);
   base_hits_.store(0, std::memory_order_relaxed);
@@ -222,7 +417,7 @@ void TxAllocator::revalidate_cache(ThreadCache& cache) {
   if (cache.epoch_ == reset_epoch_.load(std::memory_order_relaxed)) return;
   // A reset() ran since this cache last touched the allocator: its
   // contents name pre-reset blocks. Drop them — flushing would poison
-  // the fresh extent store.
+  // the fresh store.
   for (auto& m : cache.mags_) m.clear();
   cache.batch_.clear();
   cache.counters_.reset();
@@ -245,14 +440,14 @@ void TxAllocator::flush_cache(ThreadCache& cache, bool into_store) {
     std::lock_guard<rt::SpinLock> guard(central_lock_);
     for (std::size_t c = 0; c < kNumClasses; ++c) {
       // Magazine blocks already passed their grace period — straight
-      // back into the store's class bins.
+      // back into their home shards' class bins.
       for (const RegId base : cache.mags_[c]) {
-        store_.put(base, class_size(c), c);
+        put_shared_locked(base, class_size(c), c);
       }
       cache.mags_[c].clear();
     }
     seal_batch_locked(cache);
-    limbo_.retire(store_, cells_);
+    retire_limbo_locked();
   } else {
     for (auto& m : cache.mags_) m.clear();
     cache.batch_.clear();
@@ -312,8 +507,7 @@ std::uint64_t TxAllocator::reclaimed_count() const {
 }
 
 std::uint64_t TxAllocator::refill_count() const {
-  std::lock_guard<rt::SpinLock> guard(central_lock_);
-  return refills_;
+  return refills_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t TxAllocator::batch_retired_count() const {
@@ -323,12 +517,21 @@ std::uint64_t TxAllocator::batch_retired_count() const {
 
 std::uint64_t TxAllocator::compaction_count() const {
   std::lock_guard<rt::SpinLock> guard(central_lock_);
-  return store_.compaction_count();
+  return compactions_;
+}
+
+std::uint64_t TxAllocator::steal_count() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<rt::SpinLock> g(shards_[i].lock);
+    sum += shards_[i].steals;
+  }
+  return sum;
 }
 
 std::size_t TxAllocator::free_cells() const {
   std::lock_guard<rt::SpinLock> guard(central_lock_);
-  return store_.free_cells();
+  return extents_.free_cells() + shard_bin_cells();
 }
 
 std::size_t TxAllocator::allocated_end() const {

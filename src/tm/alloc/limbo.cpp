@@ -8,24 +8,17 @@ void LimboList::seal(std::vector<LimboBlock>&& blocks) {
   sealed_.push_back({std::move(blocks), qm_.issue_ticket()});
 }
 
-std::size_t LimboList::retire(SizeClassStore& store,
-                              std::atomic<Value>* cells) {
+std::size_t LimboList::retire(std::vector<LimboBlock>& out) {
   std::size_t blocks = 0;
   // Cheap elapsed-peek first; only when the front ticket is still open
   // does the bounded helping attempt (scan start/poll) run.
   while (!sealed_.empty() &&
          (qm_.ticket_elapsed(sealed_.front().ticket) ||
           qm_.try_elapse_ticket(sealed_.front().ticket))) {
-    for (const LimboBlock& b : sealed_.front().blocks) {
-      const auto base = static_cast<std::size_t>(b.base);
-      // Recycled blocks hand out vinit cells, like fresh ones.
-      for (std::uint32_t i = 0; i < b.storage; ++i) {
-        cells[base + i].store(hist::kVInit, std::memory_order_relaxed);
-      }
-      store.put(b.base, b.storage, b.cls);
-    }
-    blocks += sealed_.front().blocks.size();
-    pending_blocks_ -= sealed_.front().blocks.size();
+    auto& batch = sealed_.front().blocks;
+    out.insert(out.end(), batch.begin(), batch.end());
+    blocks += batch.size();
+    pending_blocks_ -= batch.size();
     sealed_.pop_front();
     ++batches_retired_;
     qm_.count(0, rt::Counter::kLimboBatchRetired);

@@ -19,10 +19,11 @@
 // by the seal-time ticket's grace period. Batching can only *lengthen*
 // the quarantine, never shorten it.
 //
-// When a batch's grace period elapses its blocks are retired: cells are
-// restored to vinit and the extents enter the shared `ExtentMap`, where
-// adjacent blocks coalesce (buddy-style merging on retire) — so a batch
-// of neighboring small frees can come back as one large extent.
+// When a batch's grace period elapses its blocks are retired: the list
+// hands them back to the allocator, which restores their cells to vinit
+// and distributes them across the shard bins / the coalescing extent map
+// (allocator.cpp) — so a batch of neighboring small frees can still come
+// back as one large extent.
 //
 // Thread safety: none here — the owning TxAllocator serializes seal and
 // retire under its central lock.
@@ -58,13 +59,14 @@ class LimboList {
   /// Seal a batch: one ticket for all of its blocks. Steals `blocks`.
   void seal(std::vector<LimboBlock>&& blocks);
 
-  /// Retire every batch whose grace period has elapsed: cells back to
-  /// vinit, blocks into `store` (class bins / coalescing extents).
-  /// Front-first — tickets are issued in nearly monotonic order, so the
-  /// deque elapses front-first. Counts one Counter::kLimboBatchRetired
-  /// per batch (the caller holds the central lock, which keeps the
-  /// slot-0 stats cell single-writer). Returns blocks retired.
-  std::size_t retire(SizeClassStore& store, std::atomic<Value>* cells);
+  /// Retire every batch whose grace period has elapsed, appending its
+  /// blocks to `out` — vinit restoration and shard distribution are the
+  /// calling allocator's job, still under its central lock. Front-first —
+  /// tickets are issued in nearly monotonic order, so the deque elapses
+  /// front-first. Counts one Counter::kLimboBatchRetired per batch (the
+  /// caller holds the central lock, which keeps the slot-0 stats cell
+  /// single-writer). Returns blocks retired.
+  std::size_t retire(std::vector<LimboBlock>& out);
 
   void clear();
 

@@ -23,12 +23,12 @@
 //    freed as class-16 blocks be reborn as class-96 blocks and vice
 //    versa.
 //
-//  * **SizeClassStore** — the shared free store the allocator actually
-//    talks to: O(1) per-class bins in front of the ExtentMap, compacting
-//    the former into the latter only when a request cannot be served any
+//  * **ShardBins** — one shard's slice of the shared free store: O(1)
+//    per-class bins in front of the (global) ExtentMap, spilled into it
+//    in *bounded* increments only when a request cannot be served any
 //    other way (see the class comment for why). Not thread-safe — the
-//    owning allocator serializes access under its central lock, which the
-//    magazines keep off the hot path.
+//    owning allocator guards each instance with its shard's lock
+//    (DESIGN.md §11 has the shard topology and lock order).
 #pragma once
 
 #include <array>
@@ -159,91 +159,93 @@ class ExtentMap {
   std::size_t cells_ = 0;
 };
 
-/// The shared free store: per-class LIFO bins in front of an ExtentMap.
+/// One shard's per-class LIFO bins — the O(1) front tier of the sharded
+/// free store.
 ///
 /// Tree operations per block are what made a naive everything-is-an-extent
 /// store slower than PR 3's exact-size lists on the same-size hot cycle
 /// (every retire merged neighbors that the very next refill re-split —
 /// pure churn). So the common case is kept O(1): a retired class-sized
 /// block is pushed on its class's bin and a request pops it back off. The
-/// extent map only sees blocks when cross-class reuse is actually needed:
-/// a request that misses its bin AND the extents triggers `compact()`,
-/// which spills every bin into the extent map (coalescing adjacent blocks,
-/// buddy-style) and retries the best-fit split — so a freed 16-cell
-/// neighborhood still becomes a 96-cell block under mixed-size churn, but
-/// a steady same-size workload never pays for merging it never uses.
+/// extent map only sees blocks when cross-class reuse is actually needed —
+/// and then only `spill(budget)` blocks at a time, resuming where the last
+/// spill stopped, so a single trigger never pays an O(free-blocks) pause
+/// (the incremental compaction of DESIGN.md §11; the owning allocator
+/// counts each bounded step as rt::Counter::kAllocCompaction). A freed
+/// 16-cell neighborhood still becomes a 96-cell block under mixed-size
+/// churn, but a steady same-size workload never pays for merging it never
+/// uses.
 ///
-/// Not thread-safe; the owning allocator's central lock serializes access.
-class SizeClassStore {
+/// Not thread-safe; the owning allocator's shard lock serializes access
+/// (spill additionally runs under the central lock that owns the extents).
+class ShardBins {
  public:
-  /// Return a block (class `cls`, `storage` cells; kHugeClass for exact-
-  /// size blocks) to the store.
+  /// Return a class-`cls` block of `storage` cells to its bin. Huge
+  /// blocks never enter bins — the allocator routes them straight to the
+  /// extent map.
   void put(RegId base, std::uint32_t storage, std::size_t cls) {
-    if (cls == kHugeClass) {
-      extents_.insert(base, storage);
-      return;
-    }
+    assert(cls < kNumClasses);
     bins_[cls].push_back(base);
-    bin_cells_ += storage;
+    cells_ += storage;
+    mask_ |= std::uint32_t{1} << cls;
   }
 
-  /// Take a block for class `cls` (`storage` cells): O(1) off the bin
-  /// when possible, else best-fit from the extents, else — when the bins
-  /// provably hold enough cells — compact and retry. kNoReg means the
-  /// caller must grow the arena (bump).
+  /// O(1) bin pop for class `cls`; kNoReg when this shard has none.
   RegId take(std::uint32_t storage, std::size_t cls) {
-    if (cls != kHugeClass && !bins_[cls].empty()) {
-      const RegId base = bins_[cls].back();
-      bins_[cls].pop_back();
-      bin_cells_ -= storage;
-      return base;
-    }
-    RegId base = extents_.take(storage);
-    if (base != hist::kNoReg) return base;
-    if (bin_cells_ >= storage) {
-      compact();
-      base = extents_.take(storage);
-      if (base != hist::kNoReg) return base;
-    }
-    return hist::kNoReg;
+    auto& bin = bins_[cls];
+    if (bin.empty()) return hist::kNoReg;
+    const RegId base = bin.back();
+    bin.pop_back();
+    cells_ -= storage;
+    if (bin.empty()) mask_ &= ~(std::uint32_t{1} << cls);
+    return base;
   }
 
-  /// Spill every bin into the extent map, coalescing adjacent blocks.
-  /// Counted: this is the store's stop-the-world event — O(free blocks)
-  /// under the allocator's central lock — and a same-size workload must
-  /// never trigger it (the owning allocator surfaces the count as
-  /// rt::Counter::kAllocCompaction).
-  void compact() {
-    ++compactions_;
-    for (std::size_t c = 0; c < kNumClasses; ++c) {
-      for (const RegId base : bins_[c]) extents_.insert(base, class_size(c));
-      bins_[c].clear();
+  /// Spill up to `max_blocks` binned blocks into `extents` (coalescing
+  /// adjacent blocks, buddy-style), resuming at the class the previous
+  /// spill stopped in. The bound is what makes compaction incremental:
+  /// each call is O(max_blocks · log extents), never O(free blocks).
+  /// Returns blocks spilled (0 ⇔ the bins are empty).
+  std::size_t spill(ExtentMap& extents, std::size_t max_blocks) {
+    std::size_t spilled = 0;
+    for (std::size_t probe = 0; probe < kNumClasses; ++probe) {
+      auto& bin = bins_[cursor_];
+      const std::uint32_t size = class_size(cursor_);
+      while (!bin.empty() && spilled < max_blocks) {
+        extents.insert(bin.back(), size);
+        bin.pop_back();
+        cells_ -= size;
+        ++spilled;
+      }
+      if (!bin.empty()) break;  // budget ran out mid-class; resume here
+      mask_ &= ~(std::uint32_t{1} << cursor_);
+      cursor_ = (cursor_ + 1) % kNumClasses;
     }
-    bin_cells_ = 0;
+    return spilled;
   }
 
-  /// Drop all contents and zero the compaction count (the allocator's
-  /// reset path — observability counters restart with the store).
   void clear() {
     for (auto& bin : bins_) bin.clear();
-    bin_cells_ = 0;
-    extents_.clear();
-    compactions_ = 0;
+    cells_ = 0;
+    cursor_ = 0;
+    mask_ = 0;
   }
 
-  std::size_t free_cells() const noexcept {
-    return bin_cells_ + extents_.free_cells();
-  }
-  const ExtentMap& extents() const noexcept { return extents_; }
+  /// Total cells across this shard's bins.
+  std::size_t cells() const noexcept { return cells_; }
 
-  /// compact() runs since construction / the last clear().
-  std::uint64_t compaction_count() const noexcept { return compactions_; }
+  /// Bit c set ⇔ class c's bin is nonempty — the allocator mirrors this
+  /// into a lock-free per-shard hint so steal probes can skip shards
+  /// that provably have nothing for the requested class.
+  std::uint32_t mask() const noexcept { return mask_; }
 
  private:
+  static_assert(kNumClasses <= 32, "class-occupancy mask is 32 bits");
+
   std::array<std::vector<RegId>, kNumClasses> bins_;
-  std::size_t bin_cells_ = 0;  ///< total cells across all bins
-  ExtentMap extents_;
-  std::uint64_t compactions_ = 0;
+  std::size_t cells_ = 0;
+  std::size_t cursor_ = 0;  ///< class the next spill resumes at
+  std::uint32_t mask_ = 0;  ///< nonempty-bin bitmap
 };
 
 }  // namespace privstm::tm::alloc

@@ -21,9 +21,11 @@
 //    fresh-or-recycled locations (values vinit). Since PR 4 the allocator
 //    behind it is the scalable subsystem in `src/tm/alloc/`: requests are
 //    rounded to size classes, hot alloc/free take no shared lock thanks
-//    to per-thread magazines and batched frees, and freed extents split
-//    and merge so mixed-size churn reuses memory instead of growing the
-//    arena forever (allocator.hpp has the architecture tour).
+//    to per-thread magazines and batched frees, refills drain a sharded
+//    free store (stealing from sibling shards before ever touching the
+//    central lock), and freed extents split and merge incrementally so
+//    mixed-size churn reuses memory instead of growing the arena forever
+//    (allocator.hpp has the architecture tour; DESIGN.md §11 the shards).
 //
 //  * **Safe reclamation.** `free(h)` never recycles immediately: frees
 //    are quarantined until a grace period from the shared quiescence
@@ -135,11 +137,19 @@ class TxHeap {
   std::uint64_t batch_retired_count() const {
     return allocator_.batch_retired_count();
   }
-  /// Stop-the-store bin spills (SizeClassStore::compact; also counted as
-  /// rt::Counter::kAllocCompaction). Same-size churn must stay at zero.
+  /// Bounded incremental-compaction steps (ShardBins::spill runs; each
+  /// also counted as rt::Counter::kAllocCompaction). Same-size churn must
+  /// stay at zero.
   std::uint64_t compaction_count() const {
     return allocator_.compaction_count();
   }
+  /// Blocks magazine refills stole from sibling shards' bins (also
+  /// counted as rt::Counter::kAllocShardSteal).
+  std::uint64_t steal_count() const { return allocator_.steal_count(); }
+  /// Free-store shards the allocator was built with (power of two).
+  std::size_t shard_count() const { return allocator_.shard_count(); }
+  /// Shard a block with base id `base` is distributed to on retire.
+  std::size_t shard_of(RegId base) const { return allocator_.shard_of(base); }
   std::size_t free_cells() const { return allocator_.free_cells(); }
   /// One-past-the-end of ever-allocated location ids (bump pointer).
   std::size_t allocated_end() const { return allocator_.allocated_end(); }

@@ -141,6 +141,24 @@ TxResult NOrecThread::tx_commit() {
     return TxResult::kCommitted;
   }
 
+  // Collapse the write set to one (location, final value) entry in
+  // first-write program order before touching the seqlock: the serialized
+  // critical section below then pays exactly one store per distinct
+  // location, not the seed's O(|wset|²) rescan under the lock. One linear
+  // pass — a location's first occurrence claims a writeback_ slot (wslot
+  // remembers which), later duplicates overwrite that slot's value.
+  writeback_.clear();
+  for (const auto& [reg, value] : wset_) {
+    auto& m = wmark(reg);
+    if (m == 1) {
+      m = 2;
+      wslot(reg) = static_cast<std::uint32_t>(writeback_.size());
+      writeback_.emplace_back(reg, value);
+    } else {
+      writeback_[wslot(reg)].second = value;
+    }
+  }
+
   // Injection site: one lost seqlock CAS per commit attempt at most — the
   // attempt is skipped (taking it and discarding a success would leave the
   // seqlock write-locked forever) and the commit revalidates exactly as
@@ -163,26 +181,16 @@ TxResult NOrecThread::tx_commit() {
   if (fault_ != nullptr) {
     fault_->maybe_delay(stat_slot(), rt::FaultSite::kCommit);
   }
-  // Sole writer: flush the write set in first-write program order, with
-  // the last value per register winning.
-  for (const auto& [reg, value] : wset_) {
-    (void)value;
-    if (wmark(reg) != 1) continue;  // register already flushed
-    Value final_value = value;
-    for (const auto& [reg2, value2] : wset_) {
-      if (reg2 == reg) final_value = value2;
-    }
+  // Sole writer: flush the collapsed set. Marks drop to 0 as each
+  // location publishes, so no separate clear pass runs afterwards.
+  for (const auto& [reg, value] : writeback_) {
     cells_[static_cast<std::size_t>(reg)].store(
-        final_value, std::memory_order_release);
-    rec_.publish(reg, final_value);
-    wmark(reg) = 2;
+        value, std::memory_order_release);
+    rec_.publish(reg, value);
+    wmark(reg) = 0;
   }
   tm_.seqlock_.write_unlock();
 
-  for (const auto& [r, v] : wset_) {
-    (void)v;
-    wmark(r) = 0;
-  }
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
   registry_.tx_exit(slot_.slot());

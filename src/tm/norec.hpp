@@ -67,6 +67,13 @@ class NOrecThread final : public TmThread {
     const auto r = static_cast<std::size_t>(reg);
     return r < in_wset_.size() && in_wset_[r] != 0;
   }
+  /// Commit-collapse scratch: the writeback_ slot a location's entry
+  /// occupies (valid only while its wmark is 2); grown like wmark.
+  std::uint32_t& wslot(RegId reg) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r >= wslot_.size()) wslot_.resize(r + 1, 0);
+    return wslot_[r];
+  }
 
   NOrec& tm_;
   std::atomic<Value>* const cells_;  ///< heap arena base (never moves)
@@ -75,6 +82,12 @@ class NOrecThread final : public TmThread {
   std::vector<std::pair<RegId, Value>> rset_;  ///< value-based validation
   std::vector<std::pair<RegId, Value>> wset_;
   std::vector<std::uint8_t> in_wset_;
+  std::vector<std::uint32_t> wslot_;  ///< collapse scratch (slot per reg)
+  /// Collapsed write set — (location, final value) in first-write program
+  /// order; a member so commits never heap-allocate for it. Built OUTSIDE
+  /// the seqlock critical section, shrinking the serialized window to the
+  /// stores themselves.
+  std::vector<std::pair<RegId, Value>> writeback_;
 };
 
 class NOrec final : public TransactionalMemory {

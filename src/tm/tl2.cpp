@@ -11,7 +11,8 @@ using rt::Counter;
 using rt::VersionedLock;
 
 Tl2::Tl2(TmConfig config)
-    : TransactionalMemory(config), stripes_(config.lock_stripes) {}
+    : TransactionalMemory(config),
+      stripes_(config.lock_stripes, config.effective_stripe_regions()) {}
 
 std::unique_ptr<TmThread> Tl2::make_thread(ThreadId thread,
                                            hist::Recorder* recorder) {
@@ -41,6 +42,8 @@ Tl2Thread::Tl2Thread(Tl2& tm, ThreadId thread, hist::Recorder* recorder)
       tm_(tm),
       heap_(tm.heap()),
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
+      clock_shard_(static_cast<std::size_t>(slot_.slot()) %
+                   rt::GlobalClock::kMaxSampleShards),
       reset_epoch_seen_(tm.reset_epoch_.load(std::memory_order_relaxed)),
       in_wset_(tm.config().num_registers, 0),
       in_rset_(tm.config().num_registers, 0) {}
@@ -73,7 +76,13 @@ bool Tl2Thread::tx_begin() {
     reset_epoch_seen_ = epoch;
     txn_ordinal_ = 0;
   }
-  rver_ = tm_.clock_.sample();                // rver[T] := clock
+  // rver[T] := clock (line 12). Under kShardedSample the sample comes
+  // from this session's padded cell instead of the shared clock word — a
+  // stale (smaller) sample can only cause extra aborts, never admit a
+  // newer version (DESIGN.md §11).
+  rver_ = tm_.config().clock_mode == rt::ClockMode::kShardedSample
+              ? tm_.clock_.sample_sharded(clock_shard_)
+              : tm_.clock_.sample();
   wver_minted_ = false;
   rset_.clear();
   wset_.clear();
@@ -82,6 +91,11 @@ bool Tl2Thread::tx_begin() {
 }
 
 void Tl2Thread::abort_in_flight() {
+  if (tm_.config().clock_mode == rt::ClockMode::kShardedSample) {
+    // A stale sample cell only ever costs extra aborts — refresh it so an
+    // aborting session stops re-validating against an old stamp.
+    tm_.clock_.refresh_sharded(clock_shard_);
+  }
   rec_.response(ActionKind::kAborted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
   if (tm_.config().collect_timestamps) {
@@ -91,7 +105,10 @@ void Tl2Thread::abort_in_flight() {
                    /*committed=*/false});
   }
   ++txn_ordinal_;
-  for (RegId r : rset_) rmark(r) = 0;
+  for (const auto& [r, s] : rset_) {
+    (void)s;
+    rmark(r) = 0;
+  }
   for (const auto& [r, v] : wset_) {
     (void)v;
     wmark(r) = 0;
@@ -125,7 +142,9 @@ bool Tl2Thread::tx_read(RegId reg, Value& out) {
   // the stripe locked before storing any value it guards, so an unchanged
   // unlocked word proves the value belongs to a version ≤ rver (possibly
   // bumped by a stripe-colliding location — a spurious but safe abort).
-  auto& vlock = tm_.stripes_.stripe_for(static_cast<std::uint64_t>(reg));
+  const std::size_t s =
+      tm_.stripes_.index_of(static_cast<std::uint64_t>(reg));
+  auto& vlock = tm_.stripes_.stripe(s);
   const VersionedLock::Word w1 = vlock.load(std::memory_order_acquire);
   const Value value = heap_.cell(reg).load(std::memory_order_acquire);
   const VersionedLock::Word w2 = vlock.load(std::memory_order_acquire);
@@ -146,7 +165,7 @@ bool Tl2Thread::tx_read(RegId reg, Value& out) {
   }
   if (!rmark(reg)) {
     rmark(reg) = 1;
-    rset_.push_back(reg);
+    rset_.emplace_back(reg, static_cast<std::uint32_t>(s));
   }
   out = value;
   rec_.response(ActionKind::kReadRet, reg, value);
@@ -185,36 +204,39 @@ TxResult Tl2Thread::tx_commit() {
   // Collapse the write set to one (location, final value) entry in
   // first-write program order: write-back then flushes in the order the
   // program issued its (first) writes, which is the order the paper's
-  // examples observe.
-  std::vector<std::pair<RegId, Value>> writeback;
-  writeback.reserve(wset_.size());
+  // examples observe. One linear pass — a location's first occurrence
+  // claims a writeback_ slot (wslot remembers which), later duplicates
+  // overwrite that slot's value in place.
+  writeback_.clear();
   for (const auto& [reg, value] : wset_) {
-    if (wmark(reg) != 1) continue;  // later occurrence of a duplicate
-    wmark(reg) = 3;                 // collapsed
-    Value final_value = value;
-    for (const auto& [reg2, value2] : wset_) {
-      if (reg2 == reg) final_value = value2;
+    auto& m = wmark(reg);
+    if (m == 1) {
+      m = 2;
+      wslot(reg) = static_cast<std::uint32_t>(writeback_.size());
+      writeback_.emplace_back(reg, value);
+    } else {
+      writeback_[wslot(reg)].second = value;
     }
-    writeback.emplace_back(reg, final_value);
   }
 
   // Acquire the write-set stripes (lines 31–39), once per distinct stripe
   // (several locations may hash together).
   locked_.clear();
   bool lock_failed = false;
-  for (const auto& [reg, value] : writeback) {
+  for (const auto& [reg, value] : writeback_) {
     (void)value;
     const std::size_t s =
         tm_.stripes_.index_of(static_cast<std::uint64_t>(reg));
-    bool already = false;
-    for (const LockedStripe& ls : locked_) {
-      if (ls.stripe == s) {
-        already = true;
-        break;
-      }
-    }
-    if (already) continue;
     auto& vlock = tm_.stripes_.stripe(s);
+    VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
+    // A stripe this commit already locked carries our owner token — the
+    // O(1) dup-stripe test (the seed rescanned locked_ per entry). No
+    // other session can hold our token, and we park it here only while
+    // committing.
+    if (VersionedLock::is_locked(expected) &&
+        VersionedLock::owner_of(expected) == token_) {
+      continue;
+    }
     // Injection site: a lost CAS race — the attempt is skipped entirely
     // (performing it and ignoring a success would leak the stripe lock)
     // and the commit takes its normal lock-failed abort path.
@@ -223,7 +245,6 @@ TxResult Tl2Thread::tx_commit() {
       lock_failed = true;
       break;
     }
-    VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
     if (!vlock.try_lock(expected, token_)) {
       lock_failed = true;
       break;
@@ -239,16 +260,38 @@ TxResult Tl2Thread::tx_commit() {
     return TxResult::kAborted;
   }
 
-  // Mint the write timestamp (line 40).
-  wver_ = tm_.clock_.advance();
+  // Mint the write timestamp (line 40) per the configured clock mode. The
+  // GV4 share on CAS failure is sound only because we hold ALL write-set
+  // stripes here — global_clock.hpp carries the full argument.
+  const rt::ClockMode cmode = tm_.config().clock_mode;
+  if (cmode == rt::ClockMode::kFetchAdd) {
+    wver_ = tm_.clock_.advance();
+  } else {
+    bool shared = false;
+    rt::GlobalClock::Stamp seen = tm_.clock_.sample();
+    if (fault_ != nullptr &&
+        fault_->inject_cas_loss(stat_slot(), rt::FaultSite::kClockAdvance)) {
+      // Simulated rival commit inside the load→CAS window (see the fused
+      // backend): the CAS below genuinely fails and the real share path
+      // runs — the only reachable route to it on single-core boxes.
+      tm_.clock_.advance();
+    }
+    wver_ = tm_.clock_.advance_from(seen, shared);
+    if (shared) {
+      tm_.stats().add(stat_slot(), Counter::kClockStampShared);
+    }
+    if (cmode == rt::ClockMode::kShardedSample) {
+      tm_.clock_.publish_sharded(clock_shard_, wver_);
+    }
+  }
   wver_minted_ = true;
 
   // Validate the read set (lines 41–50). A stripe locked by this very
   // commit counts as free (original TL2; see header comment), validated
   // against the version its word carried when we locked it.
-  for (RegId reg : rset_) {
-    const std::size_t s =
-        tm_.stripes_.index_of(static_cast<std::uint64_t>(reg));
+  for (const auto& [reg, sidx] : rset_) {
+    (void)reg;
+    const auto s = static_cast<std::size_t>(sidx);
     const VersionedLock::Word w =
         tm_.stripes_.stripe(s).load(std::memory_order_acquire);
     bool valid;
@@ -284,13 +327,16 @@ TxResult Tl2Thread::tx_commit() {
   if (fault_ != nullptr) {
     fault_->maybe_delay(stat_slot(), rt::FaultSite::kCommit);
   }
-  for (const auto& [reg, value] : writeback) {
-    for (std::uint32_t i = 0; i < tm_.config().commit_pause_spins; ++i) {
+  const std::uint32_t pause = tm_.config().commit_pause_spins;
+  for (const auto& [reg, value] : writeback_) {
+    for (std::uint32_t i = 0; i < pause; ++i) {
       rt::cpu_relax();
     }
     heap_.cell(reg).store(value, std::memory_order_release);
     rec_.publish(reg, value);  // TXVIS point (Fig 10)
-    wmark(reg) = 1;
+    // Marks drop to 0 as each distinct location publishes, so no
+    // separate wset clear pass runs after the stripes release.
+    wmark(reg) = 0;
   }
   for (const LockedStripe& ls : locked_) {
     tm_.stripes_.stripe(ls.stripe).unlock_with_version(wver_);
@@ -298,10 +344,9 @@ TxResult Tl2Thread::tx_commit() {
   locked_.clear();
 
   const bool wrote = !wset_.empty();
-  for (RegId r : rset_) rmark(r) = 0;
-  for (const auto& [r, v] : wset_) {
-    (void)v;
-    wmark(r) = 0;
+  for (const auto& [r, s] : rset_) {
+    (void)s;
+    rmark(r) = 0;
   }
 
   rec_.response(ActionKind::kCommitted);

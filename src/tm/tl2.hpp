@@ -26,9 +26,12 @@
 // as in the original TL2 paper; and version+lock share one word per stripe
 // instead of separate `ver[x]`/`lock[x]` fields per register — the figure's
 // per-register metadata does not survive a dynamic location space. This
-// backend keeps the faithful per-access shape (simple sets, O(|wset|²)
-// commit-time collapse, unconditional clock advance); tm/tl2_fused.hpp is
-// the sibling with the optimized fast path (DESIGN.md §6–7).
+// backend keeps the faithful per-access shape (simple vectors plus
+// per-location membership bytes, a commit-time write-set collapse — one
+// linear pass since PR 7, not the seed's O(|wset|²) rescan — and a
+// commit stamp minted per TmConfig::clock_mode, kBatched GV4 sharing by
+// default); tm/tl2_fused.hpp is the sibling with the optimized fast path
+// (DESIGN.md §6–7, clock modes §11).
 //
 // Non-transactional accesses are uninstrumented single atomic operations:
 // they touch neither versions nor locks. This is exactly what makes the
@@ -87,10 +90,20 @@ class Tl2Thread final : public TmThread {
     if (r >= in_rset_.size()) in_rset_.resize(r + 1, 0);
     return in_rset_[r];
   }
+  /// Commit-collapse scratch: the writeback_ slot a location's entry
+  /// occupies (valid only while the location's wmark is 2); grown like
+  /// the membership bytes.
+  std::uint32_t& wslot(RegId reg) {
+    const auto r = static_cast<std::size_t>(reg);
+    if (r >= wslot_.size()) wslot_.resize(r + 1, 0);
+    return wslot_[r];
+  }
 
   Tl2& tm_;
   TxHeap& heap_;
   rt::OwnerToken token_;
+  /// This session's clock sample cell under ClockMode::kShardedSample.
+  const std::size_t clock_shard_;
 
   // Transaction-local state (Fig 9 lines 4–7).
   std::uint64_t rver_ = 0;
@@ -98,10 +111,16 @@ class Tl2Thread final : public TmThread {
   bool wver_minted_ = false;
   std::uint64_t txn_ordinal_ = 0;  ///< count of finished transactions
   std::uint64_t reset_epoch_seen_ = 0;
-  std::vector<RegId> rset_;
+  /// Read set: (location, its stripe index) — the stripe is captured at
+  /// tx_read time so commit-time validation never re-hashes.
+  std::vector<std::pair<RegId, std::uint32_t>> rset_;
   std::vector<std::pair<RegId, Value>> wset_;  ///< insertion order; last wins
   std::vector<std::uint8_t> in_wset_;          ///< per-location membership
   std::vector<std::uint8_t> in_rset_;
+  std::vector<std::uint32_t> wslot_;           ///< collapse scratch (slot/reg)
+  /// Commit scratch for the collapsed write set — a member so a writing
+  /// commit never pays a heap allocation for it.
+  std::vector<std::pair<RegId, Value>> writeback_;
   /// Stripes locked by the in-flight commit, with their pre-lock words
   /// (restored on abort; the self-lock validation reads the old version).
   struct LockedStripe {

@@ -12,7 +12,8 @@ using rt::Counter;
 using rt::VersionedLock;
 
 Tl2Fused::Tl2Fused(TmConfig config)
-    : TransactionalMemory(config), stripes_(config.lock_stripes) {}
+    : TransactionalMemory(config),
+      stripes_(config.lock_stripes, config.effective_stripe_regions()) {}
 
 std::unique_ptr<TmThread> Tl2Fused::make_thread(ThreadId thread,
                                                 hist::Recorder* recorder) {
@@ -62,7 +63,10 @@ Tl2FusedThread::Tl2FusedThread(Tl2Fused& tm, ThreadId thread,
       token_(static_cast<rt::OwnerToken>(slot_.slot()) + 1),
       cells_(tm.heap().cells()),
       stripe_base_(tm.stripes_.data()),
-      stripe_shift_(tm.stripes_.shift()),
+      geometry_(tm.stripes_.geometry()),
+      clock_mode_(tm.config().clock_mode),
+      clock_shard_(static_cast<std::size_t>(slot_.slot()) %
+                   rt::GlobalClock::kMaxSampleShards),
       activity_(&registry_.activity_word(slot_.slot())),
       stat_slot_(static_cast<std::size_t>(slot_.slot())),
       unsafe_skip_validation_(tm.config().unsafe_skip_validation),
@@ -97,7 +101,12 @@ bool Tl2FusedThread::tx_begin() {
     reset_epoch_seen_ = epoch;
     txn_ordinal_ = 0;
   }
-  rver_ = tm_.clock_.sample();                // rver[T] := clock
+  // rver[T] := clock. Under kShardedSample the sample comes from this
+  // session's padded cell — a stale (smaller) sample only costs extra
+  // aborts, never admits a newer version (DESIGN.md §11).
+  rver_ = clock_mode_ == rt::ClockMode::kShardedSample
+              ? tm_.clock_.sample_sharded(clock_shard_)
+              : tm_.clock_.sample();
   wver_minted_ = false;
   // O(1) read/write-set clear: a new epoch tag invalidates every per-location
   // membership slot at once. On the (once per 2^32 transactions) wrap-around
@@ -115,6 +124,11 @@ bool Tl2FusedThread::tx_begin() {
 }
 
 void Tl2FusedThread::abort_in_flight() {
+  if (clock_mode_ == rt::ClockMode::kShardedSample) {
+    // A stale sample cell only ever costs extra aborts — refresh it so an
+    // aborting session stops re-validating against an old stamp.
+    tm_.clock_.refresh_sharded(clock_shard_);
+  }
   rec_.response(ActionKind::kAborted);
   tm_.stats().add(stat_slot_, Counter::kTxAbort);
   if (collect_timestamps_) {
@@ -140,7 +154,7 @@ void Tl2FusedThread::tx_abort() {
 bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
   rec_.request(ActionKind::kReadReq, reg);
   const auto r = static_cast<std::size_t>(reg);
-  const std::size_t s = rt::StripeTable::mix_index(r, stripe_shift_);
+  const std::size_t s = geometry_.index(r);
 
   // Read-after-write fast path: the bloom filter screens the common miss
   // with one register-resident test; the tag array is touched only on a
@@ -201,7 +215,7 @@ bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
 bool Tl2FusedThread::tx_write(RegId reg, Value value) {
   rec_.request(ActionKind::kWriteReq, reg, value);
   const auto r = static_cast<std::size_t>(reg);
-  const std::size_t s = rt::StripeTable::mix_index(r, stripe_shift_);
+  const std::size_t s = geometry_.index(r);
   const std::uint64_t bit = bloom_bit(s);
   if ((wfilter_ & bit) != 0 && wslot_[s].tag == txn_tag_ &&
       wset_[wslot_[s].idx].reg == reg) {
@@ -211,7 +225,7 @@ bool Tl2FusedThread::tx_write(RegId reg, Value value) {
     // Write-back flushes in insertion order, so the last value per
     // location wins even when a collision shadowed the slot.
     wslot_[s] = {txn_tag_, static_cast<std::uint32_t>(wset_.size())};
-    wset_.push_back({reg, value});
+    wset_.push_back({reg, static_cast<std::uint32_t>(s), value});
     wfilter_ |= bit;
   }
   rec_.response(ActionKind::kWriteRet, reg);
@@ -267,8 +281,7 @@ TxResult Tl2FusedThread::tx_commit() {
   locked_.clear();
   bool lock_failed = false;
   for (const WriteEntry& entry : wset_) {
-    const std::size_t s = rt::StripeTable::mix_index(
-        static_cast<std::size_t>(entry.reg), stripe_shift_);
+    const auto s = static_cast<std::size_t>(entry.stripe);
     auto& vlock = *stripe_base_[s];
     // Injection site: a lost CAS race — skip the attempt (performing it
     // and ignoring a success would leak the stripe lock) and take the
@@ -298,9 +311,32 @@ TxResult Tl2FusedThread::tx_commit() {
     return TxResult::kAborted;
   }
 
-  // Mint the write timestamp — GV4/GV5: share a concurrent committer's
-  // stamp rather than retrying the CAS.
-  wver_ = tm_.clock_.advance_if_stale();
+  // Mint the write timestamp per the configured clock mode. The GV4 share
+  // on CAS failure is sound only because we hold ALL write-set stripes
+  // here — global_clock.hpp carries the full argument.
+  if (clock_mode_ == rt::ClockMode::kFetchAdd) {
+    wver_ = tm_.clock_.advance();
+  } else {
+    bool shared = false;
+    rt::GlobalClock::Stamp seen = tm_.clock_.sample();
+    if (fault_ != nullptr &&
+        fault_->inject_cas_loss(stat_slot_, rt::FaultSite::kClockAdvance)) {
+      // A simulated rival commits inside our load→CAS window: advancing
+      // the clock for real makes the CAS below genuinely fail, driving
+      // the true share path (not a mock). Equivalent to a concurrent
+      // disjoint-write-set committer, so the GV4 soundness argument holds
+      // unchanged — on single-core boxes this is the only way the share
+      // branch is reachable at all.
+      tm_.clock_.advance();
+    }
+    wver_ = tm_.clock_.advance_from(seen, shared);
+    if (shared) {
+      tm_.stats().add(stat_slot_, Counter::kClockStampShared);
+    }
+    if (clock_mode_ == rt::ClockMode::kShardedSample) {
+      tm_.clock_.publish_sharded(clock_shard_, wver_);
+    }
+  }
   wver_minted_ = true;
 
   // Validate the read set: one acquire load per stripe. A stripe locked

@@ -24,8 +24,10 @@
 //    write-back applies in insertion order, so the last value per
 //    location still wins), removing the faithful backend's O(|wset|²)
 //    commit-time collapse pass;
-//  * commit stamps come from `GlobalClock::advance_if_stale()` (GV4/GV5
-//    style: one CAS, share the observed stamp on failure) and read-only
+//  * commit stamps follow `TmConfig::clock_mode` (default kBatched — GV4:
+//    one CAS, adopt the concurrent committer's stamp on failure, counted
+//    as rt::Counter::kClockStampShared; kShardedSample additionally
+//    samples/publishes through padded per-session cells) and read-only
 //    commits skip the clock entirely;
 //  * TxnStamp collection goes to per-thread buffers merged on
 //    timestamp_log(), not a globally locked vector.
@@ -82,8 +84,12 @@ class Tl2FusedThread final : public TmThread {
   // the indirections through tm_).
   std::atomic<Value>* const cells_;             ///< heap arena base
   rt::CacheAligned<rt::VersionedLock>* const stripe_base_;
-  /// Cached StripeTable geometry: stripe of r is mix_index(r, shift).
-  const unsigned stripe_shift_;
+  /// Cached StripeTable geometry (region-partitioned since PR 7): stripe
+  /// of r is geometry_.index(r).
+  const rt::StripeTable::Geometry geometry_;
+  const rt::ClockMode clock_mode_;
+  /// This session's clock sample cell under ClockMode::kShardedSample.
+  const std::size_t clock_shard_;
   std::atomic<std::uint64_t>* const activity_;  ///< our registry slot's word
   const std::size_t stat_slot_;
   const bool unsafe_skip_validation_;
@@ -104,9 +110,12 @@ class Tl2FusedThread final : public TmThread {
     std::uint32_t tag = 0;
     std::uint32_t idx = 0;
   };
-  /// Write-set entry; insertion order, last value per location wins.
+  /// Write-set entry; insertion order, last value per location wins. The
+  /// stripe index is captured at tx_write time so commit's lock pass
+  /// never re-hashes the location.
   struct WriteEntry {
     RegId reg;
+    std::uint32_t stripe;
     Value value;
   };
   /// Stripe locked by the in-flight commit plus its pre-lock word.

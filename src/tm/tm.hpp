@@ -18,6 +18,7 @@
 // hist::Recorder so executions can be checked for DRF and strong opacity.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include "history/recorder.hpp"
 #include "runtime/contention.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/global_clock.hpp"
 #include "runtime/quiescence.hpp"
 #include "runtime/serial_gate.hpp"
 #include "runtime/stats.hpp"
@@ -60,6 +62,19 @@ struct TmConfig {
   /// validate against (rounded up to a power of two). More stripes = fewer
   /// false conflicts; the table is fixed-size however large the heap grows.
   std::size_t lock_stripes = 1024;
+  /// Region partitioning of the stripe table (StripeTable file comment /
+  /// DESIGN.md §11): blocks served by different allocator shards validate
+  /// and lock disjoint stripe ranges. 0 = match the allocator's effective
+  /// shard count (the useful default); 1 = unpartitioned (bit-for-bit the
+  /// PR 4 mapping); otherwise rounded to a power of two by the table.
+  std::size_t stripe_regions = 0;
+  /// How TL2-family backends mint commit stamps (runtime/global_clock.hpp).
+  /// kBatched (GV4 stamp sharing) is single-threaded behavior-identical to
+  /// kFetchAdd, so it is safe for the deterministic model-checked
+  /// configurations; kShardedSample additionally moves transaction-begin
+  /// reads onto padded per-shard cells and is opt-in (stale cells trade
+  /// extra validation aborts for zero begin-time clock bouncing).
+  rt::ClockMode clock_mode = rt::ClockMode::kBatched;
   FencePolicy fence_policy = FencePolicy::kSelective;
   rt::FenceMode fence_mode = rt::FenceMode::kEpochCounter;
   /// Busy-wait spins injected between commit-time validation and write-back
@@ -76,9 +91,10 @@ struct TmConfig {
   /// (tests/checker_detection_test.cpp). Never enable outside tests.
   bool unsafe_skip_validation = false;
   /// Heap allocator tuning: per-thread magazine capacity, frees per
-  /// grace-period ticket, size-class table bound (allocator.hpp).
-  /// `{.magazine_size = 0, .limbo_batch = 1}` reproduces the PR 3
-  /// single-lock allocator's deterministic recycling behavior.
+  /// grace-period ticket, size-class table bound, store shards
+  /// (allocator.hpp). `{.magazine_size = 0, .limbo_batch = 1,
+  /// .shards = 1}` reproduces the PR 3 single-lock allocator's
+  /// deterministic recycling behavior.
   AllocConfig alloc;
   /// Deterministic fault-injection plan (runtime/fault.hpp): seeded,
   /// per-thread, site-addressed spurious aborts / lost CASes / bounded
@@ -92,24 +108,41 @@ struct TmConfig {
   static constexpr std::size_t kMinAutoStripes = 64;
   static constexpr std::size_t kMaxAutoStripes = std::size_t{1} << 20;
 
+  /// Region count the stripe table will actually be built with: the knob,
+  /// or (knob 0) the allocator's effective shard count.
+  std::size_t effective_stripe_regions() const noexcept {
+    return stripe_regions != 0 ? stripe_regions : alloc.effective_shards();
+  }
+
   /// Size `lock_stripes` from the expected peak number of live heap cells
   /// (static prefix + allocated blocks). Targets ~2 stripes per cell —
   /// under the Fibonacci mixing hash that keeps the expected number of
   /// colliding live cells per stripe below 1/2, so the false-conflict
   /// rate stays in the low percent under full contention (regression:
-  /// tests/stripe_sweep_test.cpp) — rounded to the power of two the
-  /// stripe table would use anyway, clamped to
+  /// tests/stripe_sweep_test.cpp). Region-aware: the budget is divided
+  /// across effective_stripe_regions() equal power-of-two regions
+  /// (ceil-divided, so a partitioned table never ends up smaller than the
+  /// unpartitioned answer), with the same overall clamp
   /// [kMinAutoStripes, kMaxAutoStripes] (a 2^20 table is 64 MiB of
   /// cache-line-padded locks; past that, collisions beat footprint).
-  /// Returns the chosen count.
+  /// Because regions are a power of two, the rounding commutes: for any
+  /// region count the total equals the single-region auto size, so the
+  /// pinned values in stripe_sweep_test hold for every partitioning.
+  /// Returns the chosen total count.
   std::size_t auto_size_stripes(std::size_t expected_cells) noexcept {
-    std::size_t want = expected_cells >= kMaxAutoStripes / 2
-                           ? kMaxAutoStripes
-                           : expected_cells * 2;
-    std::size_t n = kMinAutoStripes;
-    while (n < want) n <<= 1;
-    lock_stripes = n;
-    return n;
+    const std::size_t regions = effective_stripe_regions();
+    const std::size_t min_per =
+        std::max<std::size_t>(2, kMinAutoStripes / regions);
+    const std::size_t max_per =
+        std::max<std::size_t>(min_per, kMaxAutoStripes / regions);
+    const std::size_t want = expected_cells >= kMaxAutoStripes / 2
+                                 ? kMaxAutoStripes
+                                 : expected_cells * 2;
+    const std::size_t want_per = (want + regions - 1) / regions;
+    std::size_t per = min_per;
+    while (per < want_per && per < max_per) per <<= 1;
+    lock_stripes = per * regions;
+    return lock_stripes;
   }
 };
 

@@ -293,9 +293,12 @@ TEST(AllocChurn, CrossClassReuseCompactsOnceAndIsCounted) {
   // The positive control for the counter: two adjacent class-4 blocks are
   // freed, then a class-8 request arrives. The bins hold enough cells but
   // no extent fits, so the store must compact (spilling the bins into the
-  // extent map merges the neighbors) — exactly one stop-the-store event,
+  // extent map merges the neighbors) — exactly one bounded spill step,
   // visible through both the heap accessor and the stats counter.
-  auto tmi = make_tm_with({.magazine_size = 0, .limbo_batch = 1});
+  // shards = 1 keeps both blocks in the same bin set deterministically
+  // (they'd share a shard anyway — same 64-cell window — but the test
+  // should not depend on the window hash).
+  auto tmi = make_tm_with({.magazine_size = 0, .limbo_batch = 1, .shards = 1});
   const TxHandle a = tmi->tm_alloc(4);
   const TxHandle b = tmi->tm_alloc(4);
   ASSERT_EQ(b.base, a.base + 4) << "bump allocation not adjacent";

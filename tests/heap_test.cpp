@@ -20,14 +20,17 @@ using tm::TxHandle;
 
 class HeapOnTm : public ::testing::TestWithParam<TmKind> {
  protected:
-  /// Magazines off, a ticket per free: the configuration that makes
-  /// recycling deterministic (a freed block whose grace period elapsed is
-  /// recycled by the very next fitting alloc), so the tests below can pin
-  /// the grace-period semantics exactly. The cached default configuration
-  /// is exercised by tests/alloc_test.cpp and the churn test below.
+  /// Magazines off, a ticket per free, one store shard: the configuration
+  /// that makes recycling deterministic (a freed block whose grace period
+  /// elapsed is recycled by the very next fitting alloc, with no sibling
+  /// shard to steal from and a single LIFO bin order), so the tests below
+  /// can pin the grace-period semantics exactly. The cached/sharded
+  /// default configuration is exercised by tests/alloc_test.cpp,
+  /// tests/shard_test.cpp and the churn test below.
   std::unique_ptr<tm::TransactionalMemory> make(tm::TmConfig config = {}) {
     config.alloc.magazine_size = 0;
     config.alloc.limbo_batch = 1;
+    config.alloc.shards = 1;
     return tm::make_tm(GetParam(), config);
   }
 

@@ -179,7 +179,7 @@ RunResult run_once(const LitmusSpec& spec, TmKind kind, rt::FenceMode mode,
   config.fence_policy = tm::FencePolicy::kSelective;
   config.fence_mode = mode;
   if (deterministic_alloc) {
-    config.alloc = {.magazine_size = 0, .limbo_batch = 1};
+    config.alloc = {.magazine_size = 0, .limbo_batch = 1, .shards = 1};
   }
   auto tmi = tm::make_tm(kind, config);
 
@@ -268,7 +268,8 @@ TEST_P(ReclamationLitmus, FencedRunsAreCleanAcrossFenceModes) {
 }
 
 TEST_P(ReclamationLitmus, AbaReuseAliasesUnderTheDeterministicAllocator) {
-  // With the uncached `{magazine_size = 0, limbo_batch = 1}` allocator
+  // With the uncached, unsharded `{magazine_size = 0, limbo_batch = 1,
+  // shards = 1}` allocator
   // the freed block is recycled by the very next alloc once its grace
   // period has elapsed, so the ABA handles alias on (almost) every run —
   // the exception is a run where the mutator's stale-handle transaction

@@ -116,6 +116,24 @@ TEST_P(StripeSweep, FalseConflictRateFallsMonotonicallyWithStripeCount) {
   EXPECT_LT(rates.back(), rates.front() / 3);
 }
 
+TEST_P(StripeSweep, AutoSizedShardedTableKeepsFalseConflictsLow) {
+  // The same workload/occupancy on a fully sharded configuration: eight
+  // allocator shards, eight stripe regions, auto-sized table. Region
+  // partitioning re-maps which stripes an address range can occupy but
+  // must not concentrate the live set — the false-conflict ceiling of
+  // the unpartitioned table still holds.
+  tm::TmConfig config;
+  config.num_registers = 1;
+  config.alloc.shards = 8;
+  config.stripe_regions = 8;
+  ASSERT_EQ(config.effective_stripe_regions(), 8u);
+  const std::size_t expected_cells =
+      2 * 4 * (5 + 17 + 33 + 65 + 9 + 3 + 129 + 49);
+  const std::size_t chosen = config.auto_size_stripes(expected_cells);
+  EXPECT_GE(chosen, 2 * expected_cells);
+  EXPECT_LT(false_conflict_rate(GetParam(), config), 0.10);
+}
+
 TEST_P(StripeSweep, AutoSizedTableKeepsFalseConflictsLow) {
   // ~2500 live cells across both sides (32 blocks each, 4 full laps of
   // the size cycle); auto-sizing from the total occupancy must land in
@@ -149,6 +167,24 @@ TEST(StripeAutoSize, TargetsTwoStripesPerCellPowerOfTwoClamped) {
             tm::TmConfig::kMaxAutoStripes);
   EXPECT_EQ(config.auto_size_stripes(std::size_t{1} << 19),
             tm::TmConfig::kMaxAutoStripes);
+}
+
+TEST(StripeAutoSize, RegionPartitioningPreservesTotalsAndClamp) {
+  // Regions are powers of two and the per-region budget is ceil-divided,
+  // so the TOTAL auto size is the same whatever the partitioning — the
+  // sizing rule and the region count stay independent knobs.
+  tm::TmConfig config;
+  config.alloc.shards = 8;  // effective_stripe_regions() == 8
+  ASSERT_EQ(config.effective_stripe_regions(), 8u);
+  EXPECT_EQ(config.auto_size_stripes(100), 256u);
+  EXPECT_EQ(config.auto_size_stripes(1024), 2048u);
+  // The global clamp applies to the total, not per region.
+  EXPECT_EQ(config.auto_size_stripes(std::size_t{1} << 30),
+            tm::TmConfig::kMaxAutoStripes);
+  // And the floor survives a degenerate single-region table.
+  config.alloc.shards = 1;
+  config.stripe_regions = 1;
+  EXPECT_EQ(config.auto_size_stripes(0), tm::TmConfig::kMinAutoStripes);
 }
 
 }  // namespace
