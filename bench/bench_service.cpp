@@ -1,0 +1,297 @@
+// Experiment E14 — the session-store service macro-benchmark
+// (DESIGN.md §12): zipfian KV traffic with payload churn and privatizing
+// expiry sweeps, per-op-class latency percentiles per phase.
+//
+// Matrix: backend × sweep fence mode {sync, async} × phase {steady
+// zipfian, hot-key storm}. Each (backend, mode) cell runs both phases
+// back-to-back against one live store — the storm inherits the steady
+// phase's resident sessions — and reports p50/p99/p999 per op class plus
+// the TM's counter deltas for that phase.
+//
+// Shape expectations:
+//  * async sweeps beat sync on sweep p50 at >1 bucket: the fence's grace
+//    period overlaps the previous bucket's scan instead of sitting on the
+//    critical path (PR 2's deferred-privatization pipeline);
+//  * the storm phase moves put/get p999 far more than p50 — the hot set
+//    serializes through the contention manager while the zipfian tail
+//    stays uncontended;
+//  * glock's percentiles are flat across phases (everything serializes
+//    anyway); the TL2 family pays for the storm in aborts, not latency
+//    floor.
+//
+// This binary has its own main() and no google-benchmark dependency: it
+// sweeps the matrix and persists BENCH_service.json (schema 1). `--quick`
+// runs a smaller matrix to BENCH_service.quick.json and self-gates — the
+// sweeps must actually retire expired sessions and every op class must
+// report percentiles — returning nonzero on violation (the CI smoke).
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/workload.hpp"
+#include "tm/factory.hpp"
+
+namespace privstm::bench {
+namespace {
+
+using service::OpClass;
+using service::kOpClassCount;
+
+struct OpClassCell {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+};
+
+struct ServiceRow {
+  std::string backend;
+  std::string fence_mode;
+  std::string phase;
+  std::size_t threads = 0;
+  OpClassCell op[kOpClassCount];
+  double ops_per_sec = 0.0;
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t put_failures = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t sweep_scanned = 0;
+  std::uint64_t sweep_retired = 0;
+  std::uint64_t consistency_violations = 0;
+  // TM counter deltas across the phase.
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t backoffs = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t shard_steals = 0;
+  std::uint64_t fences = 0;
+};
+
+struct MatrixShape {
+  std::size_t threads;
+  std::size_t num_keys;
+  std::size_t ops_per_thread;
+  std::size_t buckets;
+  std::size_t bucket_capacity;
+  std::uint64_t ttl_ticks;
+  std::uint64_t sweep_every_ticks;
+};
+
+constexpr MatrixShape kFullShape{8, 4096, 6000, 8, 2048, 4096, 2048};
+constexpr MatrixShape kQuickShape{4, 512, 600, 4, 512, 512, 256};
+
+/// Snapshot the counters a phase delta is computed over.
+struct CounterSnap {
+  std::uint64_t commits, aborts, backoffs, escalations, steals, fences;
+  static CounterSnap of(tm::TransactionalMemory& tmi) {
+    auto& s = tmi.stats();
+    return {s.total(rt::Counter::kTxCommit), s.total(rt::Counter::kTxAbort),
+            s.total(rt::Counter::kTxRetryBackoff),
+            s.total(rt::Counter::kTxEscalated),
+            s.total(rt::Counter::kAllocShardSteal),
+            s.total(rt::Counter::kFence)};
+  }
+};
+
+ServiceRow make_row(tm::TmKind kind, service::SweepMode mode,
+                    const service::PhaseConfig& phase,
+                    const service::WorkloadConfig& cfg,
+                    const service::PhaseResult& r, const CounterSnap& before,
+                    const CounterSnap& after) {
+  ServiceRow row;
+  row.backend = tm::tm_kind_name(kind);
+  row.fence_mode = service::sweep_mode_name(mode);
+  row.phase = phase.label;
+  row.threads = cfg.threads;
+  for (std::size_t c = 0; c < kOpClassCount; ++c) {
+    row.op[c].count = r.latency[c].count();
+    row.op[c].p50 = r.latency[c].p50();
+    row.op[c].p99 = r.latency[c].p99();
+    row.op[c].p999 = r.latency[c].p999();
+  }
+  row.ops_per_sec =
+      r.seconds > 0.0 ? static_cast<double>(r.throughput_ops()) / r.seconds
+                      : 0.0;
+  row.get_hits = r.get_hits;
+  row.get_misses = r.get_misses;
+  row.put_failures = r.put_failures;
+  row.sweeps = r.sweeps;
+  row.sweep_scanned = r.sweep_scanned;
+  row.sweep_retired = r.sweep_retired;
+  row.consistency_violations = r.consistency_violations;
+  row.commits = after.commits - before.commits;
+  row.aborts = after.aborts - before.aborts;
+  row.backoffs = after.backoffs - before.backoffs;
+  row.escalations = after.escalations - before.escalations;
+  row.shard_steals = after.steals - before.steals;
+  row.fences = after.fences - before.fences;
+  return row;
+}
+
+std::string row_label(const ServiceRow& r) {
+  return r.backend + "/" + r.fence_mode + "/" + r.phase;
+}
+
+std::vector<ServiceRow> run_matrix(const MatrixShape& shape,
+                                   std::uint64_t seed) {
+  std::vector<ServiceRow> rows;
+  const service::SweepMode modes[] = {service::SweepMode::kSyncFence,
+                                      service::SweepMode::kAsyncFence};
+  for (const tm::TmKind kind : tm::all_tm_kinds()) {
+    for (const service::SweepMode mode : modes) {
+      tm::TmConfig config;
+      config.num_registers = 64;
+      auto tmi = tm::make_tm(kind, config);
+
+      service::SessionStoreConfig store_cfg;
+      store_cfg.buckets = shape.buckets;
+      store_cfg.bucket_capacity = shape.bucket_capacity;
+      service::SessionStore store(*tmi, store_cfg);
+
+      service::WorkloadConfig cfg;
+      cfg.threads = shape.threads;
+      cfg.num_keys = shape.num_keys;
+      cfg.ttl_ticks = shape.ttl_ticks;
+      cfg.sweep_mode = mode;
+      cfg.sweep_every_ticks = shape.sweep_every_ticks;
+
+      service::PhaseConfig steady;
+      steady.label = "steady";
+      steady.ops_per_thread = shape.ops_per_thread;
+      steady.zipf_s = 0.99;
+
+      service::PhaseConfig storm;
+      storm.label = "hot-storm";
+      storm.ops_per_thread = shape.ops_per_thread;
+      storm.zipf_s = 0.99;
+      storm.hot_permille = 800;  // a flash crowd on 8 keys
+      storm.hot_keys = 8;
+      storm.mix.put_permille = 300;  // the crowd writes, too
+
+      std::atomic<std::uint64_t> clock{1};
+      for (const service::PhaseConfig* phase : {&steady, &storm}) {
+        const CounterSnap before = CounterSnap::of(*tmi);
+        const auto result =
+            service::run_phase(*tmi, store, cfg, *phase, seed, clock);
+        const CounterSnap after = CounterSnap::of(*tmi);
+        rows.push_back(
+            make_row(kind, mode, *phase, cfg, result, before, after));
+        std::cout << row_label(rows.back()) << ": "
+                  << static_cast<std::uint64_t>(rows.back().ops_per_sec)
+                  << " ops/s, get p999 "
+                  << rows.back().op[0].p999 << " ns, "
+                  << rows.back().sweep_retired << " retired\n";
+      }
+    }
+  }
+  return rows;
+}
+
+void emit_op_classes(std::ofstream& out, const ServiceRow& r) {
+  out << "\"op_classes\": {";
+  for (std::size_t c = 0; c < kOpClassCount; ++c) {
+    const auto& cell = r.op[c];
+    out << "\"" << service::op_class_name(static_cast<OpClass>(c))
+        << "\": {\"count\": " << cell.count << ", \"p50\": " << cell.p50
+        << ", \"p99\": " << cell.p99 << ", \"p999\": " << cell.p999 << "}"
+        << (c + 1 < kOpClassCount ? ", " : "");
+  }
+  out << "}";
+}
+
+bool write_service_json(const std::string& path, const MatrixShape& shape,
+                        const std::vector<ServiceRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"service\",\n  \"schema\": 1,\n"
+      << "  \"config\": {\"threads\": " << shape.threads
+      << ", \"num_keys\": " << shape.num_keys
+      << ", \"ops_per_thread\": " << shape.ops_per_thread
+      << ", \"buckets\": " << shape.buckets
+      << ", \"bucket_capacity\": " << shape.bucket_capacity
+      << ", \"ttl_ticks\": " << shape.ttl_ticks
+      << ", \"sweep_every_ticks\": " << shape.sweep_every_ticks
+      << ", \"latency_unit\": \"ns\"},\n"
+      << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"backend\": \"" << r.backend << "\", \"fence_mode\": \""
+        << r.fence_mode << "\", \"phase\": \"" << r.phase
+        << "\", \"threads\": " << r.threads << ",\n     ";
+    emit_op_classes(out, r);
+    out << ",\n     \"ops_per_sec\": " << r.ops_per_sec
+        << ", \"get_hits\": " << r.get_hits
+        << ", \"get_misses\": " << r.get_misses
+        << ", \"put_failures\": " << r.put_failures
+        << ", \"sweeps\": " << r.sweeps
+        << ", \"sweep_scanned\": " << r.sweep_scanned
+        << ", \"sweep_retired\": " << r.sweep_retired
+        << ", \"consistency_violations\": " << r.consistency_violations
+        << ",\n     \"commits\": " << r.commits << ", \"aborts\": "
+        << r.aborts << ", \"backoffs\": " << r.backoffs
+        << ", \"escalations\": " << r.escalations
+        << ", \"shard_steals\": " << r.shard_steals
+        << ", \"fences\": " << r.fences << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+/// Quick-mode self gates (the CI smoke): every cell's sweeps must retire
+/// sessions, every traffic op class must have samples with percentiles,
+/// and nothing may report a consistency violation.
+int gate(const std::vector<ServiceRow>& rows) {
+  int failures = 0;
+  for (const auto& r : rows) {
+    if (r.sweep_retired == 0) {
+      std::cerr << "FAIL: " << row_label(r)
+                << " retired no expired sessions\n";
+      ++failures;
+    }
+    if (r.consistency_violations != 0) {
+      std::cerr << "FAIL: " << row_label(r) << " reported "
+                << r.consistency_violations << " consistency violations\n";
+      ++failures;
+    }
+    for (std::size_t c = 0; c < kOpClassCount; ++c) {
+      if (r.op[c].count == 0 || r.op[c].p999 == 0 ||
+          r.op[c].p50 > r.op[c].p99 || r.op[c].p99 > r.op[c].p999) {
+        std::cerr << "FAIL: " << row_label(r) << " op class "
+                  << service::op_class_name(static_cast<OpClass>(c))
+                  << " has no samples or non-monotone percentiles\n";
+        ++failures;
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+}  // namespace privstm::bench
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const auto& shape =
+      quick ? privstm::bench::kQuickShape : privstm::bench::kFullShape;
+  const auto rows = privstm::bench::run_matrix(shape, /*seed=*/42);
+  const char* path =
+      quick ? "BENCH_service.quick.json" : "BENCH_service.json";
+  if (!privstm::bench::write_service_json(path, shape, rows)) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
+  const int failures = privstm::bench::gate(rows);
+  if (failures != 0) {
+    std::cerr << failures << " gate failure(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -43,6 +43,16 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # grace-period engine regresses below the per-fence-scan mode.
 ./build/bench_fence_overhead --quick --check
 
+# Smoke-run the session-service macro-benchmark (writes
+# BENCH_service.quick.json). The quick run self-asserts that every
+# backend × fence-mode cell's expiry sweeps retired sessions, that every
+# op class reported monotone percentiles, and that no payload read was
+# inconsistent — then the grep double-checks the percentile telemetry
+# actually reached the JSON (a schema refactor that drops the field must
+# fail here, not in the next PR's analysis).
+./build/bench_service --quick
+grep -q '"p999"' BENCH_service.quick.json
+
 # ASan+UBSan gate over the transactional-heap paths: alloc/free, deferred
 # reclamation, the ADTs that allocate through handles, the TM
 # semantics/fence suites that drive them, and the handle-based litmus
@@ -56,7 +66,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-    -R 'Heap|StripeTable|StripeRegion|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree|Clock'
+    -R 'Heap|StripeTable|StripeRegion|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree|Clock|Service|Histogram|Zipf'
 fi
 
 # ThreadSanitizer gate (third sanitizer config — TSan cannot coexist with
@@ -71,5 +81,5 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j"$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt|Clock'
+    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt|Clock|Service|Histogram|Zipf'
 fi

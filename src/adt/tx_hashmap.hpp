@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -44,63 +43,125 @@ class TxHashMap {
   TxHashMap(const TxHashMap&) = delete;
   TxHashMap& operator=(const TxHashMap&) = delete;
 
+  // -------------------------------------------------------------------
+  // In-transaction operations: the probe loops exposed on a caller's
+  // TxScope, so a service can compose an index lookup with record
+  // accesses in ONE transaction (src/service/session_store.hpp). The
+  // caller owns the freeze protocol: check frozen(tx) first and retry
+  // outside the transaction while a privatized phase holds the table
+  // (the reading of the freeze flag is what orders the operation against
+  // the phase's NT mutations). After an abort TxScope reads return 0 —
+  // the probe loop then sees "end of chain" and bails; the result is
+  // discarded by the retry wrapper either way. The one hazard is the
+  // value-slot read *after* a successful key match: if that read is the
+  // one that aborts, its 0 must not surface as a found value (callers
+  // decode map values into handles before the retry wrapper sees the
+  // abort), so every found path re-checks tx.aborted() and reports
+  // absence instead.
+  // -------------------------------------------------------------------
+
+  /// True while a privatized phase holds the table. Reading the flag
+  /// subscribes the transaction to it: a freeze committing later aborts
+  /// this transaction instead of mutating under it.
+  bool frozen(tm::TxScope& tx) const { return freeze_.get(tx) != 0; }
+
+  /// Insert or update inside the caller's transaction. Returns false when
+  /// the table is full (probe exhausted). `replaced` (when non-null)
+  /// receives the previous value if the key was already present, else is
+  /// left untouched — callers that own heap blocks through map values use
+  /// it to free the displaced block after commit.
+  bool put_in(tm::TxScope& tx, tm::Value key, tm::Value value,
+              tm::Value* replaced = nullptr) const {
+    std::size_t free_slot = capacity_;
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+      const std::size_t slot = index(key, probe);
+      const tm::Value k = tx.read(key_loc(slot));
+      if (k == key) {
+        if (replaced != nullptr) {
+          const tm::Value prev = tx.read(value_loc(slot));
+          if (tx.aborted()) return false;
+          *replaced = prev;
+        }
+        tx.write(value_loc(slot), value);
+        return true;
+      }
+      if (k == kTombstone) {
+        if (free_slot == capacity_) free_slot = slot;
+        continue;  // erased: keep probing, the key may be further on
+      }
+      if (k == 0) {
+        if (free_slot == capacity_) free_slot = slot;
+        break;  // end of chain
+      }
+    }
+    if (free_slot == capacity_) return false;  // full
+    tx.write(key_loc(free_slot), key);
+    tx.write(value_loc(free_slot), value);
+    return true;
+  }
+
+  std::optional<tm::Value> get_in(tm::TxScope& tx, tm::Value key) const {
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+      const std::size_t slot = index(key, probe);
+      const tm::Value k = tx.read(key_loc(slot));
+      if (k == key) {
+        const tm::Value v = tx.read(value_loc(slot));
+        if (tx.aborted()) return std::nullopt;
+        return v;
+      }
+      if (k == 0) return std::nullopt;  // end of chain
+      // tombstone or other key: keep probing
+    }
+    return std::nullopt;
+  }
+
+  /// Remove inside the caller's transaction; true if the key was present
+  /// (`removed`, when non-null, then receives its value).
+  bool erase_in(tm::TxScope& tx, tm::Value key,
+                tm::Value* removed = nullptr) const {
+    for (std::size_t probe = 0; probe < capacity_; ++probe) {
+      const std::size_t slot = index(key, probe);
+      const tm::Value k = tx.read(key_loc(slot));
+      if (k == key) {
+        if (removed != nullptr) {
+          const tm::Value prev = tx.read(value_loc(slot));
+          if (tx.aborted()) return false;
+          *removed = prev;
+        }
+        tx.write(key_loc(slot), kTombstone);
+        return true;
+      }
+      if (k == 0) return false;
+    }
+    return false;
+  }
+
   /// Insert or update. Returns false when the table is full (probe
   /// exhausted) — the caller must resize offline (see rebuild_privatized).
   /// Blocks (retrying) while the table is frozen by a privatized phase.
   bool put(tm::TmThread& session, tm::Value key, tm::Value value) const {
     bool ok = false;
-    bool frozen = true;
-    while (frozen) {
-    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
-      ok = false;
-      frozen = freeze_.get(tx) != 0;
-      if (frozen) return;
-      std::size_t free_slot = capacity_;
-      for (std::size_t probe = 0; probe < capacity_; ++probe) {
-        const std::size_t slot = index(key, probe);
-        const tm::Value k = tx.read(key_loc(slot));
-        if (k == key) {
-          tx.write(value_loc(slot), value);
-          ok = true;
-          return;
-        }
-        if (k == kTombstone) {
-          if (free_slot == capacity_) free_slot = slot;
-          continue;  // erased: keep probing, the key may be further on
-        }
-        if (k == 0) {
-          if (free_slot == capacity_) free_slot = slot;
-          break;  // end of chain
-        }
-      }
-      if (free_slot == capacity_) return;  // full
-      tx.write(key_loc(free_slot), key);
-      tx.write(value_loc(free_slot), value);
-      ok = true;
-    });
+    bool is_frozen = true;
+    while (is_frozen) {
+      tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+        ok = false;
+        is_frozen = frozen(tx);
+        if (!is_frozen) ok = put_in(tx, key, value);
+      });
     }
     return ok;
   }
 
   std::optional<tm::Value> get(tm::TmThread& session, tm::Value key) const {
     std::optional<tm::Value> result;
-    bool frozen = true;
-    while (frozen) {
-    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
-      result.reset();
-      frozen = freeze_.get(tx) != 0;
-      if (frozen) return;  // rebuild_privatized mutates slots with NT writes
-      for (std::size_t probe = 0; probe < capacity_; ++probe) {
-        const std::size_t slot = index(key, probe);
-        const tm::Value k = tx.read(key_loc(slot));
-        if (k == key) {
-          result = tx.read(value_loc(slot));
-          return;
-        }
-        if (k == 0) return;  // end of chain
-        // tombstone or other key: keep probing
-      }
-    });
+    bool is_frozen = true;
+    while (is_frozen) {
+      tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+        result.reset();
+        is_frozen = frozen(tx);
+        // While frozen, rebuild_privatized mutates slots with NT writes.
+        if (!is_frozen) result = get_in(tx, key);
+      });
     }
     return result;
   }
@@ -108,34 +169,26 @@ class TxHashMap {
   /// Remove the key; true if it was present.
   bool erase(tm::TmThread& session, tm::Value key) const {
     bool found = false;
-    bool frozen = true;
-    while (frozen) {
-    tm::run_tx_retry(session, [&](tm::TxScope& tx) {
-      found = false;
-      frozen = freeze_.get(tx) != 0;
-      if (frozen) return;
-      for (std::size_t probe = 0; probe < capacity_; ++probe) {
-        const std::size_t slot = index(key, probe);
-        const tm::Value k = tx.read(key_loc(slot));
-        if (k == key) {
-          tx.write(key_loc(slot), kTombstone);
-          found = true;
-          return;
-        }
-        if (k == 0) return;
-      }
-    });
+    bool is_frozen = true;
+    while (is_frozen) {
+      tm::run_tx_retry(session, [&](tm::TxScope& tx) {
+        found = false;
+        is_frozen = frozen(tx);
+        if (!is_frozen) found = erase_in(tx, key);
+      });
     }
     return found;
   }
 
   /// Privatized full iteration: freeze, fence, visit every live (key,
   /// value) pair with NT reads, publish back. `freeze_token` must be a
-  /// fresh nonzero value per call.
-  void for_each_privatized(
-      tm::TmThread& session, tm::Value freeze_token,
-      const std::function<void(tm::Value key, tm::Value value)>& visit)
-      const {
+  /// fresh nonzero value per call. `visit` is a template parameter (not
+  /// std::function): the visitor is called once per live slot on the
+  /// privatized scan hot path, where an indirect call plus a possible
+  /// capture allocation per sweep would be pure overhead.
+  template <typename Visit>
+  void for_each_privatized(tm::TmThread& session, tm::Value freeze_token,
+                           Visit&& visit) const {
     freeze(session, freeze_token);
     session.fence();
     for (std::size_t slot = 0; slot < capacity_; ++slot) {
@@ -231,7 +284,21 @@ class TxHashMap {
     return handle_.loc(2 + 2 * slot);
   }
 
- private:
+  // -------------------------------------------------------------------
+  // Privatized-phase bracket. for_each_privatized/rebuild_privatized use
+  // it internally with a synchronous fence; services that need a
+  // different quiescence discipline (the expiry sweep's deferred
+  // async-ticket pipeline, src/service/session_store.cpp) take the
+  // bracket directly: freeze → fence of the caller's choosing → NT scan
+  // and mutation of the slots — tombstoning included — → unfreeze
+  // (republish). Every transactional operation reads the freeze flag
+  // first, so operations either committed before the freeze (the fence
+  // then orders their — possibly delayed — write-backs before the NT
+  // accesses) or observe the flag and wait.
+  // -------------------------------------------------------------------
+
+  /// Acquire the freeze flag (spinning over other privatized phases).
+  /// `token` must be a fresh nonzero value per call.
   void freeze(tm::TmThread& session, tm::Value token) const {
     for (;;) {
       bool acquired = false;
@@ -242,11 +309,14 @@ class TxHashMap {
       if (acquired) return;
     }
   }
+
+  /// Republish after a privatized phase.
   void unfreeze(tm::TmThread& session) const {
     tm::run_tx_retry(session,
                      [&](tm::TxScope& tx) { freeze_.set(tx, 0); });
   }
 
+ private:
   /// Fibonacci hashing + linear probe, parameterized by capacity so
   /// reserve() can probe the not-yet-published grown table with the
   /// exact same formula the lookups will use.

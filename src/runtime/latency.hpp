@@ -1,0 +1,136 @@
+// Log-bucketed latency histogram for the service-layer telemetry
+// (DESIGN.md §12): p50/p99/p999 per op class without recording every
+// sample.
+//
+// Layout (HdrHistogram-lite): values below kSubBuckets are exact; above,
+// each power-of-two magnitude group is split into kSubBuckets
+// linearly-spaced buckets, so the relative quantization error is bounded
+// by 1/kSubBuckets (~3%) at every magnitude. The whole histogram is a
+// flat fixed-size array of counters — recording is a bit-scan plus one
+// increment, merging is element-wise addition (associative and
+// commutative, so per-thread histograms can be merged in any order), and
+// the footprint (~9 KiB) is small enough for one histogram per (thread ×
+// op class).
+//
+// Values are nanoseconds by convention but the type is agnostic. Inputs
+// above kMaxTrackable (2^40 ns ≈ 18 minutes) clamp into the top bucket —
+// a latency that long is an outage, not a percentile — and are counted so
+// callers can tell clamping happened.
+//
+// Not thread-safe: each thread records into its own instance; merge after
+// joining (the per-thread pattern of rt::StatsDomain, without the shared
+// cache-line concerns since instances are never shared).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace privstm::rt {
+
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per power-of-two magnitude group (quantization error
+  /// <= 1/kSubBuckets).
+  static constexpr std::size_t kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = std::uint64_t{1}
+                                               << kSubBucketBits;
+  /// Magnitude groups: group 0 holds the exact values [0, kSubBuckets);
+  /// group g >= 1 holds [kSubBuckets << (g-1), kSubBuckets << g).
+  static constexpr std::size_t kGroups = 36;
+  static constexpr std::size_t kBucketCount = kGroups * kSubBuckets;
+  /// Largest representable value; record() clamps above it.
+  static constexpr std::uint64_t kMaxTrackable =
+      (kSubBuckets << (kGroups - 1)) - 1;
+
+  /// Bucket index of `v <= kMaxTrackable`.
+  static constexpr std::size_t bucket_of(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned msb = 63U - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned group = msb - kSubBucketBits + 1;
+    const std::uint64_t sub = (v >> (msb - kSubBucketBits)) - kSubBuckets;
+    return group * kSubBuckets + static_cast<std::size_t>(sub);
+  }
+
+  /// Smallest value mapping to bucket `i` (exact boundary; bucket_of of
+  /// it is `i`, of it minus one is `i - 1`).
+  static constexpr std::uint64_t bucket_lower(std::size_t i) noexcept {
+    const std::size_t group = i / kSubBuckets;
+    const std::uint64_t sub = i % kSubBuckets;
+    if (group == 0) return sub;
+    return (kSubBuckets + sub) << (group - 1);
+  }
+
+  /// Largest value mapping to bucket `i` — what percentile() reports, so
+  /// reported quantiles never understate the true ones.
+  static constexpr std::uint64_t bucket_upper(std::size_t i) noexcept {
+    return i + 1 < kBucketCount ? bucket_lower(i + 1) - 1 : kMaxTrackable;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    if (v > kMaxTrackable) {
+      v = kMaxTrackable;
+      ++clamped_;
+    }
+    ++counts_[bucket_of(v)];
+    ++count_;
+  }
+
+  /// Element-wise sum — associative/commutative, so cross-thread merge
+  /// order never changes the result.
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    clamped_ += other.clamped_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  /// Samples above kMaxTrackable folded into the top bucket.
+  std::uint64_t clamped() const noexcept { return clamped_; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]):
+  /// the smallest bucket whose cumulative count reaches ceil(q * count).
+  /// Monotone in q by construction; 0 on an empty histogram.
+  std::uint64_t percentile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // ceil without floating-point edge cases at q = 1.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (rank < count_ &&
+        static_cast<double>(rank) < q * static_cast<double>(count_)) {
+      ++rank;
+    }
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) return bucket_upper(i);
+    }
+    return kMaxTrackable;
+  }
+
+  std::uint64_t p50() const noexcept { return percentile(0.50); }
+  std::uint64_t p99() const noexcept { return percentile(0.99); }
+  std::uint64_t p999() const noexcept { return percentile(0.999); }
+
+  void reset() noexcept {
+    counts_.fill(0);
+    count_ = 0;
+    clamped_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+}  // namespace privstm::rt

@@ -1,0 +1,147 @@
+// Unit tests for rt::LatencyHistogram (runtime/latency.hpp): bucket
+// boundary exactness, cross-thread merge associativity, percentile
+// monotonicity, and out-of-range clamping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/latency.hpp"
+#include "runtime/rng.hpp"
+
+namespace rt = privstm::rt;
+using Hist = rt::LatencyHistogram;
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Group 0 is the identity mapping: every value below kSubBuckets has a
+  // bucket to itself, so small-latency percentiles have zero error.
+  for (std::uint64_t v = 0; v < Hist::kSubBuckets; ++v) {
+    EXPECT_EQ(Hist::bucket_of(v), v);
+    EXPECT_EQ(Hist::bucket_lower(v), v);
+    EXPECT_EQ(Hist::bucket_upper(v), v);
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundariesAreExact) {
+  // Every bucket's lower bound maps into the bucket, and the value one
+  // below maps into the previous bucket — the boundary is exact, not
+  // off-by-one in either direction.
+  for (std::size_t i = 1; i < Hist::kBucketCount; ++i) {
+    const std::uint64_t lower = Hist::bucket_lower(i);
+    EXPECT_EQ(Hist::bucket_of(lower), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(Hist::bucket_of(lower - 1), i - 1)
+        << "one below bucket " << i;
+    EXPECT_EQ(Hist::bucket_of(Hist::bucket_upper(i)), i)
+        << "upper bound of bucket " << i;
+  }
+  EXPECT_EQ(Hist::bucket_of(Hist::kMaxTrackable), Hist::kBucketCount - 1);
+}
+
+TEST(LatencyHistogram, RelativeErrorBounded) {
+  // The log-bucket contract: bucket width / bucket value <= 1/kSubBuckets
+  // at every magnitude, so reported percentiles overstate by at most ~3%.
+  rt::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.below(Hist::kMaxTrackable) + 1;
+    const std::uint64_t upper = Hist::bucket_upper(Hist::bucket_of(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LE(upper - v, v / Hist::kSubBuckets + 1)
+        << "bucket too wide at " << v;
+  }
+}
+
+TEST(LatencyHistogram, PercentileOfKnownDistribution) {
+  // 1..1000 recorded once each: p50 must report >= 500 and within the
+  // quantization bound, likewise p99 / p999.
+  Hist h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  for (const auto& [q, expect] :
+       {std::pair{0.50, 500ull}, {0.99, 990ull}, {0.999, 999ull}}) {
+    const std::uint64_t got = h.percentile(q);
+    EXPECT_GE(got, expect) << "q=" << q;
+    EXPECT_LE(got, expect + expect / Hist::kSubBuckets + 1) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, PercentileMonotoneInQ) {
+  Hist h;
+  rt::Xoshiro256 rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    // Heavy-tailed: mostly small with occasional huge values.
+    const std::uint64_t v = rng.below(1000) == 0
+                                ? rng.below(std::uint64_t{1} << 38)
+                                : rng.below(4096);
+    h.record(v);
+  }
+  std::uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.001) {
+    const std::uint64_t cur = h.percentile(q);
+    EXPECT_GE(cur, prev) << "percentile regressed at q=" << q;
+    prev = cur;
+  }
+  EXPECT_EQ(h.percentile(1.0), h.percentile(1.5));  // q clamps
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAndCommutative) {
+  // Three per-thread histograms over different ranges: any merge order
+  // must produce identical bucket contents and percentiles.
+  Hist a, b, c;
+  rt::Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) a.record(rng.below(100));
+  for (int i = 0; i < 2000; ++i) b.record(100 + rng.below(10000));
+  for (int i = 0; i < 2000; ++i) c.record(rng.below(std::uint64_t{1} << 30));
+
+  Hist ab_c;  // (a + b) + c
+  ab_c.merge(a);
+  ab_c.merge(b);
+  ab_c.merge(c);
+  Hist c_ba;  // c + b + a
+  c_ba.merge(c);
+  c_ba.merge(b);
+  c_ba.merge(a);
+
+  EXPECT_EQ(ab_c.count(), 6000u);
+  EXPECT_EQ(c_ba.count(), 6000u);
+  for (std::size_t i = 0; i < Hist::kBucketCount; ++i) {
+    ASSERT_EQ(ab_c.bucket_count(i), c_ba.bucket_count(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(ab_c.p50(), c_ba.p50());
+  EXPECT_EQ(ab_c.p999(), c_ba.p999());
+}
+
+TEST(LatencyHistogram, MergePreservesTotalAndPercentileDominance) {
+  Hist fast, slow, merged;
+  for (int i = 0; i < 1000; ++i) fast.record(10);
+  for (int i = 0; i < 10; ++i) slow.record(1 << 20);
+  merged.merge(fast);
+  merged.merge(slow);
+  EXPECT_EQ(merged.count(), 1010u);
+  // The slow tail is ~1% of samples: p50 stays fast, p999 goes slow.
+  EXPECT_LE(merged.p50(), 10u + 1u);
+  EXPECT_GE(merged.p999(), std::uint64_t{1} << 20);
+}
+
+TEST(LatencyHistogram, OutOfRangeClampsIntoTopBucket) {
+  Hist h;
+  h.record(Hist::kMaxTrackable);        // representable: not clamped
+  h.record(Hist::kMaxTrackable + 1);    // clamped
+  h.record(~std::uint64_t{0});          // clamped
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.clamped(), 2u);
+  EXPECT_EQ(h.bucket_count(Hist::kBucketCount - 1), 3u);
+  EXPECT_EQ(h.percentile(1.0), Hist::kMaxTrackable);
+}
+
+TEST(LatencyHistogram, EmptyAndReset) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  h.record(12345);
+  EXPECT_NE(h.p50(), 0u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.clamped(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+}
