@@ -20,6 +20,7 @@
 
 #include "lang/litmus.hpp"
 #include "runtime/barrier.hpp"
+#include "runtime/metrics.hpp"
 #include "runtime/rng.hpp"
 #include "tm/factory.hpp"
 
@@ -147,9 +148,12 @@ struct ThroughputRow {
 };
 
 /// Run one timed mix phase on a fresh TM instance and collect a row.
+/// `base` seeds the TM configuration (num_registers is overridden from the
+/// mix params) — the trace-overhead probe cells pass a trace-enabled base.
 inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
-                                 std::uint64_t seed) {
-  tm::TmConfig config;
+                                 std::uint64_t seed,
+                                 const tm::TmConfig& base = {}) {
+  tm::TmConfig config = base;
   config.num_registers = p.registers;
   auto tmi = tm::make_tm(kind, config);
 
@@ -194,6 +198,15 @@ struct BaselineRow {
   const char* workload = "alloc-free";
 };
 
+/// Snapshot a TM instance's counters + conflict heat map as an embeddable
+/// metrics JSON object (rt::MetricsRegistry / rt::to_json).
+inline std::string tm_metrics_json(tm::TransactionalMemory& tmi) {
+  rt::MetricsRegistry reg;
+  reg.add_counters(&tmi.stats());
+  reg.set_trace(tmi.trace_ptr());
+  return rt::to_json(reg.snapshot());
+}
+
 /// Emit the rows as a stable, diff-friendly JSON document. Schema 3 added
 /// the `alloc` config block (the heap-allocator knobs the run used) and an
 /// optional `alloc_free_baseline` reference series; schema 4 added the
@@ -202,20 +215,27 @@ struct BaselineRow {
 /// CM); schema 5 adds the per-row sharding telemetry (`shards`,
 /// `shard_steals`, `clock_shared`), the `shards` knob in the alloc block,
 /// and an optional `pr6_baseline` series (the pre-sharding allocator and
-/// clock, re-measured on the same box) for the before/after.
+/// clock, re-measured on the same box) for the before/after. Schema 6 adds
+/// the `trace-probe` workload rows (tracing-enabled vs -disabled overhead
+/// cells) and an optional embedded `metrics` object (`metrics_json`, a
+/// pre-rendered rt::to_json document from the traced cell's registry).
 inline bool write_throughput_json(
     const std::string& path, const std::vector<ThroughputRow>& rows,
     const tm::AllocConfig& alloc, const char* baseline_note = nullptr,
     const std::vector<BaselineRow>& baseline = {},
     const char* pr6_note = nullptr,
-    const std::vector<BaselineRow>& pr6_baseline = {}) {
+    const std::vector<BaselineRow>& pr6_baseline = {},
+    const std::string& metrics_json = {}) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 5,\n"
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 6,\n"
       << "  \"alloc\": {\"magazine_size\": " << alloc.magazine_size
       << ", \"batch_depth\": " << alloc.limbo_batch
       << ", \"max_class_size\": " << alloc.max_class_size
       << ", \"shards\": " << alloc.effective_shards() << "},\n";
+  if (!metrics_json.empty()) {
+    out << "  \"metrics\": " << metrics_json << ",\n";
+  }
   const auto emit_series = [&out](const char* name, const char* note,
                                   const std::vector<BaselineRow>& series) {
     out << "  \"" << name << "\": {\n    \"note\": \""

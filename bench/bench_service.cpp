@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/metrics.hpp"
 #include "service/workload.hpp"
 #include "tm/factory.hpp"
 
@@ -190,6 +191,107 @@ std::vector<ServiceRow> run_matrix(const MatrixShape& shape,
   return rows;
 }
 
+// ---------------------------------------------------------------------------
+// Traced cell: one tl2fused × sync run (steady then hot-storm) against a
+// trace-enabled TM. The hot-key storm hammers 8 keys, so the per-stripe
+// conflict heat map must light up; the cell's metrics snapshot (counters,
+// op-class latency histograms, heat map) embeds into BENCH_service.json
+// (schema 2) and, with --trace <path>, the lifecycle rings dump as Chrome
+// trace JSON plus a Prometheus text file at <path>.prom.
+// ---------------------------------------------------------------------------
+
+struct TracedCell {
+  std::string metrics_json;
+  std::uint64_t heat_conflicts = 0;  ///< whole-map abort sum (gate: > 0)
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+};
+
+TracedCell run_traced_cell(const MatrixShape& shape, std::uint64_t seed,
+                           const std::string& trace_path) {
+  TracedCell out;
+  tm::TmConfig config;
+  config.num_registers = 64;
+  config.trace.enabled = true;
+  // Organic conflict aborts need two transactions racing inside one
+  // validation window, which timesliced threads on a single-core box never
+  // produce — so, like the clock-share probe in bench_tm_throughput, the
+  // traced cell arms a low-rate read-validation abort injection. Injected
+  // aborts attribute to the stripe of the access they fired inside, so the
+  // heat map, abort-reason plumbing and kTxAbort events all run end to end
+  // on any box; the cell's ops_per_sec is NOT comparable to the matrix.
+  config.fault.abort_permille = 20;
+  config.fault.sites = rt::fault_site_bit(rt::FaultSite::kReadValidation);
+  auto tmi = tm::make_tm(tm::TmKind::kTl2Fused, config);
+
+  service::SessionStoreConfig store_cfg;
+  store_cfg.buckets = shape.buckets;
+  store_cfg.bucket_capacity = shape.bucket_capacity;
+  service::SessionStore store(*tmi, store_cfg);
+
+  service::WorkloadConfig cfg;
+  cfg.threads = shape.threads;
+  cfg.num_keys = shape.num_keys;
+  cfg.ttl_ticks = shape.ttl_ticks;
+  cfg.sweep_mode = service::SweepMode::kSyncFence;
+  cfg.sweep_every_ticks = shape.sweep_every_ticks;
+
+  service::PhaseConfig steady;
+  steady.label = "steady";
+  steady.ops_per_thread = shape.ops_per_thread;
+  steady.zipf_s = 0.99;
+
+  service::PhaseConfig storm;
+  storm.label = "hot-storm";
+  storm.ops_per_thread = shape.ops_per_thread;
+  storm.zipf_s = 0.99;
+  storm.hot_permille = 800;
+  storm.hot_keys = 8;
+  storm.mix.put_permille = 300;
+
+  std::atomic<std::uint64_t> clock{1};
+  (void)service::run_phase(*tmi, store, cfg, steady, seed, clock);
+  const auto storm_result =
+      service::run_phase(*tmi, store, cfg, storm, seed + 1, clock);
+
+  rt::MetricsRegistry registry;
+  registry.add_counters(&tmi->stats());
+  registry.set_trace(tmi->trace_ptr());
+  for (std::size_t c = 0; c < kOpClassCount; ++c) {
+    registry.add_histogram(
+        std::string(service::op_class_name(static_cast<OpClass>(c))) +
+            "_latency",
+        &storm_result.latency[c]);
+  }
+  registry.add_gauge("arena_cells", [&] {
+    return static_cast<double>(tmi->heap().allocated_end());
+  });
+  const rt::MetricsSnapshot snap = registry.snapshot();
+  out.metrics_json = rt::to_json(snap);
+  out.heat_conflicts = snap.total_conflicts;
+  out.trace_dropped = snap.trace_dropped;
+  std::cout << "traced cell: " << out.heat_conflicts
+            << " heat-map conflicts, hottest stripes:";
+  for (const auto& h : snap.hot_stripes) {
+    std::cout << " " << h.stripe << "(" << h.aborts << ")";
+  }
+  std::cout << "\n";
+  if (!trace_path.empty()) {
+    const std::vector<rt::TraceEvent> events = tmi->trace().drain();
+    out.trace_events = events.size();
+    if (rt::write_chrome_trace(trace_path, events,
+                               tmi->trace().dropped())) {
+      std::cout << "wrote " << events.size() << " trace events to "
+                << trace_path << "\n";
+    } else {
+      std::cerr << "failed to write " << trace_path << "\n";
+    }
+    std::ofstream prom(trace_path + ".prom");
+    if (prom) prom << rt::to_prometheus(snap);
+  }
+  return out;
+}
+
 void emit_op_classes(std::ofstream& out, const ServiceRow& r) {
   out << "\"op_classes\": {";
   for (std::size_t c = 0; c < kOpClassCount; ++c) {
@@ -202,11 +304,15 @@ void emit_op_classes(std::ofstream& out, const ServiceRow& r) {
   out << "}";
 }
 
+/// Schema 2: adds the optional `metrics` object — the traced cell's
+/// registry snapshot (rt::to_json), counters + op-class histograms + the
+/// per-stripe conflict heat map.
 bool write_service_json(const std::string& path, const MatrixShape& shape,
-                        const std::vector<ServiceRow>& rows) {
+                        const std::vector<ServiceRow>& rows,
+                        const std::string& metrics_json = {}) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"service\",\n  \"schema\": 1,\n"
+  out << "{\n  \"bench\": \"service\",\n  \"schema\": 2,\n"
       << "  \"config\": {\"threads\": " << shape.threads
       << ", \"num_keys\": " << shape.num_keys
       << ", \"ops_per_thread\": " << shape.ops_per_thread
@@ -214,8 +320,11 @@ bool write_service_json(const std::string& path, const MatrixShape& shape,
       << ", \"bucket_capacity\": " << shape.bucket_capacity
       << ", \"ttl_ticks\": " << shape.ttl_ticks
       << ", \"sweep_every_ticks\": " << shape.sweep_every_ticks
-      << ", \"latency_unit\": \"ns\"},\n"
-      << "  \"rows\": [\n";
+      << ", \"latency_unit\": \"ns\"},\n";
+  if (!metrics_json.empty()) {
+    out << "  \"metrics\": " << metrics_json << ",\n";
+  }
+  out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     out << "    {\"backend\": \"" << r.backend << "\", \"fence_mode\": \""
@@ -275,20 +384,36 @@ int gate(const std::vector<ServiceRow>& rows) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
   }
   const auto& shape =
       quick ? privstm::bench::kQuickShape : privstm::bench::kFullShape;
   const auto rows = privstm::bench::run_matrix(shape, /*seed=*/42);
+  const auto traced =
+      privstm::bench::run_traced_cell(shape, /*seed=*/43, trace_path);
   const char* path =
       quick ? "BENCH_service.quick.json" : "BENCH_service.json";
-  if (!privstm::bench::write_service_json(path, shape, rows)) {
+  if (!privstm::bench::write_service_json(path, shape, rows,
+                                          traced.metrics_json)) {
     std::cerr << "failed to write " << path << "\n";
     return 1;
   }
   std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
-  const int failures = privstm::bench::gate(rows);
+  int failures = privstm::bench::gate(rows);
+  // Heat-map gate: the traced hot-key storm serializes 800 permille of its
+  // traffic through 8 keys, so conflict aborts MUST land in the per-stripe
+  // heat map — zero means abort attribution lost its stripes.
+  if (traced.heat_conflicts == 0) {
+    std::cerr << "FAIL: traced hot-storm cell produced an empty conflict "
+                 "heat map (total_conflicts == 0)\n";
+    ++failures;
+  }
   if (failures != 0) {
     std::cerr << failures << " gate failure(s)\n";
     return 1;

@@ -527,6 +527,79 @@ MatrixResult run_matrix(bool quick) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Trace-overhead probe: the measured cell that gates TmConfig::trace's
+// disabled path. Two write-heavy 8-thread tl2fused cells — tracing off
+// (the single predictable branch per slow-path site) and tracing on (the
+// full ring/heat pipeline) — plus one kept traced instance whose metrics
+// snapshot embeds into the JSON and whose ring drains to --trace <path>.
+// ---------------------------------------------------------------------------
+
+struct TraceProbeResult {
+  ThroughputRow off;         ///< tracing disabled (workload "trace-off")
+  ThroughputRow on;          ///< tracing enabled (workload "trace-on")
+  std::string metrics_json;  ///< rt::to_json of the traced cell's registry
+  std::uint64_t trace_events = 0;   ///< events drained from the export run
+  std::uint64_t trace_dropped = 0;  ///< ring-overflow drops in that run
+};
+
+TraceProbeResult run_trace_probe(bool quick, const std::string& trace_path) {
+  MixParams p;
+  p.threads = 8;
+  p.read_pct = kWriteHeavy.read_pct;
+  p.registers = kWriteHeavy.registers;
+  p.txn_size = kWriteHeavy.txn_size;
+  p.txns_per_thread = quick ? 500 : 6000;
+  const int repeats = quick ? 2 : 4;
+
+  TraceProbeResult result;
+  // Disabled path: the default config. Warm up, then best-of-N.
+  (void)measure_mix(tm::TmKind::kTl2Fused, p, /*seed=*/3);
+  result.off = measure_mix(tm::TmKind::kTl2Fused, p, /*seed=*/7);
+  for (int rep = 1; rep < repeats; ++rep) {
+    ThroughputRow r = measure_mix(tm::TmKind::kTl2Fused, p, 7 + rep);
+    if (r.ops_per_sec > result.off.ops_per_sec) result.off = r;
+  }
+  result.off.workload = "trace-off";
+
+  // Enabled path: same cell, full lifecycle tracing + conflict heat map.
+  tm::TmConfig traced;
+  traced.trace.enabled = true;
+  result.on = measure_mix(tm::TmKind::kTl2Fused, p, /*seed=*/21, traced);
+  for (int rep = 1; rep < repeats; ++rep) {
+    ThroughputRow r = measure_mix(tm::TmKind::kTl2Fused, p, 21 + rep, traced);
+    if (r.ops_per_sec > result.on.ops_per_sec) result.on = r;
+  }
+  result.on.workload = "trace-on";
+
+  // Export run: one more traced phase on a kept instance, so the metrics
+  // snapshot and (with --trace) the Chrome trace dump describe a real
+  // workload rather than an empty TM.
+  traced.num_registers = p.registers;
+  auto tmi = tm::make_tm(tm::TmKind::kTl2Fused, traced);
+  (void)run_mix_phase(*tmi, p, /*seed=*/31);
+  rt::MetricsRegistry registry;
+  registry.add_counters(&tmi->stats());
+  registry.set_trace(tmi->trace_ptr());
+  const rt::MetricsSnapshot snap = registry.snapshot();
+  result.metrics_json = rt::to_json(snap);
+  result.trace_dropped = snap.trace_dropped;
+  if (!trace_path.empty()) {
+    const std::vector<rt::TraceEvent> events = tmi->trace().drain();
+    result.trace_events = events.size();
+    if (!rt::write_chrome_trace(trace_path, events,
+                                tmi->trace().dropped())) {
+      std::cerr << "failed to write " << trace_path << "\n";
+    } else {
+      std::cout << "wrote " << events.size() << " trace events to "
+                << trace_path << "\n";
+    }
+    std::ofstream prom(trace_path + ".prom");
+    if (prom) prom << rt::to_prometheus(snap);
+  }
+  return result;
+}
+
 /// The previous allocator's alloc-free cells, re-measured on the same box
 /// right before the PR 4 allocator landed (full-mode rounds, best-of-4):
 /// the "before" of the before/after schema 3 records. The magazine +
@@ -592,16 +665,28 @@ void report_fused_speedup(const std::vector<ThroughputRow>& rows) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
   }
 
-  const auto result = privstm::bench::run_matrix(quick);
+  auto result = privstm::bench::run_matrix(quick);
+  const auto probe = privstm::bench::run_trace_probe(quick, trace_path);
+  result.rows.push_back(probe.off);
+  result.rows.push_back(probe.on);
+  std::cout << "trace probe: off=" << probe.off.ops_per_sec
+            << " ops/s, on=" << probe.on.ops_per_sec << " ops/s ("
+            << (probe.off.ops_per_sec > 0.0
+                    ? probe.on.ops_per_sec / probe.off.ops_per_sec
+                    : 0.0)
+            << "x), dropped=" << probe.trace_dropped << "\n";
   const auto& rows = result.rows;
   // Quick (smoke) results go to a separate file so a pre-push `ci.sh` run
   // never clobbers the committed full-matrix trajectory.
@@ -611,7 +696,8 @@ int main(int argc, char** argv) {
           path, rows, privstm::tm::AllocConfig{},
           privstm::bench::kAllocFreeBaselineNote,
           privstm::bench::kAllocFreeBaseline,
-          privstm::bench::kPr6BaselineNote, privstm::bench::kPr6Baseline)) {
+          privstm::bench::kPr6BaselineNote, privstm::bench::kPr6Baseline,
+          probe.metrics_json)) {
     std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
   } else {
     std::cerr << "failed to write " << path << "\n";
@@ -648,6 +734,34 @@ int main(int argc, char** argv) {
   }
   std::cout << "clock stamps shared across probe cells: "
             << result.probe_clock_shared << "\n";
+  // Disabled-path overhead gate: with tracing off, the probe cell runs the
+  // exact workload of the matrix's write-heavy tl2fused 8-thread cell, so
+  // it must land within noise of it — a regression here means the trace
+  // plumbing started costing something with the knob off. The tolerance is
+  // deliberately loose (0.5x) because the quick cells are short and the
+  // comparison is cross-phase on a shared box.
+  double matrix_ref = 0.0;
+  for (const auto& r : rows) {
+    if (r.workload == "write-heavy" && r.backend == "tl2fused" &&
+        r.threads == 8) {
+      matrix_ref = r.ops_per_sec;
+    }
+  }
+  if (matrix_ref > 0.0 && probe.off.ops_per_sec < 0.5 * matrix_ref) {
+    std::cerr << "FAIL: tracing-disabled throughput regressed: probe "
+              << probe.off.ops_per_sec << " ops/s vs matrix reference "
+              << matrix_ref << " ops/s (tolerance 0.5x)\n";
+    return 1;
+  }
+  // Enabled-path sanity: lifecycle tracing is slow-path-only, so even the
+  // full pipeline must keep a substantial fraction of the throughput.
+  if (probe.off.ops_per_sec > 0.0 &&
+      probe.on.ops_per_sec < 0.35 * probe.off.ops_per_sec) {
+    std::cerr << "FAIL: tracing-enabled throughput collapsed: "
+              << probe.on.ops_per_sec << " ops/s vs disabled "
+              << probe.off.ops_per_sec << " ops/s (tolerance 0.35x)\n";
+    return 1;
+  }
 
   if (!quick) {
     int bench_argc = static_cast<int>(args.size());

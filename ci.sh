@@ -46,12 +46,26 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # Smoke-run the session-service macro-benchmark (writes
 # BENCH_service.quick.json). The quick run self-asserts that every
 # backend × fence-mode cell's expiry sweeps retired sessions, that every
-# op class reported monotone percentiles, and that no payload read was
-# inconsistent — then the grep double-checks the percentile telemetry
-# actually reached the JSON (a schema refactor that drops the field must
-# fail here, not in the next PR's analysis).
-./build/bench_service --quick
+# op class reported monotone percentiles, that no payload read was
+# inconsistent, and that the traced cell's conflict heat map is non-empty
+# — then the grep double-checks the percentile telemetry actually reached
+# the JSON (a schema refactor that drops the field must fail here, not in
+# the next PR's analysis).
+./build/bench_service --quick --trace TRACE_service.quick.json
 grep -q '"p999"' BENCH_service.quick.json
+
+# Trace/metrics smoke gate (DESIGN.md §13), over the artifacts the traced
+# run just wrote: the Perfetto JSON must carry a privatization-fence span
+# and a sweep-phase span, and the Prometheus exposition the canonical
+# commit counter — a refactor that silently stops emitting any of them
+# must fail here. The throughput side is covered by bench_tm_throughput's
+# own self-gates above (tracing-disabled regression vs the matrix
+# reference, tracing-enabled collapse vs the disabled cell); the last grep
+# checks the embedded metrics snapshot reached the schema-6 perf log.
+grep -q '"name": "fence"' TRACE_service.quick.json
+grep -q '"name": "sweep_reclaim"' TRACE_service.quick.json
+grep -q '^privstm_tx_commits_total' TRACE_service.quick.json.prom
+grep -q '"metrics"' BENCH_tm_throughput.quick.json
 
 # ASan+UBSan gate over the transactional-heap paths: alloc/free, deferred
 # reclamation, the ADTs that allocate through handles, the TM

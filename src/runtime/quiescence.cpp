@@ -107,6 +107,12 @@ bool QuiescenceManager::try_start_scan() noexcept {
     scan_waiting_[t] = waiting ? 1 : 0;
     if (waiting) ++scan_nwaiting_;
   }
+  if (trace_ != nullptr) {
+    // Begin the span while still holding scan_lock_, so it is ordered
+    // before the completing poller's End (which also holds the lock).
+    trace_->emit_shared(TraceEventKind::kGraceScanBegin, 0,
+                        static_cast<std::uint32_t>(scan_nwaiting_));
+  }
   scan_lock_.unlock();
   return true;
 }
@@ -134,6 +140,10 @@ bool QuiescenceManager::poll_scan() noexcept {
   const bool finished = scan_nwaiting_ == 0;
   if (finished) {
     seq_->fetch_add(1, std::memory_order_acq_rel);  // odd → even
+    if (trace_ != nullptr) {
+      trace_->emit_shared(TraceEventKind::kGraceScanEnd, 0,
+                          static_cast<std::uint32_t>(scan_nslots_));
+    }
   }
   scan_lock_.unlock();
   return finished;

@@ -57,6 +57,7 @@
 #include "runtime/spinlock.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_registry.hpp"
+#include "runtime/trace.hpp"
 
 namespace privstm::rt {
 
@@ -133,6 +134,12 @@ class QuiescenceManager {
     stats_.add(stat_slot, c, n);
   }
 
+  /// Arm grace-period-scan trace spans (null = disabled, the default).
+  /// Scan events go to the trace domain's shared slot: the elected scanner
+  /// and the completing poller may be different threads, so the span must
+  /// live on one stable pseudo-thread stream.
+  void set_trace(TraceDomain* trace) noexcept { trace_ = trace; }
+
   /// Epoch-reclamation hooks (the tm/alloc limbo list). A ticket's
   /// completion guarantees every transaction active at issue time has
   /// finished — the same grace-period engine as fence_async, but *not* a
@@ -178,6 +185,7 @@ class QuiescenceManager {
 
   ThreadRegistry registry_;
   StatsDomain& stats_;
+  TraceDomain* trace_ = nullptr;  ///< null when tracing is disabled
   const FencePolicy policy_;
   const FenceMode mode_;
 

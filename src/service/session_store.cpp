@@ -187,6 +187,17 @@ SessionStore::SweepStats SessionStore::sweep_expired(
     tm::TmThread& session, std::uint64_t now, SweepMode mode,
     rt::LatencyHistogram* per_bucket_ns) {
   SweepStats stats;
+  // Sweep-phase spans land on the sweeper's own session slot (this thread
+  // is the slot's sole producer — the SPSC contract); a32 = bucket index,
+  // so a trace viewer can line up the freeze/fence/reclaim/republish
+  // pipeline per bucket.
+  rt::TraceDomain* const trace = tm_->trace_ptr();
+  const std::size_t tslot = session.stat_slot();
+  const auto emit = [&](rt::TraceEventKind kind, std::size_t bucket) {
+    if (trace != nullptr) {
+      trace->emit(tslot, kind, 0, static_cast<std::uint32_t>(bucket));
+    }
+  };
   // Deferred pipeline state (kAsyncFence): while bucket b's grace period
   // elapses under its ticket, bucket b-1 — whose ticket has had a whole
   // freeze + issue to complete — is scanned. Exactly two buckets are
@@ -200,17 +211,25 @@ SessionStore::SweepStats SessionStore::sweep_expired(
     bool valid = false;
   } pending;
   const auto finish = [&](std::size_t bucket, std::uint64_t start) {
+    emit(rt::TraceEventKind::kSweepReclaimBegin, bucket);
     scan_bucket(session, bucket, now, stats);
+    emit(rt::TraceEventKind::kSweepReclaimEnd, bucket);
+    emit(rt::TraceEventKind::kSweepRepublishBegin, bucket);
     buckets_[bucket]->unfreeze(session);
+    emit(rt::TraceEventKind::kSweepRepublishEnd, bucket);
     ++stats.buckets;
     if (per_bucket_ns != nullptr) per_bucket_ns->record(now_ns() - start);
   };
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     const std::uint64_t start = now_ns();
+    emit(rt::TraceEventKind::kSweepFreezeBegin, b);
     buckets_[b]->freeze(session, next_freeze_token());
+    emit(rt::TraceEventKind::kSweepFreezeEnd, b);
     switch (mode) {
       case SweepMode::kSyncFence:
+        emit(rt::TraceEventKind::kSweepFenceBegin, b);
         session.fence();
+        emit(rt::TraceEventKind::kSweepFenceEnd, b);
         finish(b, start);
         break;
       case SweepMode::kUnfencedUnsafe:
@@ -222,7 +241,12 @@ SessionStore::SweepStats SessionStore::sweep_expired(
       case SweepMode::kAsyncFence: {
         const rt::FenceTicket ticket = session.fence_async();
         if (pending.valid) {
+          // The span covers only the residual wait — the pipelined part
+          // of the grace period (overlapped with this bucket's freeze)
+          // is exactly what the viewer should see missing from it.
+          emit(rt::TraceEventKind::kSweepFenceBegin, pending.bucket);
           session.fence_wait(pending.ticket);
+          emit(rt::TraceEventKind::kSweepFenceEnd, pending.bucket);
           finish(pending.bucket, pending.start);
         }
         pending = {b, ticket, start, true};
@@ -231,7 +255,9 @@ SessionStore::SweepStats SessionStore::sweep_expired(
     }
   }
   if (pending.valid) {
+    emit(rt::TraceEventKind::kSweepFenceBegin, pending.bucket);
     session.fence_wait(pending.ticket);
+    emit(rt::TraceEventKind::kSweepFenceEnd, pending.bucket);
     finish(pending.bucket, pending.start);
   }
   return stats;

@@ -130,6 +130,10 @@ std::size_t TxAllocator::take_from_shards(std::size_t home,
       // Slot = home shard id, written only under this shard's lock: the
       // per-slot single-writer discipline StatsDomain requires.
       qm_.count(home, rt::Counter::kAllocSharedRefill);
+      if (trace_ != nullptr) {
+        trace_->emit_shared(rt::TraceEventKind::kAllocRefill, 0,
+                            static_cast<std::uint32_t>(home));
+      }
     }
     while (got < want) {
       const RegId b = h.bins.take(storage, cls);
@@ -172,6 +176,10 @@ std::size_t TxAllocator::take_from_shards(std::size_t home,
     if (stolen != 0) {
       s.steals += stolen;
       qm_.count(victim, rt::Counter::kAllocShardSteal, stolen);
+      if (trace_ != nullptr) {
+        trace_->emit_shared(rt::TraceEventKind::kAllocSteal, 0,
+                            static_cast<std::uint32_t>(victim), stolen);
+      }
     }
     publish_mirrors(s);
   }
@@ -204,6 +212,10 @@ RegId TxAllocator::alloc_slow(ThreadCache* cache, std::size_t cls,
     AllocShard& h = shards_[home];
     std::lock_guard<rt::SpinLock> g(h.lock);
     qm_.count(home, rt::Counter::kAllocSharedRefill);
+    if (trace_ != nullptr) {
+      trace_->emit_shared(rt::TraceEventKind::kAllocRefill, 0,
+                          static_cast<std::uint32_t>(home));
+    }
   }
   // Tier 3: the central lock — seal + retire housekeeping, extent map,
   // bounded compaction, bump pointer.
@@ -266,8 +278,17 @@ void TxAllocator::put_shared_locked(RegId base, std::uint32_t storage,
 
 std::size_t TxAllocator::retire_limbo_locked() {
   retired_.clear();
+  const std::uint64_t batches_before = limbo_.batches_retired();
   const std::size_t n = limbo_.retire(retired_);
   if (retired_.empty()) return n;
+  if (trace_ != nullptr) {
+    // One instant per retire pass (central lock held): a32 = batches,
+    // a64 = blocks handed back to the shard bins / extent map.
+    trace_->emit_shared(
+        rt::TraceEventKind::kLimboRetire, 0,
+        static_cast<std::uint32_t>(limbo_.batches_retired() - batches_before),
+        static_cast<std::uint64_t>(n));
+  }
   // Pass 1 (no shard locks): restore cells, route huge blocks straight to
   // the extent map, and note which shards the binned blocks belong to.
   std::uint64_t shard_mask = 0;
@@ -316,6 +337,10 @@ std::size_t TxAllocator::compact_step_locked() {
   if (spilled != 0) {
     ++compactions_;
     qm_.count(0, rt::Counter::kAllocCompaction);
+    if (trace_ != nullptr) {
+      trace_->emit_shared(rt::TraceEventKind::kAllocCompaction, 0, 0,
+                          static_cast<std::uint64_t>(spilled));
+    }
   }
   return spilled;
 }

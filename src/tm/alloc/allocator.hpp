@@ -145,6 +145,12 @@ class TxAllocator {
     fault_ = fault;
   }
 
+  /// Arm (or disarm, with null) allocator trace instants — refills,
+  /// steals, compaction steps, limbo retirement. Events go to the trace
+  /// domain's shared slot: they fire under shard/central locks on behalf
+  /// of whichever thread hit the slow path, not a stable session stream.
+  void set_trace(rt::TraceDomain* trace) noexcept { trace_ = trace; }
+
   const AllocConfig& config() const noexcept { return config_; }
 
   /// Shards this instance was built with (a power of two).
@@ -275,6 +281,7 @@ class TxAllocator {
 
   rt::QuiescenceManager& qm_;
   rt::FaultInjector* fault_ = nullptr;  ///< armed shared-refill injection
+  rt::TraceDomain* trace_ = nullptr;    ///< null when tracing is disabled
   const std::size_t static_prefix_;
   const std::size_t max_locations_;
   std::atomic<Value>* const cells_;

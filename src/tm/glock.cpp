@@ -39,6 +39,7 @@ bool GlobalLockThread::tx_begin() {
   tm_.mutex_.lock();
   wset_.clear();
   rec_.response(ActionKind::kOk);
+  trace_tx_begin();
   return true;
 }
 
@@ -75,6 +76,7 @@ TxResult GlobalLockThread::tx_commit() {
     wset_.clear();
     tm_.mutex_.unlock();
     rec_.response(ActionKind::kAborted);
+    note_abort(rt::AbortReason::kFaultInjected);
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxAbort);
     registry_.tx_exit(slot_.slot());
@@ -95,6 +97,7 @@ TxResult GlobalLockThread::tx_commit() {
   tm_.mutex_.unlock();
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
+  trace_tx_commit();
   registry_.tx_exit(slot_.slot());
   return TxResult::kCommitted;
 }
@@ -104,6 +107,7 @@ void GlobalLockThread::tx_abort() {
   wset_.clear();  // discard buffered writes — nothing reached memory
   tm_.mutex_.unlock();
   rec_.response(ActionKind::kAborted);
+  note_abort(rt::AbortReason::kCmInduced);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxAbort);
   registry_.tx_exit(slot_.slot());
 }

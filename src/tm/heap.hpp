@@ -121,6 +121,12 @@ class TxHeap {
     allocator_.set_fault_injector(fault);
   }
 
+  /// Arm allocator/limbo trace instants (null disarms); forwarded from the
+  /// owning TM at construction, same shape as set_fault_injector.
+  void set_trace(rt::TraceDomain* trace) noexcept {
+    allocator_.set_trace(trace);
+  }
+
   std::size_t static_prefix() const noexcept { return static_prefix_; }
 
   // Allocator observability (tests and bench reports) — see allocator.hpp.

@@ -37,6 +37,7 @@ bool NOrecThread::tx_begin() {
   rset_.clear();
   wset_.clear();
   rec_.response(ActionKind::kOk);
+  trace_tx_begin();
   return true;
 }
 
@@ -72,6 +73,7 @@ void NOrecThread::abort_in_flight() {
 
 void NOrecThread::tx_abort() {
   rec_.request(ActionKind::kTxAbort);
+  note_abort(rt::AbortReason::kCmInduced);
   abort_in_flight();  // buffered writes are simply dropped
 }
 
@@ -92,6 +94,9 @@ bool NOrecThread::tx_read(RegId reg, Value& out) {
       fault_->inject_abort(stat_slot(), rt::FaultSite::kReadValidation)) {
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxReadValidationFail);
+    // Injected, not a genuine value mismatch — the attribution must say so
+    // (the value snapshot may in fact still be perfectly valid).
+    note_abort(rt::AbortReason::kFaultInjected);
     abort_in_flight();
     return false;
   }
@@ -101,6 +106,8 @@ bool NOrecThread::tx_read(RegId reg, Value& out) {
     if (!revalidate()) {
       tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                       Counter::kTxReadValidationFail);
+      // Value-based validation has no stripe to blame: kNoStripe.
+      note_abort(rt::AbortReason::kReadValidation);
       abort_in_flight();
       return false;
     }
@@ -128,6 +135,7 @@ TxResult NOrecThread::tx_commit() {
   // is contended — txcommit answered by aborted is a legal history shape.
   if (fault_ != nullptr &&
       fault_->inject_abort(stat_slot(), rt::FaultSite::kCommit)) {
+    note_abort(rt::AbortReason::kFaultInjected);
     abort_in_flight();
     return TxResult::kAborted;
   }
@@ -137,6 +145,7 @@ TxResult NOrecThread::tx_commit() {
     rec_.response(ActionKind::kCommitted);
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxCommit);
+    trace_tx_commit();
     registry_.tx_exit(slot_.slot());
     return TxResult::kCommitted;
   }
@@ -172,6 +181,7 @@ TxResult NOrecThread::tx_commit() {
     if (!revalidate()) {
       tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                       Counter::kTxReadValidationFail);
+      note_abort(rt::AbortReason::kReadValidation);
       abort_in_flight();
       return TxResult::kAborted;
     }
@@ -193,6 +203,7 @@ TxResult NOrecThread::tx_commit() {
 
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
+  trace_tx_commit();
   registry_.tx_exit(slot_.slot());
   return TxResult::kCommitted;
 }

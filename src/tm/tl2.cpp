@@ -87,6 +87,7 @@ bool Tl2Thread::tx_begin() {
   rset_.clear();
   wset_.clear();
   rec_.response(ActionKind::kOk);
+  trace_tx_begin();
   return true;
 }
 
@@ -120,6 +121,7 @@ void Tl2Thread::tx_abort() {
   // No stripe is ever locked outside tx_commit, so a user abort only has
   // to drop the buffered sets.
   rec_.request(ActionKind::kTxAbort);
+  note_abort(rt::AbortReason::kCmInduced);
   abort_in_flight();
 }
 
@@ -160,6 +162,9 @@ bool Tl2Thread::tx_read(RegId reg, Value& out) {
   if (invalid && !tm_.config().unsafe_skip_validation) {
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxReadValidationFail);
+    note_abort(injected ? rt::AbortReason::kFaultInjected
+                        : rt::AbortReason::kReadValidation,
+               static_cast<std::uint32_t>(s));
     abort_in_flight();
     return false;
   }
@@ -196,6 +201,7 @@ TxResult Tl2Thread::tx_commit() {
   // accepts (txcommit answered by aborted is a legal history).
   if (fault_ != nullptr &&
       fault_->inject_abort(stat_slot(), rt::FaultSite::kCommit)) {
+    note_abort(rt::AbortReason::kFaultInjected);
     abort_in_flight();
     auto_fence(false);
     return TxResult::kAborted;
@@ -223,6 +229,8 @@ TxResult Tl2Thread::tx_commit() {
   // (several locations may hash together).
   locked_.clear();
   bool lock_failed = false;
+  std::uint32_t fail_stripe = rt::kNoStripe;
+  bool fail_injected = false;
   for (const auto& [reg, value] : writeback_) {
     (void)value;
     const std::size_t s =
@@ -243,10 +251,13 @@ TxResult Tl2Thread::tx_commit() {
     if (fault_ != nullptr &&
         fault_->inject_cas_loss(stat_slot(), rt::FaultSite::kLockAcquire)) {
       lock_failed = true;
+      fail_stripe = static_cast<std::uint32_t>(s);
+      fail_injected = true;
       break;
     }
     if (!vlock.try_lock(expected, token_)) {
       lock_failed = true;
+      fail_stripe = static_cast<std::uint32_t>(s);
       break;
     }
     locked_.push_back({s, expected});
@@ -255,6 +266,9 @@ TxResult Tl2Thread::tx_commit() {
     release_stripes();
     tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                     Counter::kTxLockFail);
+    note_abort(fail_injected ? rt::AbortReason::kFaultInjected
+                             : rt::AbortReason::kLockFail,
+               fail_stripe);
     abort_in_flight();
     auto_fence(false);
     return TxResult::kAborted;
@@ -312,6 +326,8 @@ TxResult Tl2Thread::tx_commit() {
       release_stripes();
       tm_.stats().add(static_cast<std::size_t>(slot_.slot()),
                       Counter::kTxReadValidationFail);
+      note_abort(rt::AbortReason::kReadValidation,
+                 static_cast<std::uint32_t>(s));
       abort_in_flight();
       auto_fence(false);
       return TxResult::kAborted;
@@ -351,6 +367,7 @@ TxResult Tl2Thread::tx_commit() {
 
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(static_cast<std::size_t>(slot_.slot()), Counter::kTxCommit);
+  trace_tx_commit();
   if (tm_.config().collect_timestamps) {
     tm_.log_stamp({thread_, txn_ordinal_, rver_, wver_, wver_minted_,
                    /*committed=*/true});

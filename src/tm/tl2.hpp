@@ -139,6 +139,13 @@ class Tl2 final : public TransactionalMemory {
   const char* name() const noexcept override { return "tl2"; }
   void reset() override;
 
+  /// The stripe `reg` validates and locks against — the index abort
+  /// attribution (TmThread::last_abort) and the conflict heat map report.
+  std::uint32_t stripe_of(RegId reg) const noexcept override {
+    return static_cast<std::uint32_t>(
+        stripes_.index_of(static_cast<std::uint64_t>(reg)));
+  }
+
   /// One entry per finished transaction when config.collect_timestamps —
   /// see tm/txn_stamp.hpp (the struct is shared with Tl2Fused).
   using TxnStamp = tm::TxnStamp;

@@ -120,6 +120,7 @@ bool Tl2FusedThread::tx_begin() {
   wset_.clear();
   wfilter_ = 0;
   rec_.response(ActionKind::kOk);
+  trace_tx_begin();
   return true;
 }
 
@@ -148,6 +149,7 @@ void Tl2FusedThread::tx_abort() {
   // No stripe is ever locked outside tx_commit; the epoch-tagged sets are
   // invalidated by the next tx_begin's tag bump — nothing else to undo.
   rec_.request(ActionKind::kTxAbort);
+  note_abort(rt::AbortReason::kCmInduced);
   abort_in_flight();
 }
 
@@ -200,6 +202,9 @@ bool Tl2FusedThread::tx_read(RegId reg, Value& out) {
                        rver_ < VersionedLock::version_of(w1) || injected;
   if (invalid && !unsafe_skip_validation_) {
     tm_.stats().add(stat_slot_, Counter::kTxReadValidationFail);
+    note_abort(injected ? rt::AbortReason::kFaultInjected
+                        : rt::AbortReason::kReadValidation,
+               static_cast<std::uint32_t>(s));
     abort_in_flight();
     return false;
   }
@@ -249,6 +254,7 @@ TxResult Tl2FusedThread::tx_commit() {
   // produces on its own.
   if (fault_ != nullptr &&
       fault_->inject_abort(stat_slot_, rt::FaultSite::kCommit)) {
+    note_abort(rt::AbortReason::kFaultInjected);
     abort_in_flight();
     auto_fence(false);
     return TxResult::kAborted;
@@ -261,6 +267,7 @@ TxResult Tl2FusedThread::tx_commit() {
     rec_.response(ActionKind::kCommitted);
     tm_.stats().add(stat_slot_, Counter::kTxCommit);
     tm_.stats().add(stat_slot_, Counter::kTxReadOnlyCommit);
+    trace_tx_commit();
     if (collect_timestamps_) {
       stamps_.push_back({thread_, txn_ordinal_, rver_, 0,
                          /*has_wver=*/false, /*committed=*/true});
@@ -280,6 +287,8 @@ TxResult Tl2FusedThread::tx_commit() {
   // abort-time restore and self-lock validation.
   locked_.clear();
   bool lock_failed = false;
+  std::uint32_t fail_stripe = rt::kNoStripe;
+  bool fail_injected = false;
   for (const WriteEntry& entry : wset_) {
     const auto s = static_cast<std::size_t>(entry.stripe);
     auto& vlock = *stripe_base_[s];
@@ -289,16 +298,20 @@ TxResult Tl2FusedThread::tx_commit() {
     if (fault_ != nullptr &&
         fault_->inject_cas_loss(stat_slot_, rt::FaultSite::kLockAcquire)) {
       lock_failed = true;
+      fail_stripe = entry.stripe;
+      fail_injected = true;
       break;
     }
     VersionedLock::Word expected = vlock.load(std::memory_order_relaxed);
     if (VersionedLock::is_locked(expected)) {
       if (VersionedLock::owner_of(expected) == token_) continue;  // ours
       lock_failed = true;
+      fail_stripe = entry.stripe;
       break;
     }
     if (!vlock.try_lock(expected, token_)) {
       lock_failed = true;
+      fail_stripe = entry.stripe;
       break;
     }
     locked_.push_back({s, expected});
@@ -306,6 +319,9 @@ TxResult Tl2FusedThread::tx_commit() {
   if (lock_failed) {
     release_stripes();
     tm_.stats().add(stat_slot_, Counter::kTxLockFail);
+    note_abort(fail_injected ? rt::AbortReason::kFaultInjected
+                             : rt::AbortReason::kLockFail,
+               fail_stripe);
     abort_in_flight();
     auto_fence(false);
     return TxResult::kAborted;
@@ -362,6 +378,7 @@ TxResult Tl2FusedThread::tx_commit() {
     if (!valid && !unsafe_skip_validation_) {
       release_stripes();
       tm_.stats().add(stat_slot_, Counter::kTxReadValidationFail);
+      note_abort(rt::AbortReason::kReadValidation, s);
       abort_in_flight();
       auto_fence(false);
       return TxResult::kAborted;
@@ -391,6 +408,7 @@ TxResult Tl2FusedThread::tx_commit() {
 
   rec_.response(ActionKind::kCommitted);
   tm_.stats().add(stat_slot_, Counter::kTxCommit);
+  trace_tx_commit();
   if (collect_timestamps_) {
     stamps_.push_back({thread_, txn_ordinal_, rver_, wver_, wver_minted_,
                        /*committed=*/true});

@@ -140,6 +140,14 @@ class Tl2Fused final : public TransactionalMemory {
   const char* name() const noexcept override { return "tl2fused"; }
   void reset() override;
 
+  /// The stripe `reg` validates and locks against (same mapping the
+  /// sessions' cached Geometry uses) — the index abort attribution
+  /// (TmThread::last_abort) and the conflict heat map report.
+  std::uint32_t stripe_of(RegId reg) const noexcept override {
+    return static_cast<std::uint32_t>(
+        stripes_.index_of(static_cast<std::uint64_t>(reg)));
+  }
+
   /// Merged view of the per-thread stamp buffers plus stamps of already
   /// destroyed sessions. Requires all sessions quiescent (tests call it
   /// after joining their workers).

@@ -37,6 +37,7 @@
 #include "runtime/serial_gate.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/thread_registry.hpp"
+#include "runtime/trace.hpp"
 #include "tm/heap.hpp"
 #include "tm/txn_stamp.hpp"
 
@@ -103,6 +104,12 @@ struct TmConfig {
   /// pointer test). Conformance suites use this to prove injected-fault
   /// histories stay opaque/DRF (DESIGN.md §10).
   rt::FaultConfig fault;
+  /// Transaction-lifecycle tracing (runtime/trace.hpp, DESIGN.md §13):
+  /// per-thread SPSC event rings + per-stripe conflict heat map, dumped as
+  /// Chrome trace-event JSON. Default: off — every emit site then holds a
+  /// null TraceDomain* and pays a single predictable branch (the overhead
+  /// cell in bench_tm_throughput gates this staying true).
+  rt::TraceConfig trace;
 
   /// Smallest/largest auto-sized stripe table (auto_size_stripes below).
   static constexpr std::size_t kMinAutoStripes = 64;
@@ -173,17 +180,20 @@ class FenceSession {
   /// synchronous fences interleave with the thread's other actions);
   /// `recorder` is kept to lazily open the async shadow stream.
   /// `fault` may be null (injection disabled); armed, fence entries become
-  /// a bounded-delay injection site (FaultSite::kFence).
+  /// a bounded-delay injection site (FaultSite::kFence). `trace` may be
+  /// null (tracing disabled); armed, every synchronous fence becomes a
+  /// "fence" span on the session's trace stream.
   FenceSession(rt::QuiescenceManager& qm, hist::Recorder* recorder,
                hist::Recorder::Handle& rec, ThreadId thread,
-               std::size_t stat_slot,
-               rt::FaultInjector* fault = nullptr) noexcept
+               std::size_t stat_slot, rt::FaultInjector* fault = nullptr,
+               rt::TraceDomain* trace = nullptr) noexcept
       : qm_(qm),
         recorder_(recorder),
         rec_(rec),
         thread_(thread),
         stat_slot_(stat_slot),
         fault_(fault),
+        trace_(trace),
         policy_(qm.policy()) {}
 
   FenceSession(const FenceSession&) = delete;
@@ -252,10 +262,16 @@ class FenceSession {
  private:
   void do_fence() {
     rec_.request(hist::ActionKind::kFenceBegin);
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot_, rt::TraceEventKind::kFenceBegin);
+    }
     if (fault_ != nullptr) {
       fault_->maybe_delay(stat_slot_, rt::FaultSite::kFence);
     }
     qm_.fence(stat_slot_);
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot_, rt::TraceEventKind::kFenceEnd);
+    }
     rec_.response(hist::ActionKind::kFenceEnd);
   }
 
@@ -303,6 +319,7 @@ class FenceSession {
   ThreadId thread_;
   std::size_t stat_slot_;
   rt::FaultInjector* fault_;
+  rt::TraceDomain* trace_;
   const FencePolicy policy_;
   std::array<rt::FenceTicket, kMaxOutstandingFences> outstanding_{};
 };
@@ -389,12 +406,44 @@ class TmThread {
   /// reflects the session's whole abort history.
   rt::ContentionManager& contention() noexcept { return cm_; }
 
+  /// Reason and faulting stripe of this session's most recent abort.
+  /// Maintained unconditionally — the abort slow path affords two plain
+  /// stores — so attribution is inspectable with tracing off.
+  struct AbortInfo {
+    rt::AbortReason reason = rt::AbortReason::kNone;
+    std::uint32_t stripe = rt::kNoStripe;
+  };
+  AbortInfo last_abort() const noexcept { return last_abort_; }
+
+  /// This session's registry slot: its stats lane and the tid its trace
+  /// events carry.
+  std::size_t stat_slot() const noexcept {
+    return static_cast<std::size_t>(slot_.slot());
+  }
+
   // run_tx_retry internals — public so the free-function retry helpers can
   // reach them; not part of the user-facing session API.
 
   /// Count one contention-manager pause (Counter::kTxRetryBackoff).
   void note_retry_backoff() noexcept {
     stats_.add(stat_slot(), rt::Counter::kTxRetryBackoff);
+  }
+
+  /// Contention-manager wait between retry attempts, bracketed as a
+  /// "cm_backoff" trace span (spin count on the End event); counts
+  /// kTxRetryBackoff when a pause was actually taken. Returns the spins.
+  std::uint64_t cm_wait(rt::CmPolicy policy) noexcept {
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kCmBackoffBegin);
+    }
+    const std::uint64_t spins = cm_.on_abort(policy);
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kCmBackoffEnd, 0,
+                   static_cast<std::uint32_t>(
+                       std::min<std::uint64_t>(spins, 0xFFFFFFFFu)));
+    }
+    if (spins != 0) note_retry_backoff();
+    return spins;
   }
 
   /// Escalate this session into the irrevocable serial mode: close the
@@ -404,15 +453,23 @@ class TmThread {
   /// Counter::kTxEscalated. Must be called between transactions; pair with
   /// escalate_exit().
   void escalate_enter() noexcept {
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kEscalateBegin);
+    }
     gate_.enter(slot_.slot());
     if (fault_ != nullptr) fault_->suspend(stat_slot());
     stats_.add(stat_slot(), rt::Counter::kTxEscalated);
+    escalated_ = true;
   }
 
   /// Demote back to optimistic execution: reopen the gate, resume faults.
   void escalate_exit() noexcept {
+    escalated_ = false;
     if (fault_ != nullptr) fault_->resume(stat_slot());
     gate_.exit();
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kEscalateEnd);
+    }
   }
 
  protected:
@@ -425,8 +482,36 @@ class TmThread {
   /// paper's commit/abort handlers end.
   void auto_fence(bool wrote) { fencer_.auto_fence(wrote); }
 
-  std::size_t stat_slot() const noexcept {
-    return static_cast<std::size_t>(slot_.slot());
+  /// Record an abort's attribution (AbortInfo latch + kTxAbort trace event
+  /// + conflict heat map). Backends call this immediately before their
+  /// abort bookkeeping with the *cause*: kFaultInjected when the injector
+  /// fired (taking priority over whatever genuine check it fired inside),
+  /// kReadValidation / kLockFail with the faulting stripe where one
+  /// exists, kCmInduced for explicit tx_abort(). Aborts of an escalated
+  /// (irrevocable serial-mode) attempt are re-attributed to kEscalated —
+  /// those are body-requested by construction, and the escalation is the
+  /// fact the telemetry consumer needs.
+  void note_abort(rt::AbortReason reason,
+                  std::uint32_t stripe = rt::kNoStripe) noexcept {
+    if (escalated_) reason = rt::AbortReason::kEscalated;
+    last_abort_ = {reason, stripe};
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kTxAbort,
+                   static_cast<std::uint8_t>(reason), stripe);
+      trace_->note_conflict(stripe);
+    }
+  }
+
+  /// Lifecycle trace points; single null test each when tracing is off.
+  void trace_tx_begin() noexcept {
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kTxBegin);
+    }
+  }
+  void trace_tx_commit() noexcept {
+    if (trace_ != nullptr) {
+      trace_->emit(stat_slot(), rt::TraceEventKind::kTxCommit);
+    }
   }
 
   /// First thing in every backend's tx_begin: block while another
@@ -443,9 +528,12 @@ class TmThread {
   rt::StatsDomain& stats_;        ///< the TM's shared counter domain
   rt::SerialGate& gate_;          ///< the TM's irrevocable serial gate
   rt::FaultInjector* fault_;      ///< null when injection is disabled
+  rt::TraceDomain* trace_;        ///< null when tracing is disabled
   FenceSession fencer_;
   TxHeap& heap_;  ///< the TM's shared heap (recorded tm_alloc/tm_free)
   rt::ContentionManager cm_;
+  AbortInfo last_abort_{};
+  bool escalated_ = false;  ///< inside an escalate_enter/exit tenure
 };
 
 /// A TM instance: shared state plus a session factory.
@@ -493,6 +581,24 @@ class TransactionalMemory {
   const TmConfig& config() const noexcept { return config_; }
   rt::StatsDomain& stats() noexcept { return stats_; }
 
+  /// The instance's trace domain (inert unless TmConfig::trace enables
+  /// it); trace_ptr() is the emit-site form — null when disabled, so every
+  /// lifecycle event site costs one pointer test (same shape as
+  /// fault_ptr()).
+  rt::TraceDomain& trace() noexcept { return trace_; }
+  rt::TraceDomain* trace_ptr() noexcept {
+    return trace_.enabled() ? &trace_ : nullptr;
+  }
+
+  /// Stripe index a TL2-family backend validates/locks `reg` against, or
+  /// rt::kNoStripe for backends with no stripes (norec's single seqlock,
+  /// glock's mutex). Lets attribution consumers map a location onto the
+  /// conflict heat map without reaching into backend internals.
+  virtual std::uint32_t stripe_of(RegId reg) const noexcept {
+    (void)reg;
+    return rt::kNoStripe;
+  }
+
   /// The instance's fault injector (disabled unless TmConfig::fault arms
   /// it); fault_ptr() is the hot-path form — null when disabled so every
   /// injection site costs one pointer test.
@@ -516,6 +622,7 @@ class TransactionalMemory {
  protected:
   explicit TransactionalMemory(TmConfig config)
       : config_(config),
+        trace_(config_.trace, config_.lock_stripes),
         fault_(config_.fault, stats_),
         quiescence_(stats_, config_.fence_policy, config_.fence_mode),
         serial_gate_(quiescence_.registry()),
@@ -523,6 +630,10 @@ class TransactionalMemory {
     // The allocator's shared-refill path is an injection site too
     // (FaultSite::kAllocRefill); hand it the injector only when armed.
     heap_.set_fault_injector(fault_ptr());
+    // Trace emit sites below the TM layer get the same null-when-disabled
+    // pointer: grace-period scans and allocator/limbo slow paths.
+    quiescence_.set_trace(trace_ptr());
+    heap_.set_trace(trace_ptr());
   }
 
   /// Shared part of reset(): stats, the fault injector's streams, and the
@@ -531,12 +642,14 @@ class TransactionalMemory {
   /// quiescence required).
   void reset_base() {
     stats_.reset();
+    trace_.reset();
     fault_.reset();
     heap_.reset();
   }
 
   TmConfig config_;
   rt::StatsDomain stats_;
+  rt::TraceDomain trace_;
   rt::FaultInjector fault_;
   rt::QuiescenceManager quiescence_;
   rt::SerialGate serial_gate_;
@@ -553,8 +666,9 @@ inline TmThread::TmThread(TransactionalMemory& tm, ThreadId thread,
       stats_(tm.stats()),
       gate_(tm.serial_gate()),
       fault_(tm.fault_ptr()),
+      trace_(tm.trace_ptr()),
       fencer_(tm.quiescence(), recorder, rec_, thread,
-              static_cast<std::size_t>(slot_.slot()), fault_),
+              static_cast<std::size_t>(slot_.slot()), fault_, trace_),
       heap_(tm.heap()),
       // Deterministic per-slot backoff stream: sessions on the same slot
       // across runs draw identical pause sequences.
@@ -675,7 +789,7 @@ TxRetryResult run_tx_retry(TmThread& thread, F&& body,
       thread.escalate_enter();
       continue;
     }
-    if (cm.on_abort(options.policy) != 0) thread.note_retry_backoff();
+    thread.cm_wait(options.policy);
   }
   if (serial) thread.escalate_exit();
   return result;

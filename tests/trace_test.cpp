@@ -1,0 +1,311 @@
+// Transaction-lifecycle tracing tests (DESIGN.md §13): ring overflow
+// drop-and-count semantics, per-backend abort attribution (crafted
+// conflicts land on the expected stripe; injected faults carry the
+// injected tag, never a spurious validation reason), and the Chrome
+// trace-event export re-parsed for well-formedness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+#include "tm/glock.hpp"
+#include "tm/norec.hpp"
+#include "tm/tl2.hpp"
+#include "tm/tl2_fused.hpp"
+
+namespace privstm {
+namespace {
+
+using rt::AbortReason;
+using rt::TraceConfig;
+using rt::TraceDomain;
+using rt::TraceEventKind;
+using tm::TmConfig;
+using tm::TxResult;
+
+TmConfig traced_config(std::size_t regs = 64) {
+  TmConfig c;
+  c.num_registers = regs;
+  c.trace.enabled = true;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Ring semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Trace, RingOverflowDropsAndCounts) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 8;  // already a power of two; stays 8
+  cfg.heat_stripes = 16;
+  TraceDomain trace(cfg);
+  ASSERT_EQ(trace.ring_capacity(), 8u);
+
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    trace.emit(0, TraceEventKind::kTxBegin, 0, i);
+  }
+  EXPECT_EQ(trace.buffered(), 8u);
+  EXPECT_EQ(trace.dropped(), 12u);
+
+  const std::vector<rt::TraceEvent> events = trace.drain();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are the *first* eight (drop-newest, never overwrite),
+  // in emission order.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(events[i].a32, i);
+    EXPECT_EQ(events[i].tid, 0u);
+  }
+  EXPECT_EQ(trace.buffered(), 0u);
+
+  // The ring is reusable after a drain.
+  trace.emit(0, TraceEventKind::kTxCommit);
+  EXPECT_EQ(trace.drain().size(), 1u);
+}
+
+TEST(Trace, DisabledDomainIsInert) {
+  TraceDomain trace(TraceConfig{});  // enabled = false
+  trace.emit(0, TraceEventKind::kTxBegin);
+  trace.emit_shared(TraceEventKind::kGraceScanBegin);
+  trace.note_conflict(3);
+  EXPECT_FALSE(trace.enabled());
+  EXPECT_TRUE(trace.drain().empty());
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.total_conflicts(), 0u);
+  EXPECT_TRUE(trace.top_n().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Abort attribution. The box may have one core, so conflicts are crafted
+// with two sessions interleaved on this thread (the tl2_test.cpp idiom),
+// not raced.
+// ---------------------------------------------------------------------------
+
+// Drive the tl2-family read-validation conflict: s0 fixes its read
+// version, s1 commits a write to `reg`, s0's next read of `reg` must fail
+// validation against that register's stripe.
+template <typename Tm>
+void expect_read_validation_stripe(Tm& tmi, hist::RegId reg) {
+  auto s0 = tmi.make_thread(0, nullptr);
+  auto s1 = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(s0->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(s0->tx_read(0, v));
+  ASSERT_EQ(tm::run_tx(*s1, [reg](tm::TxScope& tx) { tx.write(reg, 5); }),
+            TxResult::kCommitted);
+  ASSERT_FALSE(s0->tx_read(reg, v));
+
+  const auto abort = s0->last_abort();
+  EXPECT_EQ(abort.reason, AbortReason::kReadValidation);
+  ASSERT_NE(tmi.stripe_of(reg), rt::kNoStripe);
+  EXPECT_EQ(abort.stripe, tmi.stripe_of(reg));
+
+  // The same attribution reaches the trace ring and the heat map.
+  bool saw_abort_event = false;
+  for (const rt::TraceEvent& e : tmi.trace().drain()) {
+    if (e.kind == TraceEventKind::kTxAbort && e.tid == s0->stat_slot()) {
+      saw_abort_event = true;
+      EXPECT_EQ(e.a8, static_cast<std::uint8_t>(AbortReason::kReadValidation));
+      EXPECT_EQ(e.a32, tmi.stripe_of(reg));
+    }
+  }
+  EXPECT_TRUE(saw_abort_event);
+  EXPECT_GE(tmi.trace().heat(tmi.stripe_of(reg)), 1u);
+  EXPECT_GE(tmi.trace().total_conflicts(), 1u);
+}
+
+TEST(Trace, Tl2AbortAttributesFaultingStripe) {
+  tm::Tl2 tmi(traced_config());
+  expect_read_validation_stripe(tmi, 7);
+}
+
+TEST(Trace, Tl2FusedAbortAttributesFaultingStripe) {
+  tm::Tl2Fused tmi(traced_config());
+  expect_read_validation_stripe(tmi, 7);
+}
+
+TEST(Trace, NOrecAbortAttributesReadValidationNoStripe) {
+  // NOrec validates by value against a single global seqlock: the reason
+  // is read-validation but there is no stripe to blame.
+  tm::NOrec tmi(traced_config());
+  auto s0 = tmi.make_thread(0, nullptr);
+  auto s1 = tmi.make_thread(1, nullptr);
+
+  ASSERT_TRUE(s0->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(s0->tx_read(0, v));
+  // s1 changes the *value* s0 already read, so s0's revalidation fails.
+  ASSERT_EQ(tm::run_tx(*s1, [](tm::TxScope& tx) { tx.write(0, 9); }),
+            TxResult::kCommitted);
+  ASSERT_FALSE(s0->tx_read(1, v));
+
+  const auto abort = s0->last_abort();
+  EXPECT_EQ(abort.reason, AbortReason::kReadValidation);
+  EXPECT_EQ(abort.stripe, rt::kNoStripe);
+  EXPECT_EQ(tmi.stripe_of(1), rt::kNoStripe);
+  // kNoStripe conflicts must not pollute the heat map.
+  EXPECT_EQ(tmi.trace().total_conflicts(), 0u);
+}
+
+TEST(Trace, ExplicitAbortAttributesCmInduced) {
+  tm::GlobalLockTm tmi(traced_config());
+  auto session = tmi.make_thread(0, nullptr);
+  ASSERT_TRUE(session->tx_begin());
+  session->tx_abort();
+  EXPECT_EQ(session->last_abort().reason, AbortReason::kCmInduced);
+  EXPECT_EQ(session->last_abort().stripe, rt::kNoStripe);
+}
+
+// An injected fault at the read-validation site must be tagged
+// kFaultInjected — not reported as a (spurious) genuine validation
+// failure — while still naming the stripe it fired on (tl2 family).
+TEST(Trace, InjectedReadValidationAbortTaggedFaultInjected) {
+  TmConfig config = traced_config();
+  config.fault.abort_permille = 1000;  // fire every armed site
+  config.fault.sites = rt::fault_site_bit(rt::FaultSite::kReadValidation);
+  tm::Tl2 tmi(config);
+  auto session = tmi.make_thread(0, nullptr);
+
+  ASSERT_TRUE(session->tx_begin());
+  hist::Value v = 0;
+  ASSERT_FALSE(session->tx_read(3, v));
+
+  const auto abort = session->last_abort();
+  EXPECT_EQ(abort.reason, AbortReason::kFaultInjected);
+  EXPECT_EQ(abort.stripe, tmi.stripe_of(3));
+}
+
+TEST(Trace, InjectedCommitAbortTaggedFaultInjectedEveryBackend) {
+  TmConfig config = traced_config();
+  config.fault.abort_permille = 1000;
+  config.fault.sites = rt::fault_site_bit(rt::FaultSite::kCommit);
+
+  auto expect_injected = [](tm::TransactionalMemory& tmi) {
+    auto session = tmi.make_thread(0, nullptr);
+    ASSERT_TRUE(session->tx_begin());
+    ASSERT_TRUE(session->tx_write(2, 11));
+    ASSERT_EQ(session->tx_commit(), TxResult::kAborted);
+    EXPECT_EQ(session->last_abort().reason, AbortReason::kFaultInjected);
+  };
+
+  tm::Tl2 tl2(config);
+  expect_injected(tl2);
+  tm::Tl2Fused fused(config);
+  expect_injected(fused);
+  tm::NOrec norec(config);
+  expect_injected(norec);
+  tm::GlobalLockTm glock(config);
+  expect_injected(glock);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export: dump a real run and re-parse it.
+// ---------------------------------------------------------------------------
+
+struct ParsedEvent {
+  std::string name;
+  char ph = 0;
+  double ts = 0.0;
+  int tid = -1;
+};
+
+// Minimal extraction parser for the known exporter shape: one event object
+// per `"name":` occurrence inside the traceEvents array, each with "ph",
+// "ts", and "tid" fields preceding any "args" object.
+std::vector<ParsedEvent> parse_chrome_events(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  const std::size_t end = json.find("\"displayTimeUnit\"");
+  std::size_t pos = json.find("\"traceEvents\"");
+  while (pos != std::string::npos && pos < end) {
+    pos = json.find("{\"name\": \"", pos);
+    if (pos == std::string::npos || pos >= end) break;
+    ParsedEvent e;
+    std::size_t p = pos + 10;
+    const std::size_t name_end = json.find('"', p);
+    e.name = json.substr(p, name_end - p);
+    p = json.find("\"ph\": \"", pos);
+    e.ph = json[p + 7];
+    p = json.find("\"ts\": ", pos);
+    e.ts = std::stod(json.substr(p + 6));
+    p = json.find("\"tid\": ", pos);
+    e.tid = std::stoi(json.substr(p + 7));
+    out.push_back(e);
+    pos = json.find('}', pos) + 1;
+  }
+  return out;
+}
+
+TEST(Trace, ChromeExportReparsesWellFormed) {
+  tm::Tl2 tmi(traced_config());
+  auto s0 = tmi.make_thread(0, nullptr);
+  auto s1 = tmi.make_thread(1, nullptr);
+
+  // A mix of lifecycle activity: commits, a crafted abort, and a fence.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(tm::run_tx(*s0,
+                         [i](tm::TxScope& tx) {
+                           tx.write(static_cast<hist::RegId>(i), 1);
+                         }),
+              TxResult::kCommitted);
+  }
+  ASSERT_TRUE(s0->tx_begin());
+  hist::Value v = 0;
+  ASSERT_TRUE(s0->tx_read(0, v));
+  ASSERT_EQ(tm::run_tx(*s1, [](tm::TxScope& tx) { tx.write(1, 5); }),
+            TxResult::kCommitted);
+  ASSERT_FALSE(s0->tx_read(1, v));
+  s0->fence();
+
+  const std::vector<rt::TraceEvent> events = tmi.trace().drain();
+  ASSERT_FALSE(events.empty());
+  const std::string json = rt::chrome_trace_json(events, tmi.trace().dropped());
+
+  // Document shape.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+
+  const std::vector<ParsedEvent> parsed = parse_chrome_events(json);
+  ASSERT_EQ(parsed.size(), events.size());
+
+  // Per-tid timestamp monotonicity (the exporter sorts by tid, then ts) and
+  // B/E stack pairing; instants may interleave freely.
+  std::map<int, double> last_ts;
+  std::map<int, std::vector<std::string>> open_spans;
+  bool saw_fence_span = false;
+  bool saw_tx_span = false;
+  for (const ParsedEvent& e : parsed) {
+    EXPECT_TRUE(e.ph == 'B' || e.ph == 'E' || e.ph == 'i') << e.ph;
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts, it->second) << "ts regressed on tid " << e.tid;
+    }
+    last_ts[e.tid] = e.ts;
+    if (e.ph == 'B') {
+      open_spans[e.tid].push_back(e.name);
+    } else if (e.ph == 'E') {
+      ASSERT_FALSE(open_spans[e.tid].empty())
+          << "unmatched E for " << e.name << " on tid " << e.tid;
+      EXPECT_EQ(open_spans[e.tid].back(), e.name);
+      open_spans[e.tid].pop_back();
+      if (e.name == "fence") saw_fence_span = true;
+      if (e.name == "tx") saw_tx_span = true;
+    }
+  }
+  for (const auto& [tid, stack] : open_spans) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  EXPECT_TRUE(saw_tx_span);
+  EXPECT_TRUE(saw_fence_span);
+
+  // The crafted abort's attribution survives into the export.
+  EXPECT_NE(json.find("\"reason\": \"read_validation\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privstm
