@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lang/litmus.hpp"
+#include "runtime/adaptive.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/rng.hpp"
@@ -88,8 +89,11 @@ struct MixParams {
   std::size_t txns_per_thread = 2000;
 };
 
+/// `retry` is forwarded to every worker's run_tx_retry — the default is the
+/// legacy static policy; the adaptive cells pass options carrying a governor.
 inline std::uint64_t run_mix_phase(tm::TransactionalMemory& tmi,
-                                   const MixParams& p, std::uint64_t seed) {
+                                   const MixParams& p, std::uint64_t seed,
+                                   const tm::TxRetryOptions& retry = {}) {
   std::atomic<std::uint64_t> commits{0};
   parallel_phase(p.threads, [&](std::size_t t) {
     auto session = tmi.make_thread(static_cast<hist::ThreadId>(t), nullptr);
@@ -106,7 +110,7 @@ inline std::uint64_t run_mix_phase(tm::TransactionalMemory& tmi,
             tx.write(reg, ((static_cast<hist::Value>(t) + 1) << 40) | ++tag);
           }
         }
-      });
+      }, retry);
       ++local_commits;
     }
     commits.fetch_add(local_commits, std::memory_order_relaxed);
@@ -145,20 +149,37 @@ struct ThroughputRow {
   std::size_t shards = 0;
   std::uint64_t shard_steals = 0;   ///< Counter::kAllocShardSteal
   std::uint64_t clock_shared = 0;   ///< Counter::kClockStampShared
+  /// Schema 7 adaptive-governor telemetry (runtime/adaptive.hpp): epoch
+  /// evaluations and adopted tier shifts for the governed cells (zero in
+  /// every static-policy cell).
+  std::uint64_t governor_epochs = 0;   ///< Counter::kGovernorEpoch
+  std::uint64_t governor_shifts = 0;   ///< Counter::kGovernorPolicyShift
 };
 
 /// Run one timed mix phase on a fresh TM instance and collect a row.
 /// `base` seeds the TM configuration (num_registers is overridden from the
 /// mix params) — the trace-overhead probe cells pass a trace-enabled base.
+/// When `governor` is non-null the phase runs governed: a fresh
+/// rt::AdaptiveGovernor (bound to this TM's stats/trace domains) is handed
+/// to every worker's retry loop, so the cell measures the closed feedback
+/// loop rather than a static policy.
 inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
                                  std::uint64_t seed,
-                                 const tm::TmConfig& base = {}) {
+                                 const tm::TmConfig& base = {},
+                                 const rt::GovernorConfig* governor = nullptr) {
   tm::TmConfig config = base;
   config.num_registers = p.registers;
   auto tmi = tm::make_tm(kind, config);
+  std::unique_ptr<rt::AdaptiveGovernor> gov;
+  tm::TxRetryOptions retry;
+  if (governor != nullptr) {
+    gov = std::make_unique<rt::AdaptiveGovernor>(tmi->stats(), *governor,
+                                                 tmi->trace_ptr());
+    retry.governor = gov.get();
+  }
 
   const auto start = std::chrono::steady_clock::now();
-  const std::uint64_t committed = run_mix_phase(*tmi, p, seed);
+  const std::uint64_t committed = run_mix_phase(*tmi, p, seed, retry);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -184,6 +205,9 @@ inline ThroughputRow measure_mix(tm::TmKind kind, const MixParams& p,
   row.shards = tmi->heap().shard_count();
   row.shard_steals = tmi->stats().total(rt::Counter::kAllocShardSteal);
   row.clock_shared = tmi->stats().total(rt::Counter::kClockStampShared);
+  row.governor_epochs = tmi->stats().total(rt::Counter::kGovernorEpoch);
+  row.governor_shifts =
+      tmi->stats().total(rt::Counter::kGovernorPolicyShift);
   return row;
 }
 
@@ -219,6 +243,9 @@ inline std::string tm_metrics_json(tm::TransactionalMemory& tmi) {
 /// the `trace-probe` workload rows (tracing-enabled vs -disabled overhead
 /// cells) and an optional embedded `metrics` object (`metrics_json`, a
 /// pre-rendered rt::to_json document from the traced cell's registry).
+/// Schema 7 adds the adaptive-governor cells (workload `*-adaptive`, one
+/// per backend, retry loops driven by rt::AdaptiveGovernor) and the per-row
+/// `governor_epochs` / `governor_shifts` telemetry.
 inline bool write_throughput_json(
     const std::string& path, const std::vector<ThroughputRow>& rows,
     const tm::AllocConfig& alloc, const char* baseline_note = nullptr,
@@ -228,7 +255,7 @@ inline bool write_throughput_json(
     const std::string& metrics_json = {}) {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 6,\n"
+  out << "{\n  \"bench\": \"tm_throughput\",\n  \"schema\": 7,\n"
       << "  \"alloc\": {\"magazine_size\": " << alloc.magazine_size
       << ", \"batch_depth\": " << alloc.limbo_batch
       << ", \"max_class_size\": " << alloc.max_class_size
@@ -270,7 +297,9 @@ inline bool write_throughput_json(
         << ", \"escalations\": " << r.escalations
         << ", \"shards\": " << r.shards
         << ", \"shard_steals\": " << r.shard_steals
-        << ", \"clock_shared\": " << r.clock_shared << "}"
+        << ", \"clock_shared\": " << r.clock_shared
+        << ", \"governor_epochs\": " << r.governor_epochs
+        << ", \"governor_shifts\": " << r.governor_shifts << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -50,9 +50,22 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # inconsistent, and that the traced cell's conflict heat map is non-empty
 # — then the grep double-checks the percentile telemetry actually reached
 # the JSON (a schema refactor that drops the field must fail here, not in
-# the next PR's analysis).
-./build/bench_service --quick --trace TRACE_service.quick.json
+# the next PR's analysis). The trace artifacts land in build/ — benchmark
+# output must never dirty the source tree (it once got committed).
+./build/bench_service --quick --trace build/TRACE_service.quick.json
 grep -q '"p999"' BENCH_service.quick.json
+
+# Adaptive-governor smoke gate (DESIGN.md §14): the quick service run is
+# governed, so the schema-3 JSON must carry a governor block whose epoch
+# and shift counts are nonzero (the feedback loop actually evaluated and
+# actually moved the policy), and the Perfetto dump must carry the
+# policy-shift instants. A refactor that detaches the governor from the
+# store, or stops emitting its decisions, must fail here.
+grep -q '"governor":' BENCH_service.quick.json
+grep -Eq '"epochs": [1-9]' BENCH_service.quick.json
+grep -Eq '"shifts": [1-9]' BENCH_service.quick.json
+grep -q '"name": "governor_epoch"' build/TRACE_service.quick.json
+grep -q '"name": "governor_shift"' build/TRACE_service.quick.json
 
 # Trace/metrics smoke gate (DESIGN.md §13), over the artifacts the traced
 # run just wrote: the Perfetto JSON must carry a privatization-fence span
@@ -62,10 +75,17 @@ grep -q '"p999"' BENCH_service.quick.json
 # own self-gates above (tracing-disabled regression vs the matrix
 # reference, tracing-enabled collapse vs the disabled cell); the last grep
 # checks the embedded metrics snapshot reached the schema-6 perf log.
-grep -q '"name": "fence"' TRACE_service.quick.json
-grep -q '"name": "sweep_reclaim"' TRACE_service.quick.json
-grep -q '^privstm_tx_commits_total' TRACE_service.quick.json.prom
+grep -q '"name": "fence"' build/TRACE_service.quick.json
+grep -q '"name": "sweep_reclaim"' build/TRACE_service.quick.json
+grep -q '^privstm_tx_commits_total' build/TRACE_service.quick.json.prom
 grep -q '"metrics"' BENCH_tm_throughput.quick.json
+
+# Source-tree hygiene gate: nothing above may leave trace artifacts in the
+# repo root — they belong in build/ (which .gitignore's build*/ covers).
+if compgen -G 'TRACE_*' > /dev/null; then
+  echo 'FAIL: benchmark smoke left TRACE_* artifacts in the source root' >&2
+  exit 1
+fi
 
 # ASan+UBSan gate over the transactional-heap paths: alloc/free, deferred
 # reclamation, the ADTs that allocate through handles, the TM
@@ -80,7 +100,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-    -R 'Heap|StripeTable|StripeRegion|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree|Clock|Service|Histogram|Zipf'
+    -R 'Heap|StripeTable|StripeRegion|Alloc|Adt|TmSemantics|Fence\.|Reclamation|Quiescence|ExplorerHandles|Interp\.AllocFree|Clock|Service|Histogram|Zipf|Adaptive'
 fi
 
 # ThreadSanitizer gate (third sanitizer config — TSan cannot coexist with
@@ -95,5 +115,5 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
     -DPRIVSTM_BUILD_BENCH=OFF -DPRIVSTM_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j"$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt|Clock|Service|Histogram|Zipf'
+    -R 'Contention|StarvationStorm|RetryUnderInjection|FaultInj|Quiescence|Fence\.|Alloc|Adt|Clock|Service|Histogram|Zipf|Adaptive'
 fi

@@ -61,12 +61,17 @@ class ContentionManager {
   /// Record a failed attempt and pause per `policy`. Returns the number of
   /// spins waited (0 under kImmediate or a fully discounted kKarma pause) —
   /// callers count nonzero pauses as Counter::kTxRetryBackoff.
-  std::uint64_t on_abort(CmPolicy policy) noexcept {
+  /// `exponent_cap` (≤ kMaxExponent) bounds the window growth below the
+  /// hard cap — the adaptive governor tightens it in storm epochs, where
+  /// long pauses only donate the hot stripes to whoever aborted us.
+  std::uint64_t on_abort(CmPolicy policy,
+                         std::uint32_t exponent_cap = kMaxExponent) noexcept {
     ++streak_;
     ++total_aborts_;
     ++karma_;  // one attempt of work lost
-    std::uint32_t exponent =
-        streak_ < kMaxExponent ? streak_ : kMaxExponent;
+    const std::uint32_t cap =
+        exponent_cap < kMaxExponent ? exponent_cap : kMaxExponent;
+    std::uint32_t exponent = streak_ < cap ? streak_ : cap;
     switch (policy) {
       case CmPolicy::kImmediate:
         return 0;

@@ -56,6 +56,12 @@ enum class Counter : std::size_t {
                         ///< sharding working as designed (a steal is still
                         ///< cheaper than falling through to the global
                         ///< extent map)
+  kGovernorEpoch,       ///< adaptive-governor epoch evaluations (one per
+                        ///< epoch_commits committed transactions under a
+                        ///< governed retry loop; runtime/adaptive.hpp)
+  kGovernorPolicyShift,  ///< governor epochs whose decision *changed* the
+                         ///< live CmPolicy tier (adopted after hysteresis,
+                         ///< not merely proposed)
   kCount,
 };
 

@@ -66,6 +66,10 @@ const char* trace_event_name(TraceEventKind k) noexcept {
     case TraceEventKind::kSweepRepublishBegin:
     case TraceEventKind::kSweepRepublishEnd:
       return "sweep_republish";
+    case TraceEventKind::kGovernorEpoch:
+      return "governor_epoch";
+    case TraceEventKind::kGovernorPolicyShift:
+      return "governor_shift";
     case TraceEventKind::kCount:
       break;
   }

@@ -87,6 +87,11 @@ enum class TraceEventKind : std::uint8_t {
   kSweepReclaimEnd,
   kSweepRepublishBegin,
   kSweepRepublishEnd,
+  kGovernorEpoch,        ///< adaptive-governor epoch evaluated (a8 = the
+                         ///< epoch's *candidate* CmPolicy, a32 = abort rate
+                         ///< in permille, a64 = epoch ordinal)
+  kGovernorPolicyShift,  ///< governor adopted a new tier (a8 = new CmPolicy,
+                         ///< a32 = new escalate_after, a64 = epoch ordinal)
   kCount,
 };
 

@@ -75,6 +75,20 @@ class SessionStore {
   SessionStore(const SessionStore&) = delete;
   SessionStore& operator=(const SessionStore&) = delete;
 
+  /// Retry options every operation's transaction runs under (default:
+  /// TxRetryOptions{} — the legacy static policy). Not thread-safe against
+  /// in-flight traffic: configure before serving.
+  void set_retry_options(const tm::TxRetryOptions& options) noexcept {
+    retry_ = options;
+  }
+  /// Attach an adaptive governor (runtime/adaptive.hpp): every op's retry
+  /// loop then consults its live epoch decision per attempt and feeds its
+  /// commit/abort accounting. nullptr detaches.
+  void set_governor(rt::AdaptiveGovernor* governor) noexcept {
+    retry_.governor = governor;
+  }
+  const tm::TxRetryOptions& retry_options() const noexcept { return retry_; }
+
   enum class PutStatus : std::uint8_t { kOk, kFull };
 
   /// Insert or replace the session record for `key` (nonzero): allocate
@@ -157,6 +171,7 @@ class SessionStore {
   std::vector<std::unique_ptr<adt::TxHashMap>> buckets_;
   unsigned bucket_shift_;
   std::atomic<tm::Value> token_{1};
+  tm::TxRetryOptions retry_{};  ///< per-op retry policy (see set_governor)
 };
 
 }  // namespace privstm::service

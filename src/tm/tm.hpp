@@ -30,6 +30,7 @@
 
 #include "history/action.hpp"
 #include "history/recorder.hpp"
+#include "runtime/adaptive.hpp"
 #include "runtime/contention.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/global_clock.hpp"
@@ -432,11 +433,15 @@ class TmThread {
   /// Contention-manager wait between retry attempts, bracketed as a
   /// "cm_backoff" trace span (spin count on the End event); counts
   /// kTxRetryBackoff when a pause was actually taken. Returns the spins.
-  std::uint64_t cm_wait(rt::CmPolicy policy) noexcept {
+  /// `exponent_cap` bounds the backoff window below the hard kMaxExponent
+  /// (the adaptive governor's storm-epoch tightening).
+  std::uint64_t cm_wait(rt::CmPolicy policy,
+                        std::uint32_t exponent_cap =
+                            rt::ContentionManager::kMaxExponent) noexcept {
     if (trace_ != nullptr) {
       trace_->emit(stat_slot(), rt::TraceEventKind::kCmBackoffBegin);
     }
-    const std::uint64_t spins = cm_.on_abort(policy);
+    const std::uint64_t spins = cm_.on_abort(policy, exponent_cap);
     if (trace_ != nullptr) {
       trace_->emit(stat_slot(), rt::TraceEventKind::kCmBackoffEnd, 0,
                    static_cast<std::uint32_t>(
@@ -745,6 +750,13 @@ struct TxRetryOptions {
   /// default keeps legacy callers safe from livelock: past 64 failures a
   /// symmetric conflict storm is no longer plausibly transient.
   std::size_t escalate_after = 64;
+  /// When set, the loop is *governed*: policy, escalate_after and the
+  /// backoff exponent cap come from the governor's live epoch decision,
+  /// re-read on every attempt (so an epoch boundary crossed mid-loop
+  /// redirects even the current retry sequence), and every commit/abort
+  /// feeds the governor's epoch accounting. The static fields above are
+  /// ignored while a governor is attached; max_attempts still applies.
+  rt::AdaptiveGovernor* governor = nullptr;
 };
 
 struct TxRetryResult {
@@ -770,26 +782,42 @@ template <typename F>
 TxRetryResult run_tx_retry(TmThread& thread, F&& body,
                            const TxRetryOptions& options) {
   rt::ContentionManager& cm = thread.contention();
+  rt::AdaptiveGovernor* const governor = options.governor;
   TxRetryResult result;
   bool serial = false;
   for (std::size_t attempt = 1;; ++attempt) {
     result.attempts = attempt;
     if (run_tx(thread, body) == TxResult::kCommitted) {
       cm.on_commit();
+      if (governor != nullptr) governor->note_commit(thread.stat_slot());
       break;
+    }
+    // Governed loops re-read the live epoch decision per attempt and feed
+    // the failed attempt's attribution back; static loops keep their
+    // TxRetryOptions verbatim.
+    rt::CmPolicy policy = options.policy;
+    std::size_t escalate_after = options.escalate_after;
+    std::uint32_t exponent_cap = rt::ContentionManager::kMaxExponent;
+    if (governor != nullptr) {
+      const TmThread::AbortInfo abort = thread.last_abort();
+      governor->note_abort(abort.reason, abort.stripe);
+      const rt::GovernorDecision d = governor->decision();
+      policy = d.policy;
+      escalate_after = d.escalate_after;
+      exponent_cap = d.exponent_cap;
     }
     if (options.max_attempts != 0 && attempt >= options.max_attempts) {
       result.status = TxRetryStatus::kGaveUp;
       break;
     }
     if (serial) continue;  // gate held: retry immediately
-    if (options.escalate_after != 0 && attempt >= options.escalate_after) {
+    if (escalate_after != 0 && attempt >= escalate_after) {
       serial = true;
       result.escalated = true;
       thread.escalate_enter();
       continue;
     }
-    thread.cm_wait(options.policy);
+    thread.cm_wait(policy, exponent_cap);
   }
   if (serial) thread.escalate_exit();
   return result;

@@ -178,6 +178,76 @@ TEST_P(ContentionAllTms, SelfAbortingBodyGivesUpEvenAfterEscalation) {
             tm::TxResult::kCommitted);
 }
 
+TEST_P(ContentionAllTms, GiveUpBelowEscalationThresholdSkipsSerialGate) {
+  // Boundary: max_attempts strictly below escalate_after must exhaust the
+  // budget without ever touching the serial gate — no escalation counter,
+  // no gate close/reopen cycle.
+  auto tmi = tm::make_tm(GetParam(), TmConfig{});
+  auto session = tmi->make_thread(0, nullptr);
+
+  TxRetryOptions options;
+  options.policy = CmPolicy::kImmediate;
+  options.max_attempts = 3;
+  options.escalate_after = 5;
+  const tm::TxRetryResult result = tm::run_tx_retry(
+      *session, [](tm::TxScope& tx) { tx.abort(); }, options);
+
+  EXPECT_EQ(result.status, TxRetryStatus::kGaveUp);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_FALSE(result.escalated);
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kTxEscalated), 0u);
+  EXPECT_FALSE(tmi->serial_gate().closed());
+}
+
+TEST_P(ContentionAllTms, MaxAttemptsEqualEscalateAfterNeverEscalates) {
+  // Boundary: when the budget and the escalation threshold coincide, the
+  // budget wins — the final failed attempt must give up, not close the
+  // gate for an attempt that will never run.
+  auto tmi = tm::make_tm(GetParam(), TmConfig{});
+  auto session = tmi->make_thread(0, nullptr);
+
+  TxRetryOptions options;
+  options.policy = CmPolicy::kImmediate;
+  options.max_attempts = 4;
+  options.escalate_after = 4;
+  const tm::TxRetryResult result = tm::run_tx_retry(
+      *session, [](tm::TxScope& tx) { tx.abort(); }, options);
+
+  EXPECT_EQ(result.status, TxRetryStatus::kGaveUp);
+  EXPECT_EQ(result.attempts, 4u);
+  EXPECT_FALSE(result.escalated);
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kTxEscalated), 0u);
+  EXPECT_FALSE(tmi->serial_gate().closed());
+}
+
+TEST_P(ContentionAllTms, GiveUpOnFirstEscalatedAttemptStillDemotes) {
+  // Boundary: escalate on the 2nd failure, then the budget ends the loop
+  // on the very first escalated attempt — the gate must still be reopened
+  // on the way out (give-up while escalated demotes).
+  auto tmi = tm::make_tm(GetParam(), TmConfig{});
+  auto session = tmi->make_thread(0, nullptr);
+
+  TxRetryOptions options;
+  options.policy = CmPolicy::kImmediate;
+  options.max_attempts = 3;
+  options.escalate_after = 2;
+  const tm::TxRetryResult result = tm::run_tx_retry(
+      *session, [](tm::TxScope& tx) { tx.abort(); }, options);
+
+  EXPECT_EQ(result.status, TxRetryStatus::kGaveUp);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_TRUE(result.escalated);
+  EXPECT_EQ(tmi->stats().total(rt::Counter::kTxEscalated), 1u);
+  EXPECT_FALSE(tmi->serial_gate().closed())
+      << "give-up on an escalated attempt must reopen the gate";
+
+  // And the gate is usable by someone else immediately.
+  auto other = tmi->make_thread(1, nullptr);
+  EXPECT_EQ(tm::run_tx(*other, [](tm::TxScope& tx) { tx.write(4, 6); }),
+            tm::TxResult::kCommitted);
+  EXPECT_EQ(tmi->peek(4), 6);
+}
+
 TEST_P(ContentionAllTms, SerialGateBlocksRivalsUntilDemotion) {
   auto tmi = tm::make_tm(GetParam(), TmConfig{});
   auto session = tmi->make_thread(0, nullptr);
